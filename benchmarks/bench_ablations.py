@@ -1,0 +1,66 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. tree choice (forward / transposed / smaller) in DFG_Assign_Once;
+2. pinning order (most-copied-first vs alternatives) in
+   DFG_Assign_Repeat;
+
+Artifacts: ``benchmarks/results/ablation_*.txt``.
+"""
+
+import pytest
+
+from repro.report.ablations import fix_order_ablation, tree_choice_ablation
+from repro.report.experiments import DEFAULT_SEED
+
+from conftest import run_once
+
+
+def test_tree_choice_ablation(benchmark, save_result):
+    def build():
+        out = {}
+        for name in ("diffeq", "rls_laguerre", "elliptic"):
+            out[name] = tree_choice_ablation(name, seed=DEFAULT_SEED)
+        return out
+
+    results = run_once(benchmark, build)
+    lines = []
+    for name, records in results.items():
+        for r in records:
+            lines.append(
+                f"{name:>14} T={r.deadline:<4} fwd={r.forward_cost:<8.2f} "
+                f"rev={r.transposed_cost:<8.2f} smaller={r.smaller_cost:<8.2f}"
+            )
+            # the smaller-tree policy must equal one of the directions
+            assert r.smaller_cost in (
+                pytest.approx(r.forward_cost),
+                pytest.approx(r.transposed_cost),
+            )
+    save_result("ablation_tree_choice", "\n".join(lines))
+
+
+def test_fix_order_ablation(benchmark, save_result):
+    def build():
+        out = {}
+        for name in ("rls_laguerre", "elliptic"):
+            out[name] = fix_order_ablation(name, seed=DEFAULT_SEED)
+        return out
+
+    results = run_once(benchmark, build)
+    lines = []
+    most = fewest = 0.0
+    for name, records in results.items():
+        for r in records:
+            lines.append(
+                f"{name:>14} T={r.deadline:<4} "
+                f"most_first={r.most_copied_first:<8.2f} "
+                f"fewest_first={r.fewest_copied_first:<8.2f} "
+                f"insertion={r.insertion_order:<8.2f}"
+            )
+            most += r.most_copied_first
+            fewest += r.fewest_copied_first
+    lines.append(
+        f"totals: most-copied-first={most:.1f} fewest-first={fewest:.1f} "
+        f"(paper's policy should not lose overall)"
+    )
+    save_result("ablation_fix_order", "\n".join(lines))
+    assert most <= fewest * 1.02  # paper's order is never clearly worse

@@ -1,0 +1,74 @@
+"""Cyclic-scheduling bench (extension): static vs rotation vs modulo.
+
+For cyclic DSP benchmarks under a fixed configuration, compares three
+throughput strategies from the paper's framework lineage:
+
+* the static schedule of the DAG part (one iteration at a time);
+* rotation scheduling (ref. [4]) — retime + reschedule;
+* iterative modulo scheduling — the steady-state initiation interval.
+
+The expected shape: ``II ≤ rotation length ≤ static length``, with the
+modulo II typically hitting ``max(ResMII, RecMII)``.  Artifact:
+``benchmarks/results/cyclic.txt``.
+"""
+
+import pytest
+
+from repro.assign.assignment import Assignment
+from repro.fu.random_tables import random_table
+from repro.retiming.modulo import modulo_schedule, rec_mii, res_mii
+from repro.retiming.rotation import rotation_schedule
+from repro.sched.min_resource import list_schedule
+from repro.sched.schedule import Configuration
+from repro.suite.extras import iir_biquad_cascade
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("sections", [1, 2])
+def test_modulo_schedule_speed(benchmark, sections):
+    dfg = iir_biquad_cascade(sections)
+    table = random_table(dfg, num_types=2, seed=sections)
+    assignment = Assignment.cheapest(dfg, table)
+    cfg = Configuration.of([3, 3])
+    ms = benchmark(modulo_schedule, dfg, table, assignment, cfg)
+    ms.validate(dfg, table, assignment)
+
+
+def test_cyclic_throughput_study(benchmark, save_result):
+    def build():
+        out = []
+        for sections in (1, 2, 3):
+            dfg = iir_biquad_cascade(sections)
+            table = random_table(dfg, num_types=2, seed=sections)
+            assignment = Assignment.cheapest(dfg, table)
+            cfg = Configuration.of([3, 3])
+            static = list_schedule(dfg.dag(), table, assignment, cfg)
+            rot = rotation_schedule(dfg, table, assignment, cfg, rounds=12)
+            ms = modulo_schedule(dfg, table, assignment, cfg)
+            floor = max(
+                res_mii(dfg, table, assignment, cfg),
+                rec_mii(dfg, table, assignment),
+            )
+            out.append(
+                (
+                    f"biquad{sections}",
+                    static.makespan(table),
+                    rot.best_length,
+                    ms.ii,
+                    floor,
+                )
+            )
+        return out
+
+    records = run_once(benchmark, build)
+    lines = [
+        f"{name:>10} static={st:<4} rotation={rt:<4} modulo_II={ii:<4} "
+        f"floor={fl}"
+        for name, st, rt, ii, fl in records
+    ]
+    save_result("cyclic", "\n".join(lines))
+    for name, static, rotation, ii, floor in records:
+        assert rotation <= static
+        assert ii <= rotation
+        assert ii >= floor

@@ -1,0 +1,60 @@
+"""Pareto frontier bench (extension): the full cost/latency trade-off.
+
+The paper's tables sample six deadlines per benchmark; the DP cost
+curves contain the whole frontier for free.  This bench regenerates
+the exact frontier for every tree benchmark and the heuristic frontier
+for the DFG benchmarks, asserting monotonicity and endpoint
+correctness.  Artifact: ``benchmarks/results/frontiers.txt``.
+"""
+
+import pytest
+
+from repro.assign import min_completion_time
+from repro.assign.frontier import dfg_frontier, tree_frontier
+from repro.fu.random_tables import random_table
+from repro.report.experiments import DEFAULT_SEED
+from repro.suite.registry import get_benchmark
+
+from conftest import run_once
+
+TREES = ("lattice4", "lattice8", "volterra")
+DAGS = ("diffeq", "rls_laguerre", "elliptic")
+
+
+@pytest.mark.parametrize("name", TREES)
+def test_tree_frontier_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    floor = min_completion_time(dfg, table)
+    frontier = benchmark(tree_frontier, dfg, table, 3 * floor)
+    assert frontier[0][0] == floor
+
+
+def test_frontier_study(benchmark, save_result):
+    def build():
+        out = {}
+        for name in TREES:
+            dfg = get_benchmark(name).dag()
+            table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+            out[name] = ("exact", tree_frontier(
+                dfg, table, 3 * min_completion_time(dfg, table)
+            ))
+        for name in DAGS:
+            dfg = get_benchmark(name).dag()
+            table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+            out[name] = ("heuristic", dfg_frontier(
+                dfg, table, 2 * min_completion_time(dfg, table)
+            ))
+        return out
+
+    results = run_once(benchmark, build)
+    lines = []
+    for name, (kind, frontier) in results.items():
+        costs = [c for _, c in frontier]
+        assert all(a > b for a, b in zip(costs, costs[1:])), name
+        lines.append(
+            f"{name:>14} ({kind}): {len(frontier)} knees, "
+            f"cost {costs[0]:.0f} -> {costs[-1]:.0f} over deadlines "
+            f"{frontier[0][0]} -> {frontier[-1][0]}"
+        )
+    save_result("frontiers", "\n".join(lines))

@@ -1,0 +1,51 @@
+"""Regenerate the paper's **headline numbers** (Section 7 / abstract).
+
+"On average, DFG_Assign_Once gives a reduction of …% and
+DFG_Assign_Repeat gives a reduction of …% on system cost compared with
+the greedy algorithm.  …  DFG_Assign_Repeat is recommended."
+
+Our substrate randomizes the tables (as the paper did), so the
+absolute percentages differ from the garbled scan; the asserted shape
+is positive reductions with Repeat ≥ Once.  Artifact:
+``benchmarks/results/headline.txt`` (quoted in EXPERIMENTS.md).
+"""
+
+from repro.report.experiments import DEFAULT_SEED, headline_summary
+from repro.report.tables import format_percent
+
+from conftest import run_once
+
+
+def test_headline_summary(benchmark, save_result):
+    summary = run_once(benchmark, lambda: headline_summary(seed=DEFAULT_SEED))
+    assert 0.0 < summary["once"] < 0.6
+    assert 0.0 < summary["repeat"] < 0.6
+    assert summary["repeat"] >= summary["once"] - 1e-12
+    save_result(
+        "headline",
+        f"seed {DEFAULT_SEED}, all six benchmarks, 6 constraints each\n"
+        f"average reduction vs greedy:\n"
+        f"  DFG_Assign_Once  : {format_percent(summary['once'])}\n"
+        f"  DFG_Assign_Repeat: {format_percent(summary['repeat'])}\n"
+        f"(paper: Once and Repeat both reduce cost on average, Repeat "
+        f"highest and recommended)",
+    )
+
+
+def test_headline_stability_across_seeds(benchmark, save_result):
+    """The qualitative result must not hinge on the seed of record."""
+    def sweep():
+        return {
+            seed: headline_summary(seed=seed, count=4) for seed in (1, 7, 13)
+        }
+
+    results = run_once(benchmark, sweep)
+    lines = []
+    for seed, summary in results.items():
+        assert summary["once"] > 0.0
+        assert summary["repeat"] >= summary["once"] - 1e-12
+        lines.append(
+            f"seed {seed:>3}: once={format_percent(summary['once'])} "
+            f"repeat={format_percent(summary['repeat'])}"
+        )
+    save_result("headline_seeds", "\n".join(lines))

@@ -1,0 +1,74 @@
+"""Phase-2 benches: Lower_Bound_R quality and Min_R_Scheduling cost.
+
+The paper reports one feasible configuration per table row; these
+benches time the scheduling phase on every benchmark and record how
+close the achieved configurations sit to the lower bound (the
+extension study DESIGN.md lists).  Artifact:
+``benchmarks/results/phase2_gap.txt``.
+"""
+
+import pytest
+
+from repro.assign import dfg_assign_repeat, min_completion_time
+from repro.fu.random_tables import random_table
+from repro.report.ablations import lower_bound_ablation
+from repro.report.experiments import DEFAULT_SEED
+from repro.sched import lower_bound_configuration, min_resource_schedule
+from repro.suite.registry import PAPER_BENCHMARKS, get_benchmark
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_min_resource_schedule_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dfg, table) + 4
+    assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+
+    schedule = benchmark(
+        min_resource_schedule, dfg, table, assignment, deadline
+    )
+    schedule.validate(dfg, table, assignment)
+
+
+@pytest.mark.parametrize("name", ["lattice8", "elliptic"])
+def test_lower_bound_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dfg, table) + 4
+    assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+
+    lb = benchmark(lower_bound_configuration, dfg, table, assignment, deadline)
+    assert all(c >= 0 for c in lb.counts)
+
+
+def test_lower_bound_gap_study(benchmark, save_result):
+    """How many extra units does Min_R need beyond Lower_Bound_R?"""
+    def build():
+        out = {}
+        for name in PAPER_BENCHMARKS:
+            out[name] = lower_bound_ablation(name, seed=DEFAULT_SEED)
+        return out
+
+    results = run_once(benchmark, build)
+    lines = []
+    total_gap = 0
+    rows = 0
+    for name, records in results.items():
+        for r in records:
+            lines.append(
+                f"{name:>14} T={r.deadline:<4} bound={r.bound_units:<3} "
+                f"achieved={r.achieved_units:<3} gap={r.gap} "
+                f"from_zero={r.from_zero_units}"
+            )
+            assert r.gap >= 0
+            total_gap += r.gap
+            rows += 1
+    lines.append(f"average gap: {total_gap / rows:.2f} units over {rows} rows")
+    save_result("phase2_gap", "\n".join(lines))
+    # the bound must be tight on a meaningful share of rows
+    tight = sum(
+        1 for recs in results.values() for r in recs if r.gap == 0
+    )
+    assert tight >= rows // 3

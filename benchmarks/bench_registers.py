@@ -1,0 +1,74 @@
+"""Register-cost bench (extension; the paper's ref. [12] concern).
+
+For every benchmark, synthesize at two deadlines and report the
+register file size demanded by the Min_R schedule vs the
+force-directed schedule — storage is part of the architecture cost the
+cost-optimal synthesis line of work tracks.  Artifact:
+``benchmarks/results/registers.txt``.
+"""
+
+import pytest
+
+from repro.assign import dfg_assign_repeat, min_completion_time
+from repro.fu.random_tables import random_table
+from repro.report.experiments import DEFAULT_SEED
+from repro.report.profiles import profile_benchmarks, render_profiles
+from repro.sched import (
+    allocate_registers,
+    force_directed_schedule,
+    min_resource_schedule,
+)
+from repro.suite.registry import PAPER_BENCHMARKS, get_benchmark
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("name", ["lattice8", "elliptic"])
+def test_register_allocation_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dfg, table) + 4
+    assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+    schedule = min_resource_schedule(dfg, table, assignment, deadline)
+
+    alloc = benchmark(allocate_registers, dfg, table, assignment, schedule)
+    alloc.verify()
+
+
+def test_register_cost_study(benchmark, save_result):
+    def build():
+        out = []
+        for name in PAPER_BENCHMARKS:
+            dfg = get_benchmark(name).dag()
+            table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+            floor = min_completion_time(dfg, table)
+            for deadline in (floor + 2, floor + 6):
+                assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+                minr = min_resource_schedule(dfg, table, assignment, deadline)
+                fds = force_directed_schedule(dfg, table, assignment, deadline)
+                r1 = allocate_registers(dfg, table, assignment, minr)
+                r2 = allocate_registers(dfg, table, assignment, fds)
+                r1.verify()
+                r2.verify()
+                out.append((name, deadline, r1.num_registers, r2.num_registers))
+        return out
+
+    records = run_once(benchmark, build)
+    lines = [
+        f"{name:>14} T={deadline:<4} min_r={a:<3} force_directed={b}"
+        for name, deadline, a, b in records
+    ]
+    save_result("registers", "\n".join(lines))
+    assert all(a >= 0 and b >= 0 for *_, a, b in records)
+
+
+def test_benchmark_characterization(benchmark, save_result):
+    profiles = run_once(benchmark, profile_benchmarks)
+    text = render_profiles(profiles)
+    save_result("benchmark_profiles", text)
+    by_name = {p.name: p for p in profiles}
+    # the paper's structural facts, re-asserted on the rendered data
+    assert by_name["elliptic"].duplicated_nodes == 9
+    assert by_name["rls_laguerre"].duplicated_nodes == 3
+    assert by_name["lattice4"].shape == "tree"
+    assert by_name["elliptic"].nodes == 34

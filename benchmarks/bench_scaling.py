@@ -1,0 +1,98 @@
+"""Scaling benches (extension): runtime growth and optimality gaps.
+
+The paper notes `DFG_Assign_Repeat` "performs best especially when the
+input graph is large" and that the ILP's exponential runtime limits
+it.  These benches quantify both on synthetic families:
+
+* wall-clock of greedy / Once / Repeat as the layered DAG grows;
+* heuristic-vs-exact cost gaps on random DAGs small enough for
+  branch-and-bound.
+
+Artifacts: ``benchmarks/results/scaling_*.txt``.
+"""
+
+import pytest
+
+from repro.assign import (
+    dfg_assign_once,
+    dfg_assign_repeat,
+    greedy_assign,
+    min_completion_time,
+    path_assign,
+    tree_assign,
+)
+from repro.fu.random_tables import random_table
+from repro.report.scaling import optimality_gap_sweep, runtime_sweep
+from repro.suite.synthetic import layered_dag, random_path, random_tree
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("nodes", [50, 200, 800])
+def test_path_assign_scaling(benchmark, nodes):
+    """The O(n·L·M) DP must scale linearly in practice."""
+    dfg = random_path(nodes, seed=1)
+    table = random_table(dfg, num_types=3, seed=1)
+    deadline = min_completion_time(dfg, table) + nodes
+    result = benchmark(path_assign, dfg, table, deadline)
+    result.verify(dfg, table)
+
+
+@pytest.mark.parametrize("nodes", [50, 200, 800])
+def test_tree_assign_scaling(benchmark, nodes):
+    dfg = random_tree(nodes, seed=2)
+    table = random_table(dfg, num_types=3, seed=2)
+    deadline = min_completion_time(dfg, table) + 20
+    result = benchmark(tree_assign, dfg, table, deadline)
+    result.verify(dfg, table)
+
+
+@pytest.mark.parametrize("layers", [6, 10, 14])
+def test_repeat_scaling_layered(benchmark, layers):
+    """Repeat's cost is governed by the expansion size, which grows
+    with the number of root→node paths — exponentially in the worst
+    case (hence the node_limit guard); these layered instances stay
+    within it while showing the super-linear trend."""
+    dfg = layered_dag(layers=layers, width=4, seed=3, fan_in=2)
+    table = random_table(dfg, num_types=3, seed=3)
+    deadline = int(1.4 * min_completion_time(dfg, table)) + 1
+    result = benchmark(dfg_assign_repeat, dfg, table, deadline)
+    result.verify(dfg, table)
+
+
+def test_runtime_sweep_study(benchmark, save_result):
+    records = run_once(
+        benchmark, lambda: runtime_sweep(sizes=(20, 40, 80), seed=7)
+    )
+    lines = []
+    for rec in records:
+        timings = " ".join(
+            f"{name}={sec * 1000:.1f}ms" for name, sec in rec.seconds.items()
+        )
+        lines.append(f"n={rec.nodes:<4} L={rec.deadline:<4} {timings}")
+    save_result("scaling_runtime", "\n".join(lines))
+    assert len(records) == 3
+
+
+def test_optimality_gap_study(benchmark, save_result):
+    records = run_once(
+        benchmark, lambda: optimality_gap_sweep(trials=10, nodes=11, seed=5)
+    )
+    lines = []
+    avg = {"greedy": 0.0, "once": 0.0, "repeat": 0.0}
+    for rec in records:
+        for k in avg:
+            avg[k] += rec.gap(k) / len(records)
+        lines.append(
+            f"n={rec.nodes} L={rec.deadline:<4} exact={rec.exact_cost:<7.1f} "
+            f"greedy=+{rec.gap('greedy'):.1%} once=+{rec.gap('once'):.1%} "
+            f"repeat=+{rec.gap('repeat'):.1%}"
+        )
+    lines.append(
+        f"average gaps: greedy=+{avg['greedy']:.1%} once=+{avg['once']:.1%} "
+        f"repeat=+{avg['repeat']:.1%}"
+    )
+    save_result("scaling_optimality_gap", "\n".join(lines))
+    # heuristics must sit between optimal and greedy on average
+    assert avg["repeat"] <= avg["greedy"] + 1e-9
+    assert avg["repeat"] >= -1e-9

@@ -1,0 +1,73 @@
+"""Scheduler comparison bench: Min_R_Scheduling vs force-directed.
+
+An extension study: the paper's deadline-driven list scheduler against
+the classical Paulin–Knight force-directed scheduler on identical
+assignments.  Records per-benchmark configuration sizes and asserts
+the shared validity contract; artifact
+``benchmarks/results/scheduler_comparison.txt``.
+"""
+
+import pytest
+
+from repro.assign import dfg_assign_repeat, min_completion_time
+from repro.fu.random_tables import random_table
+from repro.report.experiments import DEFAULT_SEED
+from repro.sched import (
+    force_directed_schedule,
+    lower_bound_configuration,
+    min_resource_schedule,
+)
+from repro.suite.registry import PAPER_BENCHMARKS, get_benchmark
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("name", ["lattice4", "diffeq", "elliptic"])
+def test_force_directed_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dfg, table) + 4
+    assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+
+    schedule = benchmark(force_directed_schedule, dfg, table, assignment, deadline)
+    schedule.validate(dfg, table, assignment)
+
+
+def test_scheduler_comparison_study(benchmark, save_result):
+    def build():
+        out = []
+        for name in PAPER_BENCHMARKS:
+            dfg = get_benchmark(name).dag()
+            table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+            floor = min_completion_time(dfg, table)
+            for deadline in (floor + 2, floor + 6):
+                assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+                lb = lower_bound_configuration(dfg, table, assignment, deadline)
+                minr = min_resource_schedule(dfg, table, assignment, deadline)
+                fds = force_directed_schedule(dfg, table, assignment, deadline)
+                minr.validate(dfg, table, assignment)
+                fds.validate(dfg, table, assignment)
+                out.append(
+                    (name, deadline, lb.total_units(),
+                     minr.configuration.total_units(),
+                     fds.configuration.total_units())
+                )
+        return out
+
+    records = run_once(benchmark, build)
+    lines = [
+        f"{name:>14} T={deadline:<4} bound={bound:<3} min_r={minr:<3} "
+        f"force_directed={fds}"
+        for name, deadline, bound, minr, fds in records
+    ]
+    minr_total = sum(r[3] for r in records)
+    fds_total = sum(r[4] for r in records)
+    lines.append(
+        f"totals: min_r={minr_total} force_directed={fds_total} "
+        f"(bound={sum(r[2] for r in records)})"
+    )
+    save_result("scheduler_comparison", "\n".join(lines))
+    for name, deadline, bound, minr, fds in records:
+        assert minr >= bound and fds >= bound
+    # the paper's scheduler should hold its own against FDS overall
+    assert minr_total <= fds_total * 1.25

@@ -1,0 +1,88 @@
+"""Regenerate **Table 2** — general DFG benchmarks (diffeq solver,
+RLS-laguerre lattice, elliptic).
+
+Paper columns: timing constraint, greedy cost, Once cost + %, Repeat
+cost + %, configuration.  Shape requirements asserted: heuristics
+never lose to greedy, Repeat never loses to Once, and on the
+duplication-heavy elliptic filter Repeat strictly wins on at least one
+row (the paper's stated regime).
+
+Rendered table: ``benchmarks/results/table2.txt``.
+"""
+
+import pytest
+
+from repro.assign import (
+    dfg_assign_once,
+    dfg_assign_repeat,
+    min_completion_time,
+)
+from repro.fu.random_tables import random_table
+from repro.report.experiments import (
+    DEFAULT_SEED,
+    average_reduction,
+    render_rows,
+    run_table2,
+)
+from repro.suite.registry import get_benchmark
+
+from conftest import run_once
+
+
+def test_table2_regeneration(benchmark, save_result):
+    rows = run_once(benchmark, lambda: run_table2(seed=DEFAULT_SEED))
+    text = render_rows(rows, title=f"Table 2 (DFGs), seed {DEFAULT_SEED}")
+    save_result("table2", text)
+    # --- paper-shape assertions -------------------------------------
+    for row in rows:
+        assert row.once_cost <= row.greedy_cost + 1e-9
+        assert row.repeat_cost <= row.once_cost + 1e-9
+    elliptic = [r for r in rows if r.benchmark == "elliptic"]
+    assert any(r.repeat_cost < r.once_cost - 1e-9 for r in elliptic), (
+        "Repeat should strictly beat Once somewhere on elliptic"
+    )
+    assert average_reduction(rows, "repeat") >= average_reduction(rows, "once")
+
+
+@pytest.mark.parametrize("name", ["diffeq", "rls_laguerre", "elliptic"])
+def test_once_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dfg, table) + 5
+    result = benchmark(dfg_assign_once, dfg, table, deadline)
+    result.verify(dfg, table)
+
+
+@pytest.mark.parametrize("name", ["diffeq", "rls_laguerre", "elliptic"])
+def test_repeat_speed(benchmark, name):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dfg, table) + 5
+    result = benchmark(dfg_assign_repeat, dfg, table, deadline)
+    result.verify(dfg, table)
+
+
+def test_table2_with_certified_optima(benchmark, save_result):
+    """Our extension of Table 2: an exact-optimum column on the diffeq
+    benchmark (the paper's ILP could do the same; like the ILP, the
+    branch-and-bound hits its budget on the larger DFG benchmarks at
+    loose deadlines — exactly the exponential-runtime limitation the
+    paper cites as motivation for the heuristics)."""
+    def build():
+        from repro.report.experiments import run_benchmark_rows
+
+        return run_benchmark_rows(
+            "diffeq", seed=DEFAULT_SEED, count=6, with_exact=True
+        )
+
+    rows = run_once(benchmark, build)
+    lines = [
+        f"{r.benchmark:>14} T={r.deadline:<3} exact={r.exact_cost:<8.2f} "
+        f"once={r.once_cost:<8.2f} repeat={r.repeat_cost:<8.2f}"
+        for r in rows
+    ]
+    save_result("table2_exact", "\n".join(lines))
+    for r in rows:
+        assert r.exact_cost <= r.repeat_cost + 1e-9
+        # heuristic optimality gap stays modest on these benchmarks
+        assert r.repeat_cost <= r.exact_cost * 1.25 + 1e-9

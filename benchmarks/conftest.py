@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (or one of
+the extension studies in DESIGN.md).  Besides being timed by
+pytest-benchmark, each bench writes its rendered artifact to
+``benchmarks/results/<name>.txt`` so the numbers quoted in
+EXPERIMENTS.md can be re-checked after any run of::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Time a multi-second artifact generation exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Design-space exploration: Pareto frontiers across FU-library presets.
+
+A downstream user's workflow: pick a benchmark kernel, compare how the
+cost/latency trade-off looks on different target technologies (the
+library presets), and read off the cheapest deadline that fits a frame
+budget.  Everything comes from one `Tree_Assign` DP pass per library —
+the paper's tables are six samples of these curves.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import min_completion_time
+from repro.assign.frontier import tree_frontier
+from repro.fu import energy_table, preset_library, preset_names
+from repro.graph.analysis import profile
+from repro.suite import lattice_filter
+
+
+def main() -> None:
+    dfg = lattice_filter(4).dag()
+    print(profile(dfg).describe())
+    frame_budget = 40  # steps available per sample period
+
+    # Fine-grained base workloads widen the per-type time spread so the
+    # frontiers have real knees to explore.
+    op_work = {"mul": 8, "add": 4}
+
+    for preset in preset_names():
+        library = preset_library(preset)
+        table = energy_table(dfg, library, op_work=op_work)
+        floor = min_completion_time(dfg, table)
+        frontier = tree_frontier(dfg, table, max(3 * floor, frame_budget))
+        print(f"\n[{preset}] types {library.names}, "
+              f"minimum latency {floor} steps")
+        for deadline, cost in frontier:
+            marker = "  <- frame budget" if deadline > frame_budget else ""
+            if marker:
+                break
+            print(f"  latency {deadline:3d}  min energy {cost:7.1f}")
+        feasible = [(d, c) for d, c in frontier if d <= frame_budget]
+        if feasible:
+            d, c = feasible[-1]
+            print(f"  => within the {frame_budget}-step budget: "
+                  f"energy {c:.1f} at latency {d}")
+        else:
+            print(f"  => cannot meet the {frame_budget}-step budget")
+
+
+if __name__ == "__main__":
+    main()

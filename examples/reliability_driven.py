@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reliability-driven synthesis (Section 2's second cost semantics).
+
+Fast FU types fail more often; the probability that an 8-stage lattice
+filter iteration completes without a failure is
+``exp(-Σ λ_type(v) · t_type(v))``.  Minimizing the summed reliability
+cost under a deadline therefore *maximizes* system reliability — the
+exact formulation of the reliability-driven assignment works the paper
+builds on ([He et al.], [Srinivasan & Jha]).
+
+This example sweeps the deadline and shows the reliability/latency
+trade-off curve, comparing the DP assignment against always-fastest
+and against the greedy baseline.
+
+Run:  python examples/reliability_driven.py
+"""
+
+from repro import Assignment, greedy_assign, min_completion_time, tree_assign
+from repro.fu import default_library, reliability_table, system_reliability
+from repro.suite import lattice_filter
+
+
+def main() -> None:
+    dfg = lattice_filter(8).dag()
+    # A steeper failure-rate ladder than the default so the
+    # reliability/latency trade-off is visible at print precision:
+    # the fast type fails 10x more often than the slow one.
+    library = default_library(3, failure_rates=[5e-3, 1.5e-3, 5e-4])
+    # Widen the base workloads (finer-grained cycles) so the speed
+    # ladder yields a real spread of execution times per operation.
+    table = reliability_table(dfg, library, op_work={"mul": 6, "add": 3})
+
+    floor = min_completion_time(dfg, table)
+    print(f"benchmark: {dfg.name} ({len(dfg)} ops), "
+          f"library: {', '.join(library.names)}")
+    print(f"minimum feasible deadline: {floor} steps\n")
+    print(f"{'deadline':>8}  {'R(optimal)':>12}  {'R(greedy)':>12}  "
+          f"{'R(all-fastest)':>14}")
+
+    fastest = Assignment.fastest(dfg, table)
+    r_fast = system_reliability(fastest.total_cost(dfg, table))
+
+    for extra in (0, 1, 2, 3, 4, 6, 8):
+        deadline = floor + extra
+        optimal = tree_assign(dfg, table, deadline)
+        greedy = greedy_assign(dfg, table, deadline)
+        r_opt = system_reliability(optimal.cost)
+        r_greedy = system_reliability(greedy.cost)
+        print(f"{deadline:>8}  {r_opt:>12.6f}  {r_greedy:>12.6f}  "
+              f"{r_fast:>14.6f}")
+        assert r_opt >= r_greedy - 1e-12, "DP must dominate greedy"
+
+    print("\nReading: relaxing the deadline lets the assignment move "
+          "operations onto slower, more reliable units; the optimal "
+          "column climbs fastest because Tree_Assign is exact on this "
+          "tree-shaped benchmark.")
+
+
+if __name__ == "__main__":
+    main()

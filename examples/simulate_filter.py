@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Semantic check: the synthesized schedule computes real filter output.
+
+Synthesizes an FIR filter and the cyclic accumulator benchmark, feeds
+them an impulse, and replays the bound static schedule cycle by cycle
+with the functional simulator — the value streams must match the
+reference evaluation sample for sample.  This is the strongest form of
+"the schedule is correct": not just precedence-clean, but computing
+the same numbers the mathematical dataflow defines.
+
+Run:  python examples/simulate_filter.py
+"""
+
+from repro import DFG, min_completion_time, synthesize
+from repro.fu import random_table
+from repro.sim import simulate, simulate_schedule
+from repro.suite import fir_filter
+
+
+def run_fir() -> None:
+    dfg = fir_filter(4)
+    dag = dfg.dag()
+    table = random_table(dag, num_types=3, seed=5)
+    deadline = min_completion_time(dag, table) + 3
+    result = synthesize(dfg, table, deadline)
+
+    # impulse into every tap multiplier (each tap sees the delayed
+    # input line; the generic op semantics make taps pass-through)
+    steps = 5
+    inputs = {n: [1.0] + [0.0] * (steps - 1) for n in dag.roots()}
+    reference = simulate(dfg, steps, inputs=inputs)
+    replay = simulate_schedule(
+        dfg, table, result.assignment, result.schedule, steps, inputs=inputs
+    )
+    out = dag.leaves()[0]
+    print(f"[{dfg.name}] cost {result.cost:.1f}, "
+          f"configuration {result.configuration.label()}")
+    print(f"  impulse response at {out}: {reference[out]}")
+    assert replay == reference, "schedule replay diverged from reference!"
+    print("  schedule replay matches the reference simulation ✓")
+
+
+def run_accumulator() -> None:
+    # y[n] = x[n] + y[n-1]: one node, one self-loop register
+    dfg = DFG(name="accumulator")
+    dfg.add_node("y", op="add")
+    dfg.add_edge("y", "y", 1)
+    table = random_table(dfg.dag(), num_types=2, seed=1)
+    deadline = min_completion_time(dfg.dag(), table)
+    result = synthesize(dfg, table, deadline)
+
+    xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+    reference = simulate(dfg, len(xs), inputs={"y": xs})
+    replay = simulate_schedule(
+        dfg, table, result.assignment, result.schedule, len(xs),
+        inputs={"y": xs},
+    )
+    print(f"\n[{dfg.name}] running sum of {xs}:")
+    print(f"  y = {reference['y']}")
+    assert reference["y"] == [1.0, 3.0, 6.0, 10.0, 15.0]
+    assert replay == reference
+    print("  schedule replay matches the reference simulation ✓")
+
+
+if __name__ == "__main__":
+    run_fir()
+    run_accumulator()

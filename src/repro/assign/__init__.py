@@ -1,0 +1,83 @@
+"""Phase 1 — the heterogeneous assignment problem and its algorithms.
+
+Public surface:
+
+* :class:`Assignment`, :class:`AssignResult` — data types;
+* :func:`path_assign`, :func:`tree_assign` — optimal pseudo-polynomial
+  DPs for simple paths and trees/forests;
+* :func:`dfg_expand`, :func:`dfg_assign_once`, :func:`dfg_assign_repeat`
+  — the paper's general-DAG heuristics;
+* :func:`greedy_assign` — the comparator baseline;
+* :func:`exact_assign`, :func:`brute_force_assign` — certified optima;
+* :mod:`~repro.assign.knapsack` — the NP-completeness reduction.
+"""
+
+from .assignment import Assignment, min_completion_time
+from .dfg_assign import (
+    choose_expansion,
+    dfg_assign_once,
+    dfg_assign_repeat,
+    expansion_candidates,
+)
+from .dfg_expand import ExpandedTree, dfg_expand
+from .downgrade import downgrade_assign
+from .frontier import dfg_frontier, frontier_knees, tree_frontier
+from .ilp_model import ILPModel, build_ilp, check_solution, to_lp_format
+from .exact import brute_force_assign, exact_assign
+from .greedy import greedy_assign
+from .knapsack import KnapsackInstance, hap_from_knapsack, solve_knapsack_via_hap
+from .minmax import MinMaxResult, max_cost, tree_minmax_assign
+from .path_assign import chain_order, path_assign
+from .result import AssignResult
+from .sensitivity import (
+    MarginalCost,
+    NodeSensitivity,
+    marginal_cost_of_time,
+    node_sensitivity,
+)
+from .series_parallel import (
+    NotSeriesParallelError,
+    is_two_terminal_sp,
+    sp_assign,
+)
+from .tree_assign import tree_assign, tree_cost_curve
+
+__all__ = [
+    "marginal_cost_of_time",
+    "MarginalCost",
+    "node_sensitivity",
+    "NodeSensitivity",
+    "tree_minmax_assign",
+    "MinMaxResult",
+    "max_cost",
+    "sp_assign",
+    "is_two_terminal_sp",
+    "NotSeriesParallelError",
+    "downgrade_assign",
+    "tree_frontier",
+    "dfg_frontier",
+    "frontier_knees",
+    "ILPModel",
+    "build_ilp",
+    "to_lp_format",
+    "check_solution",
+    "Assignment",
+    "AssignResult",
+    "min_completion_time",
+    "path_assign",
+    "chain_order",
+    "tree_assign",
+    "tree_cost_curve",
+    "dfg_expand",
+    "ExpandedTree",
+    "expansion_candidates",
+    "choose_expansion",
+    "dfg_assign_once",
+    "dfg_assign_repeat",
+    "greedy_assign",
+    "exact_assign",
+    "brute_force_assign",
+    "KnapsackInstance",
+    "hap_from_knapsack",
+    "solve_knapsack_via_hap",
+]

@@ -1,0 +1,122 @@
+"""Assignments: a chosen FU type per node, plus evaluation helpers.
+
+An *assignment* maps every node of a DFG to one FU type index.  Its
+quality is judged by two numbers (Section 3 of the paper):
+
+* **system cost** — the sum of the chosen execution costs, the
+  minimization objective;
+* **completion time** — the longest root→leaf path under the chosen
+  execution times, which must not exceed the timing constraint ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+from ..errors import TableError
+from ..fu.table import TimeCostTable
+from ..graph.dfg import DFG, Node
+from ..graph.paths import longest_path_time
+
+__all__ = ["Assignment", "min_completion_time"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An immutable node → FU-type-index mapping.
+
+    Construct via :meth:`of` (copies and validates) or directly from a
+    dict you promise not to mutate.
+    """
+
+    mapping: Mapping[Node, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, mapping: Mapping[Node, int]) -> "Assignment":
+        return cls(mapping=dict(mapping))
+
+    @classmethod
+    def uniform(cls, dfg: DFG, fu_type: int) -> "Assignment":
+        """Assign the same type to every node (useful baseline)."""
+        return cls(mapping={n: fu_type for n in dfg.nodes()})
+
+    @classmethod
+    def cheapest(cls, dfg: DFG, table: TimeCostTable) -> "Assignment":
+        """Per-node cheapest type — optimal when there is no deadline."""
+        return cls(mapping={n: table.cheapest_type(n) for n in dfg.nodes()})
+
+    @classmethod
+    def fastest(cls, dfg: DFG, table: TimeCostTable) -> "Assignment":
+        """Per-node fastest type — achieves the minimum completion time."""
+        return cls(mapping={n: table.fastest_type(n) for n in dfg.nodes()})
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, node: Node) -> int:
+        return self.mapping[node]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.mapping
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.mapping)
+
+    def get(self, node: Node, default: int | None = None):
+        return self.mapping.get(node, default)
+
+    def items(self):
+        return self.mapping.items()
+
+    def merged_with(self, other: Mapping[Node, int]) -> "Assignment":
+        """A new assignment where ``other``'s choices override this one's."""
+        merged = dict(self.mapping)
+        merged.update(other)
+        return Assignment(mapping=merged)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def validate_for(self, dfg: DFG, table: TimeCostTable) -> None:
+        """Check coverage of ``dfg`` and type-index ranges."""
+        missing = [n for n in dfg.nodes() if n not in self.mapping]
+        if missing:
+            raise TableError(
+                f"assignment misses {len(missing)} node(s), e.g. {missing[:5]!r}"
+            )
+        for n in dfg.nodes():
+            j = self.mapping[n]
+            if not 0 <= j < table.num_types:
+                raise TableError(f"node {n!r}: type index {j} out of range")
+
+    def execution_times(self, dfg: DFG, table: TimeCostTable) -> Dict[Node, int]:
+        """Per-node execution times under this assignment."""
+        return {n: table.time(n, self.mapping[n]) for n in dfg.nodes()}
+
+    def total_cost(self, dfg: DFG, table: TimeCostTable) -> float:
+        """The system cost ``Σ c_{a(v)}(v)`` over the nodes of ``dfg``."""
+        return float(sum(table.cost(n, self.mapping[n]) for n in dfg.nodes()))
+
+    def completion_time(self, dfg: DFG, table: TimeCostTable) -> int:
+        """Longest root→leaf path time under this assignment."""
+        return longest_path_time(dfg, self.execution_times(dfg, table))
+
+    def is_feasible(self, dfg: DFG, table: TimeCostTable, deadline: int) -> bool:
+        """Whether every critical path finishes within ``deadline``."""
+        return self.completion_time(dfg, table) <= deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Assignment({dict(self.mapping)!r})"
+
+
+def min_completion_time(dfg: DFG, table: TimeCostTable) -> int:
+    """The smallest timing constraint any assignment can satisfy.
+
+    Attained by the all-fastest assignment; the benchmark tables use
+    this as the tightest constraint in their sweeps (Section 7: "the
+    first time constraint we use is the minimum execution time").
+    """
+    table.validate_for(dfg)
+    return longest_path_time(dfg, table.min_times(dfg.nodes()))

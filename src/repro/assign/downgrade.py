@@ -1,0 +1,101 @@
+"""A second baseline: downgrade greedy (all-fastest, then relax).
+
+The mirror image of `greedy_assign`: start from the all-fastest
+assignment (maximally feasible, maximally expensive) and repeatedly
+apply the *cheapening* move with the best cost saving per unit of
+slack consumed, as long as the deadline still holds.  Classic HLS
+folklore; included because comparing two greedy directions against the
+DP makes the evaluation's point sharper — both baselines are dominated
+by `DFG_Assign_Repeat`, each on different instances.
+
+Move selection: among all (node, slower-and-cheaper type) pairs whose
+application keeps the completion time within the deadline, pick the
+one maximizing ``Δcost_saved / Δtime_added`` (pure savings with zero
+time cost rank first).  Terminates because every move strictly
+decreases total cost over a finite lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import InfeasibleError
+from ..fu.table import TimeCostTable
+from ..graph.dag import require_acyclic
+from ..graph.dfg import DFG, Node
+from ..graph.paths import longest_path_time
+from .assignment import Assignment, min_completion_time
+from .result import AssignResult
+
+__all__ = ["downgrade_assign"]
+
+
+def _best_downgrade(
+    dfg: DFG,
+    table: TimeCostTable,
+    mapping: Dict[Node, int],
+    times: Dict[Node, int],
+    deadline: int,
+) -> Optional[Tuple[Node, int]]:
+    """The most cost-saving feasible slowdown, or None when saturated."""
+    best_key: Optional[Tuple[float, int, int]] = None
+    best_move: Optional[Tuple[Node, int]] = None
+    order = {n: i for i, n in enumerate(dfg.nodes())}
+    for node in dfg.nodes():
+        cur_k = mapping[node]
+        cur_t = table.time(node, cur_k)
+        cur_c = table.cost(node, cur_k)
+        for k in range(table.num_types):
+            dc = cur_c - table.cost(node, k)
+            if dc <= 0:
+                continue  # not a saving
+            dt = table.time(node, k) - cur_t
+            # feasibility of this single move
+            saved = times[node]
+            times[node] = table.time(node, k)
+            feasible = longest_path_time(dfg, times) <= deadline
+            times[node] = saved
+            if not feasible:
+                continue
+            # maximize savings per added step (free savings rank first)
+            key = (-dc / max(dt, 1), order[node], k)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_move = (node, k)
+    return best_move
+
+
+def downgrade_assign(dfg: DFG, table: TimeCostTable, deadline: int) -> AssignResult:
+    """Baseline: all-fastest start, greedy feasible cost reductions.
+
+    Feasible whenever any assignment is (the starting point is the
+    minimum completion time); not optimal in general.
+    """
+    require_acyclic(dfg)
+    table.validate_for(dfg)
+    floor = min_completion_time(dfg, table)
+    if deadline < floor:
+        raise InfeasibleError(
+            f"no assignment of {dfg.name!r} completes within {deadline} "
+            f"(minimum possible is {floor})",
+            min_feasible=floor,
+        )
+
+    mapping = dict(Assignment.fastest(dfg, table).items())
+    times = {n: table.time(n, mapping[n]) for n in dfg.nodes()}
+    while True:
+        move = _best_downgrade(dfg, table, mapping, times, deadline)
+        if move is None:
+            break
+        node, k = move
+        mapping[node] = k
+        times[node] = table.time(node, k)
+
+    assignment = Assignment.of(mapping)
+    return AssignResult(
+        assignment=assignment,
+        cost=assignment.total_cost(dfg, table),
+        completion_time=longest_path_time(dfg, times),
+        deadline=deadline,
+        algorithm="downgrade",
+    )

@@ -1,0 +1,102 @@
+"""Cost/latency Pareto frontiers.
+
+The DP cost curves computed by `Tree_Assign` already contain, for free,
+the *entire* trade-off between the timing constraint and the minimum
+achievable system cost.  This module surfaces that as a first-class
+API — the designer's view the paper's tables sample at six points:
+
+* :func:`tree_frontier` — exact frontier for trees/forests (and simple
+  paths), straight from the DP curve;
+* :func:`dfg_frontier` — frontier for general DAGs via
+  `DFG_Assign_Repeat` at every distinct deadline (heuristic,
+  upper-bounds the true frontier), or via `exact_assign` when
+  ``exact=True``.
+
+A frontier is a list of ``(deadline, cost)`` knees: deadlines where the
+minimum cost strictly improves, starting at the minimum feasible
+completion time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import InfeasibleError
+from ..fu.table import TimeCostTable
+from ..graph.classify import is_in_forest, is_out_forest
+from ..graph.dfg import DFG
+from .assignment import min_completion_time
+from .dfg_assign import choose_expansion, dfg_assign_repeat
+from .exact import exact_assign
+from .tree_assign import tree_cost_curve
+
+__all__ = ["tree_frontier", "dfg_frontier", "frontier_knees"]
+
+
+def frontier_knees(points: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
+    """Collapse a (deadline, cost) series to its strictly-improving knees."""
+    knees: List[Tuple[int, float]] = []
+    for deadline, cost in points:
+        if not knees or cost < knees[-1][1] - 1e-12:
+            knees.append((deadline, cost))
+    return knees
+
+
+def tree_frontier(
+    tree: DFG, table: TimeCostTable, max_deadline: int
+) -> List[Tuple[int, float]]:
+    """Exact Pareto frontier of a tree/forest up to ``max_deadline``.
+
+    One DP pass (O(n · max_deadline · M)) yields every point.  Raises
+    :class:`InfeasibleError` when even ``max_deadline`` is infeasible.
+    """
+    if not (is_out_forest(tree) or is_in_forest(tree)):
+        raise InfeasibleError(
+            f"{tree.name!r} is not a tree/forest; use dfg_frontier"
+        )
+    curve = tree_cost_curve(tree, table, max_deadline)
+    finite = np.isfinite(curve)
+    if not finite.any():
+        raise InfeasibleError(
+            f"no assignment of {tree.name!r} completes within {max_deadline}"
+        )
+    points = [
+        (int(j), float(curve[j])) for j in np.flatnonzero(finite)
+    ]
+    return frontier_knees(points)
+
+
+def dfg_frontier(
+    dfg: DFG,
+    table: TimeCostTable,
+    max_deadline: int,
+    exact: bool = False,
+) -> List[Tuple[int, float]]:
+    """Pareto frontier of a general DAG up to ``max_deadline``.
+
+    Heuristic by default (`DFG_Assign_Repeat` per deadline, sharing one
+    expansion across the sweep); ``exact=True`` certifies each point
+    with branch-and-bound (small graphs only).  The heuristic frontier
+    upper-bounds the true one and is itself monotone by construction.
+    """
+    floor = min_completion_time(dfg, table)
+    if max_deadline < floor:
+        raise InfeasibleError(
+            f"max_deadline {max_deadline} below minimum completion {floor}",
+            min_feasible=floor,
+        )
+    expansion = None if exact else choose_expansion(dfg)
+    points: List[Tuple[int, float]] = []
+    best = np.inf
+    for deadline in range(floor, max_deadline + 1):
+        if exact:
+            cost = exact_assign(dfg, table, deadline).cost
+        else:
+            cost = dfg_assign_repeat(
+                dfg, table, deadline, expansion=expansion
+            ).cost
+        best = min(best, cost)  # enforce monotonicity of the frontier
+        points.append((deadline, float(best)))
+    return frontier_knees(points)

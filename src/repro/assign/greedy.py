@@ -1,0 +1,107 @@
+"""Greedy baseline assignment (after Chang, Wang & Parhi [3]).
+
+The paper compares against "the greedy algorithm … implemented based on
+the idea in [3]" (loop-list scheduling for heterogeneous FUs) without
+reproducing its pseudo-code.  We implement the standard reading, the
+natural cost-driven greedy:
+
+1. Start from the per-node *cheapest* assignment (optimal when the
+   deadline is unbounded).
+2. While the completion time exceeds the deadline, look at one current
+   critical path and consider every single-node upgrade to a faster
+   type; apply the upgrade with the smallest cost increase per step of
+   local time saved, i.e. minimal ``Δcost / Δtime``.
+3. Fail only if no node on the critical path can be made faster — by
+   then the critical path already runs all-fastest, so no assignment
+   at all can meet the deadline.
+
+Each iteration strictly decreases the execution time of one node, so
+the loop terminates after at most ``Σ_v (max_t(v) − min_t(v))`` steps.
+Like every greedy, it can lock in expensive upgrades that a global view
+would avoid — that gap is exactly what Tables 1–2 of the paper measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import InfeasibleError
+from ..fu.table import TimeCostTable
+from ..graph.dag import require_acyclic
+from ..graph.dfg import DFG, Node
+from ..graph.paths import critical_path, longest_path_time
+from .assignment import Assignment, min_completion_time
+from .result import AssignResult
+
+__all__ = ["greedy_assign"]
+
+
+def _best_upgrade(
+    dfg: DFG,
+    table: TimeCostTable,
+    mapping: Dict[Node, int],
+    times: Dict[Node, int],
+) -> Optional[Tuple[Node, int]]:
+    """The cheapest-per-step speedup available on a current critical path.
+
+    Returns ``(node, new_type)`` or ``None`` when every node on the
+    path already runs at its fastest.  Deterministic: ratio, then
+    larger time gain, then path position, then type index.
+    """
+    path = critical_path(dfg, times)
+    best_key: Optional[Tuple[float, int, int, int]] = None
+    best_move: Optional[Tuple[Node, int]] = None
+    for pos, node in enumerate(path):
+        cur_k = mapping[node]
+        cur_t = table.time(node, cur_k)
+        cur_c = table.cost(node, cur_k)
+        for k in range(table.num_types):
+            dt = cur_t - table.time(node, k)
+            if dt <= 0:
+                continue
+            dc = table.cost(node, k) - cur_c
+            key = (dc / dt, -dt, pos, k)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_move = (node, k)
+    return best_move
+
+
+def greedy_assign(dfg: DFG, table: TimeCostTable, deadline: int) -> AssignResult:
+    """Greedy heterogeneous assignment (the paper's comparator).
+
+    Feasible whenever any assignment is feasible; not optimal in
+    general.  Raises :class:`InfeasibleError` (with the minimum
+    achievable completion time) otherwise.
+    """
+    require_acyclic(dfg)
+    table.validate_for(dfg)
+    floor = min_completion_time(dfg, table)
+    if deadline < floor:
+        raise InfeasibleError(
+            f"no assignment of {dfg.name!r} completes within {deadline} "
+            f"(minimum possible is {floor})",
+            min_feasible=floor,
+        )
+
+    mapping = dict(Assignment.cheapest(dfg, table).items())
+    times = {n: table.time(n, mapping[n]) for n in dfg.nodes()}
+    completion = longest_path_time(dfg, times)
+    while completion > deadline:
+        move = _best_upgrade(dfg, table, mapping, times)
+        # A fully-fastest critical path longer than the deadline would
+        # contradict the feasibility check above.
+        assert move is not None, "greedy stalled on a feasible instance"
+        node, k = move
+        mapping[node] = k
+        times[node] = table.time(node, k)
+        completion = longest_path_time(dfg, times)
+
+    assignment = Assignment.of(mapping)
+    return AssignResult(
+        assignment=assignment,
+        cost=assignment.total_cost(dfg, table),
+        completion_time=completion,
+        deadline=deadline,
+        algorithm="greedy",
+    )

@@ -1,0 +1,212 @@
+"""The ILP formulation of the heterogeneous assignment problem.
+
+The paper's exact-method reference is Ito, Lucke & Parhi's integer
+linear program ("ILP-based cost-optimal DSP synthesis with module
+selection", [11]): binary variables ``x[v,j]`` select FU type ``j``
+for node ``v``, arrival variables ``s[v]`` propagate path times, and
+the objective sums the selected costs.  No ILP solver ships offline,
+so this module does the two things the reference is *used for* that a
+solver is not needed for:
+
+* :func:`build_ilp` — construct the exact model (variables, objective,
+  constraints) as data, and :func:`to_lp_format` — emit it in the
+  standard CPLEX LP text format, ready for any external solver.  This
+  makes the reproduction's claimed equivalence with the ILP checkable:
+  feed the file to a solver and compare with `exact_assign`.
+* :func:`check_solution` — verify a candidate assignment against every
+  constraint of the model, used by tests to certify that
+  `exact_assign`'s optimum is ILP-feasible with the same objective.
+
+The formulation (zero-delay DAG part ``G = (V, E)``, deadline ``L``)::
+
+    minimize    Σ_v Σ_j c_j(v) · x[v,j]
+    subject to  Σ_j x[v,j] = 1                        ∀ v          (choose)
+                f[v] ≥ Σ_j t_j(v) · x[v,j]            ∀ v root     (source)
+                f[v] ≥ f[u] + Σ_j t_j(v) · x[v,j]     ∀ (u,v) ∈ E  (path)
+                f[v] ≤ L                              ∀ v          (deadline)
+                x[v,j] ∈ {0,1},  f[v] ≥ 0
+
+where ``f[v]`` is the finish time of ``v`` along the longest incoming
+path.  An assignment is model-feasible iff it meets the deadline, and
+the objective equals its system cost — proved by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import TableError
+from ..fu.table import TimeCostTable
+from ..graph.dag import require_acyclic, topological_order
+from ..graph.dfg import DFG, Node
+from .assignment import Assignment
+
+__all__ = ["ILPModel", "build_ilp", "to_lp_format", "check_solution"]
+
+
+@dataclass(frozen=True)
+class ILPModel:
+    """The assignment ILP as plain data.
+
+    Attributes
+    ----------
+    binaries:
+        Names of the 0/1 selection variables, ``x_v_j``.
+    continuous:
+        Names of the finish-time variables, ``f_v``.
+    objective:
+        ``{variable: coefficient}`` of the minimization objective.
+    constraints:
+        ``(name, {variable: coeff}, sense, rhs)`` rows with sense one
+        of ``"="``, ``"<="``, ``">="``.
+    deadline:
+        The timing constraint the model was built for.
+    """
+
+    binaries: List[str]
+    continuous: List[str]
+    objective: Dict[str, float]
+    constraints: List[Tuple[str, Dict[str, float], str, float]]
+    deadline: int
+    node_order: List[Node] = field(default_factory=list)
+    num_types: int = 0
+
+    def num_variables(self) -> int:
+        return len(self.binaries) + len(self.continuous)
+
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+
+def _xvar(i: int, j: int) -> str:
+    return f"x_{i}_{j}"
+
+
+def _fvar(i: int) -> str:
+    return f"f_{i}"
+
+
+def build_ilp(dfg: DFG, table: TimeCostTable, deadline: int) -> ILPModel:
+    """Construct the Ito-style assignment ILP for ``dfg``.
+
+    Nodes are indexed by topological position (recorded in
+    ``node_order``) so variable names are stable and solver-safe for
+    arbitrary node identifiers.
+    """
+    require_acyclic(dfg)
+    table.validate_for(dfg)
+    if deadline < 0:
+        raise TableError(f"deadline must be >= 0, got {deadline}")
+    order = topological_order(dfg)
+    index = {n: i for i, n in enumerate(order)}
+    m = table.num_types
+
+    binaries = [_xvar(i, j) for i in range(len(order)) for j in range(m)]
+    continuous = [_fvar(i) for i in range(len(order))]
+
+    objective: Dict[str, float] = {}
+    for n in order:
+        i = index[n]
+        for j in range(m):
+            objective[_xvar(i, j)] = float(table.cost(n, j))
+
+    constraints: List[Tuple[str, Dict[str, float], str, float]] = []
+    for n in order:
+        i = index[n]
+        # exactly one type per node
+        constraints.append(
+            (f"choose_{i}", {_xvar(i, j): 1.0 for j in range(m)}, "=", 1.0)
+        )
+        # finish time >= own execution time (roots), resp. parent + time
+        own = {_xvar(i, j): -float(table.time(n, j)) for j in range(m)}
+        parents = dfg.parents(n)
+        if not parents:
+            row = dict(own)
+            row[_fvar(i)] = 1.0
+            constraints.append((f"source_{i}", row, ">=", 0.0))
+        else:
+            for p in parents:
+                row = dict(own)
+                row[_fvar(i)] = 1.0
+                row[_fvar(index[p])] = -1.0
+                constraints.append(
+                    (f"path_{index[p]}_{i}", row, ">=", 0.0)
+                )
+        constraints.append((f"deadline_{i}", {_fvar(i): 1.0}, "<=", float(deadline)))
+
+    return ILPModel(
+        binaries=binaries,
+        continuous=continuous,
+        objective=objective,
+        constraints=constraints,
+        deadline=deadline,
+        node_order=list(order),
+        num_types=m,
+    )
+
+
+def to_lp_format(model: ILPModel, name: str = "hetero_assign") -> str:
+    """Serialize the model in CPLEX LP format (readable by CBC, Gurobi,
+    CPLEX, HiGHS, lp_solve, ...)."""
+
+    def term(coef: float, var: str) -> str:
+        sign = "+" if coef >= 0 else "-"
+        return f"{sign} {abs(coef):g} {var}"
+
+    lines = [f"\\ {name}: heterogeneous assignment ILP (Ito et al. form)"]
+    lines.append("Minimize")
+    obj = " ".join(term(c, v) for v, c in sorted(model.objective.items()))
+    lines.append(f" obj: {obj.lstrip('+ ')}")
+    lines.append("Subject To")
+    for cname, row, sense, rhs in model.constraints:
+        body = " ".join(term(c, v) for v, c in sorted(row.items()))
+        op = {"=": "=", "<=": "<=", ">=": ">="}[sense]
+        lines.append(f" {cname}: {body.lstrip('+ ')} {op} {rhs:g}")
+    lines.append("Bounds")
+    for v in model.continuous:
+        lines.append(f" 0 <= {v} <= {model.deadline:g}")
+    lines.append("Binaries")
+    lines.append(" " + " ".join(model.binaries))
+    lines.append("End")
+    return "\n".join(lines)
+
+
+def check_solution(
+    model: ILPModel,
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+) -> float:
+    """Verify ``assignment`` satisfies the model; return its objective.
+
+    Finish-time variables are instantiated at their tightest values
+    (longest incoming path under the assignment).  Raises
+    :class:`TableError` naming the first violated constraint.
+    """
+    index = {n: i for i, n in enumerate(model.node_order)}
+    values: Dict[str, float] = {v: 0.0 for v in model.binaries}
+    for n in model.node_order:
+        values[_xvar(index[n], assignment[n])] = 1.0
+    finish: Dict[Node, float] = {}
+    for n in model.node_order:
+        t = float(table.time(n, assignment[n]))
+        incoming = [finish[p] for p in dfg.parents(n)]
+        finish[n] = (max(incoming) if incoming else 0.0) + t
+        values[_fvar(index[n])] = finish[n]
+
+    for cname, row, sense, rhs in model.constraints:
+        lhs = sum(coef * values[var] for var, coef in row.items())
+        ok = (
+            abs(lhs - rhs) < 1e-9
+            if sense == "="
+            else lhs <= rhs + 1e-9
+            if sense == "<="
+            else lhs >= rhs - 1e-9
+        )
+        if not ok:
+            raise TableError(
+                f"assignment violates ILP constraint {cname}: "
+                f"{lhs:g} {sense} {rhs:g}"
+            )
+    return sum(model.objective[v] * values[v] for v in model.binaries)

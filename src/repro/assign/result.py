@@ -1,0 +1,64 @@
+"""Common result type returned by every assignment algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..fu.table import TimeCostTable
+from ..graph.dfg import DFG
+from .assignment import Assignment
+
+__all__ = ["AssignResult"]
+
+
+@dataclass(frozen=True)
+class AssignResult:
+    """Outcome of one assignment algorithm run.
+
+    Attributes
+    ----------
+    assignment:
+        The chosen FU type per node.
+    cost:
+        System cost the algorithm claims (``Σ c``); checked against the
+        assignment by :meth:`verify`.
+    completion_time:
+        Longest-path time under the assignment.
+    deadline:
+        The timing constraint the run targeted.
+    algorithm:
+        Human-readable algorithm name, e.g. ``"tree_assign"``.
+    """
+
+    assignment: Assignment
+    cost: float
+    completion_time: int
+    deadline: int
+    algorithm: str
+
+    def verify(self, dfg: DFG, table: TimeCostTable) -> None:
+        """Recompute cost/time from scratch and check internal claims.
+
+        Every test calls this, so an algorithm cannot accidentally
+        report a cost its own assignment does not achieve, nor declare
+        feasible an assignment that misses the deadline.
+        """
+        self.assignment.validate_for(dfg, table)
+        actual_cost = self.assignment.total_cost(dfg, table)
+        if abs(actual_cost - self.cost) > 1e-9 * max(1.0, abs(self.cost)):
+            raise ReproError(
+                f"{self.algorithm}: reported cost {self.cost} but assignment "
+                f"costs {actual_cost}"
+            )
+        actual_time = self.assignment.completion_time(dfg, table)
+        if actual_time != self.completion_time:
+            raise ReproError(
+                f"{self.algorithm}: reported completion {self.completion_time} "
+                f"but assignment completes at {actual_time}"
+            )
+        if actual_time > self.deadline:
+            raise ReproError(
+                f"{self.algorithm}: assignment misses deadline "
+                f"({actual_time} > {self.deadline})"
+            )

@@ -1,0 +1,162 @@
+"""`Tree_Assign` — optimal assignment for trees and forests (paper Fig. 7).
+
+Operates on *out-forests*: DAGs where every node has at most one
+parent, the shape `DFG_Expand` produces.  In such a graph the subtrees
+hanging off the children of a node are disjoint, so cost curves
+compose by summation under a shared budget:
+
+    D_{v+}[j] = Σ over children c of  D_c[j]          (parallel subtrees)
+    D_v[j]    = min over types k of  D_{v+}[j - t_k(v)] + c_k(v)
+
+Multiple roots are handled exactly like the paper's pseudo root ``vr``
+with zero time and cost: the forest curve is the sum of the root
+curves, read at the deadline.  Complexity O(n · L · M).
+
+An *in-forest* input (every node ≤ 1 child) is transposed internally —
+root→leaf paths of the transpose visit the same node sets, so times,
+costs, and feasibility are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import InfeasibleError, NotATreeError
+from ..fu.table import TimeCostTable
+from ..graph.classify import is_in_forest, is_out_forest
+from ..graph.dag import reverse_topological_order
+from ..graph.dfg import DFG, Node
+from .assignment import Assignment
+from .dpkernel import NO_CHOICE, combine_children, node_step, zero_curve
+from .result import AssignResult
+
+__all__ = ["tree_assign", "tree_cost_curve"]
+
+#: Maps a tree node to the key under which its table row is stored.
+#: Expanded trees pass ``origin_of``; plain trees use the identity.
+NodeKey = Callable[[Node], Node]
+
+
+def _normalize(dfg: DFG) -> DFG:
+    """Return ``dfg`` as an out-forest, transposing in-forests."""
+    if is_out_forest(dfg):
+        return dfg
+    if is_in_forest(dfg):
+        return dfg.transpose()
+    raise NotATreeError(
+        f"{dfg.name!r} is neither an out-forest nor an in-forest; "
+        "run DFG_Expand (or dfg_assign_once/_repeat) for general DAGs"
+    )
+
+
+def _curves(
+    tree: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    key: NodeKey,
+):
+    """Bottom-up DP pass: per-node cost curves and traceback choices."""
+    curves: Dict[Node, np.ndarray] = {}
+    choices: Dict[Node, np.ndarray] = {}
+    for node in reverse_topological_order(tree):
+        children = tree.children(node)
+        if children:
+            base = combine_children([curves[c] for c in children])
+        else:
+            base = zero_curve(deadline)
+        row = key(node)
+        curves[node], choices[node] = node_step(
+            base, table.times(row), table.costs(row)
+        )
+    return curves, choices
+
+
+def tree_cost_curve(
+    tree: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    node_key: Optional[NodeKey] = None,
+) -> np.ndarray:
+    """The forest's full cost curve ``D[0..deadline]``.
+
+    ``D[j]`` is the minimum system cost of an assignment in which every
+    root→leaf path finishes within ``j`` (``inf`` = infeasible).  Used
+    by tests (monotonicity, agreement with brute force) and by the
+    paper-figure walkthrough example.
+    """
+    key = node_key or (lambda n: n)
+    tree = _normalize(tree)
+    for n in tree.nodes():
+        table.times(key(n))  # validates coverage eagerly
+    curves, _ = _curves(tree, table, deadline, key)
+    return combine_children([curves[r] for r in tree.roots()])
+
+
+def tree_assign(
+    tree: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    node_key: Optional[NodeKey] = None,
+) -> AssignResult:
+    """Minimum-cost assignment of a tree/forest within ``deadline``.
+
+    Optimal for out-forests and in-forests (paper Theorem, Section 5.2).
+    ``node_key`` redirects table lookups for expanded trees whose nodes
+    are copies of original nodes.
+
+    Raises
+    ------
+    NotATreeError
+        If the graph has a node with several parents *and* one with
+        several children (i.e. it is a general DAG).
+    InfeasibleError
+        If even all-fastest misses the deadline; carries the minimum
+        achievable completion time.
+    """
+    key = node_key or (lambda n: n)
+    tree = _normalize(tree)
+    for n in tree.nodes():
+        table.times(key(n))
+    if deadline < 0:
+        raise InfeasibleError(f"deadline must be >= 0, got {deadline}")
+
+    curves, choices = _curves(tree, table, deadline, key)
+
+    roots = tree.roots()
+    total = combine_children([curves[r] for r in roots])
+    if not np.isfinite(total[deadline]):
+        from ..graph.paths import longest_path_time
+
+        min_time = longest_path_time(tree, {n: table.min_time(key(n)) for n in tree})
+        raise InfeasibleError(
+            f"no assignment of {tree.name!r} completes within {deadline} "
+            f"(minimum possible is {min_time})",
+            min_feasible=min_time,
+        )
+
+    # Top-down traceback: every root independently owns the full budget.
+    mapping: Dict[Node, int] = {}
+    stack = [(r, deadline) for r in roots]
+    while stack:
+        node, budget = stack.pop()
+        k = int(choices[node][budget])
+        assert k != NO_CHOICE, f"traceback hit infeasible cell at {node!r}"
+        mapping[node] = k
+        remaining = budget - table.time(key(node), k)
+        for c in tree.children(node):
+            stack.append((c, remaining))
+    assignment = Assignment.of(mapping)
+
+    cost = float(sum(table.cost(key(n), mapping[n]) for n in tree.nodes()))
+    times = {n: table.time(key(n), mapping[n]) for n in tree.nodes()}
+    from ..graph.paths import longest_path_time
+
+    return AssignResult(
+        assignment=assignment,
+        cost=cost,
+        completion_time=longest_path_time(tree, times),
+        deadline=deadline,
+        algorithm="tree_assign",
+    )

@@ -1,0 +1,374 @@
+"""Command-line interface: ``repro-hls`` (or ``python -m repro``).
+
+Subcommands::
+
+    repro-hls list                      # available benchmark DFGs
+    repro-hls show elliptic             # structure summary (+ --dot)
+    repro-hls assign elliptic -L 40     # phase 1 on one benchmark
+    repro-hls synth elliptic -L 40      # both phases
+    repro-hls table1 / table2           # regenerate the paper tables
+    repro-hls headline                  # the average-reduction summary
+
+Every command accepts ``--seed`` for the randomized time/cost tables,
+defaulting to the seed of record used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .assign import min_completion_time
+from .errors import ReproError
+from .fu.random_tables import random_table
+from .graph.io import to_dot
+from .report.experiments import (
+    DEFAULT_SEED,
+    deadline_sweep,
+    headline_summary,
+    render_rows,
+    run_benchmark_rows,
+    run_table1,
+    run_table2,
+)
+from .report.tables import format_percent
+from .suite.registry import benchmark_names, get_benchmark
+from .synthesis import ALGORITHMS, synthesize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hls",
+        description="Heterogeneous FU assignment & scheduling (IPPS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark DFGs")
+
+    p_show = sub.add_parser("show", help="describe one benchmark DFG")
+    p_show.add_argument("benchmark")
+    p_show.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    for name, help_text in (
+        ("assign", "run phase 1 (assignment) on a benchmark"),
+        ("synth", "run both phases on a benchmark"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("benchmark")
+        p.add_argument(
+            "-L",
+            "--deadline",
+            type=int,
+            default=None,
+            help="timing constraint (default: 1.3x the minimum feasible)",
+        )
+        p.add_argument(
+            "-a",
+            "--algorithm",
+            choices=sorted(ALGORITHMS),
+            default=None,
+            help="phase-1 algorithm (default: auto by graph shape)",
+        )
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        if name == "synth":
+            p.add_argument(
+                "--gantt",
+                action="store_true",
+                help="render the schedule as an ASCII Gantt chart",
+            )
+
+    p_sweep = sub.add_parser("sweep", help="full deadline sweep for one benchmark")
+    p_sweep.add_argument("benchmark")
+    p_sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_sweep.add_argument("--count", type=int, default=6)
+
+    for name in ("table1", "table2"):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        p.add_argument("--count", type=int, default=6)
+
+    p_head = sub.add_parser("headline", help="average reductions vs greedy")
+    p_head.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    p_pareto = sub.add_parser(
+        "pareto", help="cost/latency Pareto frontier of a benchmark"
+    )
+    p_pareto.add_argument("benchmark")
+    p_pareto.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_pareto.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="largest deadline to explore (default: 3x the minimum)",
+    )
+
+    p_prof = sub.add_parser("profile", help="structural fingerprint of a benchmark")
+    p_prof.add_argument("benchmark")
+
+    p_lp = sub.add_parser(
+        "lp", help="emit the assignment ILP in CPLEX LP format"
+    )
+    p_lp.add_argument("benchmark")
+    p_lp.add_argument("-L", "--deadline", type=int, default=None)
+    p_lp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    p_exp = sub.add_parser(
+        "export", help="export a benchmark's sweep as csv/json/markdown"
+    )
+    p_exp.add_argument("benchmark")
+    p_exp.add_argument(
+        "--format", choices=["csv", "json", "markdown"], default="csv"
+    )
+    p_exp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_exp.add_argument("--count", type=int, default=6)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="run the whole algorithm portfolio and cross-check all "
+        "consistency relations",
+    )
+    p_ver.add_argument("benchmark")
+    p_ver.add_argument("-L", "--deadline", type=int, default=None)
+    p_ver.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    p_run = sub.add_parser(
+        "run", help="synthesize a user DFG from an exchange-format file"
+    )
+    p_run.add_argument("file", help="path to a .dfg exchange file (see repro.suite.io_formats)")
+    p_run.add_argument("-L", "--deadline", type=int, default=None)
+    p_run.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="table seed when the file carries no row lines",
+    )
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="synthesize a benchmark, replay its schedule on an impulse, "
+        "and check it against the reference evaluation",
+    )
+    p_sim.add_argument("benchmark")
+    p_sim.add_argument("-L", "--deadline", type=int, default=None)
+    p_sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_sim.add_argument("--iterations", type=int, default=4)
+    return parser
+
+
+def _default_deadline(dfg, table) -> int:
+    return int(1.3 * min_completion_time(dfg, table)) + 1
+
+
+def _cmd_show(args) -> int:
+    dfg = get_benchmark(args.benchmark)
+    if args.dot:
+        print(to_dot(dfg))
+        return 0
+    dag = dfg.dag()
+    ops = {}
+    for n in dfg.nodes():
+        ops[dfg.op(n)] = ops.get(dfg.op(n), 0) + 1
+    print(f"{dfg.name}: {len(dfg)} nodes, {dfg.num_edges()} edges, "
+          f"{dfg.total_delays()} delays")
+    print(f"  operations: {dict(sorted(ops.items()))}")
+    print(f"  DAG part: {dag.num_edges()} edges, "
+          f"{len(dag.roots())} roots, {len(dag.leaves())} leaves")
+    return 0
+
+
+def _cmd_assign(args, both_phases: bool) -> int:
+    dfg = get_benchmark(args.benchmark).dag()
+    table = random_table(dfg, num_types=3, seed=args.seed)
+    deadline = args.deadline or _default_deadline(dfg, table)
+    result = synthesize(dfg, table, deadline, algorithm=args.algorithm)
+    ar = result.assign_result
+    print(f"benchmark   : {args.benchmark} ({len(dfg)} nodes)")
+    print(f"deadline    : {deadline} (minimum {min_completion_time(dfg, table)})")
+    print(f"algorithm   : {ar.algorithm}")
+    print(f"system cost : {ar.cost:.2f}")
+    print(f"completion  : {ar.completion_time}")
+    if both_phases:
+        print(f"configuration: {result.configuration.label()} "
+              f"(lower bound {result.lower_bound.label()})")
+        if getattr(args, "gantt", False):
+            from .report.gantt import render_gantt
+
+            print(render_gantt(result.schedule, table, result.assignment))
+            return 0
+        print("schedule:")
+        order = sorted(result.schedule.ops.items(), key=lambda kv: kv[1].start)
+        for node, op in order:
+            t = table.time(node, op.fu_type)
+            print(f"  step {op.start:3d}..{op.start + t - 1:3d}  "
+                  f"F{op.fu_type + 1}#{op.fu_index}  {node}")
+    else:
+        for node in dfg.nodes():
+            k = ar.assignment[node]
+            print(f"  {node}: F{k + 1} (t={table.time(node, k)}, "
+                  f"c={table.cost(node, k):.1f})")
+    return 0
+
+
+def _cmd_pareto(args) -> int:
+    from .assign.frontier import dfg_frontier, tree_frontier
+    from .graph.classify import is_in_forest, is_out_forest
+
+    dfg = get_benchmark(args.benchmark).dag()
+    table = random_table(dfg, num_types=3, seed=args.seed)
+    floor = min_completion_time(dfg, table)
+    horizon = args.horizon or 3 * floor
+    if is_out_forest(dfg) or is_in_forest(dfg):
+        frontier = tree_frontier(dfg, table, horizon)
+        kind = "exact (tree DP)"
+    else:
+        frontier = dfg_frontier(dfg, table, horizon)
+        kind = "heuristic (DFG_Assign_Repeat)"
+    print(f"{args.benchmark}: {kind} cost/latency frontier, "
+          f"deadlines {floor}..{horizon}")
+    for deadline, cost in frontier:
+        print(f"  deadline {deadline:4d}  min cost {cost:.1f}")
+    return 0
+
+
+def _cmd_lp(args) -> int:
+    from .assign.ilp_model import build_ilp, to_lp_format
+
+    dfg = get_benchmark(args.benchmark).dag()
+    table = random_table(dfg, num_types=3, seed=args.seed)
+    deadline = args.deadline or _default_deadline(dfg, table)
+    model = build_ilp(dfg, table, deadline)
+    print(to_lp_format(model, name=f"{args.benchmark}_L{deadline}"))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .report.export import rows_to_csv, rows_to_json, rows_to_markdown
+
+    rows = run_benchmark_rows(args.benchmark, seed=args.seed, count=args.count)
+    writer = {
+        "csv": rows_to_csv,
+        "json": rows_to_json,
+        "markdown": rows_to_markdown,
+    }[args.format]
+    print(writer(rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .suite.io_formats import load
+    from .synthesis import synthesize
+
+    dfg, table = load(args.file)
+    dag = dfg.dag()
+    if table is None:
+        table = random_table(dag, num_types=3, seed=args.seed)
+        print(f"(no rows in {args.file}; using seeded random table)")
+    deadline = args.deadline or _default_deadline(dag, table)
+    result = synthesize(dfg, table, deadline)
+    print(f"file        : {args.file} ({dfg.name}, {len(dfg)} nodes)")
+    print(f"deadline    : {deadline} (minimum {min_completion_time(dag, table)})")
+    print(f"algorithm   : {result.assign_result.algorithm}")
+    print(f"system cost : {result.cost:.2f}")
+    print(f"configuration: {result.configuration.label()}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .sim.functional import simulate, simulate_schedule
+    from .synthesis import synthesize
+
+    dfg = get_benchmark(args.benchmark)
+    dag = dfg.dag()
+    table = random_table(dag, num_types=3, seed=args.seed)
+    deadline = args.deadline or _default_deadline(dag, table)
+    result = synthesize(dfg, table, deadline)
+    steps = args.iterations
+    inputs = {n: [1.0] + [0.0] * (steps - 1) for n in dag.roots()}
+    reference = simulate(dfg, steps, inputs=inputs)
+    replay = simulate_schedule(
+        dfg, table, result.assignment, result.schedule, steps, inputs=inputs
+    )
+    outputs = dag.leaves()
+    print(f"{args.benchmark}: deadline {deadline}, "
+          f"configuration {result.configuration.label()}")
+    for out in outputs:
+        print(f"  impulse response at {out}: "
+              f"{[round(x, 3) for x in reference[out]]}")
+    if replay == reference:
+        print("  schedule replay matches the reference simulation")
+        return 0
+    print("  MISMATCH between schedule replay and reference!", file=sys.stderr)
+    return 1
+
+
+def _cmd_sweep(args) -> int:
+    rows = run_benchmark_rows(args.benchmark, seed=args.seed, count=args.count)
+    print(render_rows(rows, title=f"{args.benchmark} (seed {args.seed})"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for name in benchmark_names():
+                print(name)
+            return 0
+        if args.command == "show":
+            return _cmd_show(args)
+        if args.command == "assign":
+            return _cmd_assign(args, both_phases=False)
+        if args.command == "synth":
+            return _cmd_assign(args, both_phases=True)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "table1":
+            print(render_rows(run_table1(seed=args.seed, count=args.count),
+                              title=f"Table 1 (seed {args.seed})"))
+            return 0
+        if args.command == "table2":
+            print(render_rows(run_table2(seed=args.seed, count=args.count),
+                              title=f"Table 2 (seed {args.seed})"))
+            return 0
+        if args.command == "headline":
+            summary = headline_summary(seed=args.seed)
+            print(f"average reduction vs greedy (seed {args.seed}):")
+            print(f"  DFG_Assign_Once  : {format_percent(summary['once'])}")
+            print(f"  DFG_Assign_Repeat: {format_percent(summary['repeat'])}")
+            return 0
+        if args.command == "pareto":
+            return _cmd_pareto(args)
+        if args.command == "profile":
+            from .graph.analysis import profile
+
+            print(profile(get_benchmark(args.benchmark)).describe())
+            return 0
+        if args.command == "lp":
+            return _cmd_lp(args)
+        if args.command == "export":
+            return _cmd_export(args)
+        if args.command == "verify":
+            from .verify import certify
+
+            dfg = get_benchmark(args.benchmark).dag()
+            table = random_table(dfg, num_types=3, seed=args.seed)
+            deadline = args.deadline or _default_deadline(dfg, table)
+            print(certify(dfg, table, deadline).describe())
+            return 0
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        raise ReproError(f"unhandled command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything originating in this package with a single ``except``
+clause while still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CyclicDependencyError",
+    "NotAPathError",
+    "NotATreeError",
+    "TableError",
+    "InfeasibleError",
+    "ScheduleError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A data-flow graph is malformed (unknown node, bad delay, ...)."""
+
+
+class CyclicDependencyError(GraphError):
+    """The zero-delay portion of a DFG contains a cycle.
+
+    A static schedule only exists when the intra-iteration precedence
+    relation (edges with zero delays) is acyclic; a zero-delay cycle
+    means the iteration can never start.
+    """
+
+
+class NotAPathError(GraphError):
+    """An algorithm restricted to simple paths received a non-path graph."""
+
+
+class NotATreeError(GraphError):
+    """An algorithm restricted to trees/forests received a non-tree graph."""
+
+
+class TableError(ReproError):
+    """A time/cost table is malformed or inconsistent with its graph."""
+
+
+class InfeasibleError(ReproError):
+    """No assignment (or schedule) satisfies the timing constraint.
+
+    Carries the tightest bound that *is* achievable when the raiser can
+    compute it cheaply, so callers can report how far off the request was.
+    """
+
+    def __init__(self, message: str, min_feasible: int | None = None):
+        super().__init__(message)
+        #: Minimum timing constraint for which a solution exists, if known.
+        self.min_feasible = min_feasible
+
+
+class ScheduleError(ReproError):
+    """A schedule violates precedence, resource, or deadline constraints."""

@@ -1,0 +1,30 @@
+"""Heterogeneous functional-unit substrate: libraries, tables, cost models."""
+
+from .library import FULibrary, FUType, default_library
+from .models import (
+    DEFAULT_OP_WORK,
+    energy_table,
+    execution_times,
+    reliability_table,
+    system_reliability,
+)
+from .presets import PRESETS, preset_library, preset_names
+from .random_tables import random_table, random_table_for_nodes
+from .table import TimeCostTable
+
+__all__ = [
+    "PRESETS",
+    "preset_library",
+    "preset_names",
+    "FUType",
+    "FULibrary",
+    "default_library",
+    "TimeCostTable",
+    "energy_table",
+    "reliability_table",
+    "execution_times",
+    "system_reliability",
+    "DEFAULT_OP_WORK",
+    "random_table",
+    "random_table_for_nodes",
+]

@@ -1,0 +1,133 @@
+"""Functional-unit types and libraries.
+
+A *FU library* is the menu of heterogeneous functional-unit types the
+synthesized architecture may instantiate — the paper's ``{F1, …, FM}``.
+Each type may carry metadata used by the cost models: a failure rate
+(reliability-driven synthesis), per-cycle energy (energy-driven), and a
+monetary/area price.  The assignment algorithms themselves only ever
+see opaque type *indices* plus the per-node time/cost tables, so these
+attributes are strictly a convenience for table construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import TableError
+
+__all__ = ["FUType", "FULibrary", "default_library"]
+
+
+@dataclass(frozen=True)
+class FUType:
+    """One heterogeneous functional-unit type.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"F1"``.
+    speed:
+        Relative speed factor ≥ 1; a type with speed ``s`` executes an
+        operation in roughly ``ceil(base_time / s)`` steps.  Higher is
+        faster.
+    energy_per_step:
+        Energy drawn per execution step (energy cost model).
+    failure_rate:
+        Failures per step, the ``λ`` of the paper's reliability model;
+        the reliability cost of running node ``v`` for ``t`` steps on
+        this type is ``λ · t`` (Section 2).
+    price:
+        One-off cost of instantiating a unit of this type (used by the
+        configuration reports, not by the assignment objective).
+    """
+
+    name: str
+    speed: float = 1.0
+    energy_per_step: float = 1.0
+    failure_rate: float = 1e-4
+    price: float = 1.0
+
+    def __post_init__(self):
+        if self.speed <= 0:
+            raise TableError(f"FU type {self.name!r}: speed must be > 0")
+        if self.failure_rate < 0 or self.energy_per_step < 0 or self.price < 0:
+            raise TableError(f"FU type {self.name!r}: negative attribute")
+
+
+@dataclass(frozen=True)
+class FULibrary:
+    """An ordered collection of :class:`FUType`.
+
+    Order matters: assignment results refer to types by index.  By
+    benchmark convention index 0 is the fastest/most expensive type and
+    the last index the slowest/cheapest, mirroring the paper's
+    ``P1``/``P2``/``P3``.
+    """
+
+    types: Tuple[FUType, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.types:
+            raise TableError("FU library must contain at least one type")
+        names = [t.name for t in self.types]
+        if len(set(names)) != len(names):
+            raise TableError(f"duplicate FU type names: {names}")
+
+    @classmethod
+    def of(cls, *types: FUType) -> "FULibrary":
+        return cls(types=tuple(types))
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def __iter__(self) -> Iterator[FUType]:
+        return iter(self.types)
+
+    def __getitem__(self, index: int) -> FUType:
+        return self.types[index]
+
+    @property
+    def names(self) -> List[str]:
+        return [t.name for t in self.types]
+
+    def index_of(self, name: str) -> int:
+        """Index of the type called ``name`` (raises if absent)."""
+        for i, t in enumerate(self.types):
+            if t.name == name:
+                return i
+        raise TableError(f"no FU type named {name!r} in {self.names}")
+
+
+def default_library(
+    num_types: int = 3,
+    speeds: Optional[Sequence[float]] = None,
+    failure_rates: Optional[Sequence[float]] = None,
+) -> FULibrary:
+    """The paper's experimental library: ``num_types`` graded types.
+
+    Type ``F1`` is the quickest with the highest cost and the last type
+    the slowest with the lowest cost (Section 7).  Default speeds form
+    a geometric ladder (each type ~1.6× slower than the previous one)
+    with energy and failure rate growing with speed — fast units burn
+    more power and are less reliable, the usual technology trade-off.
+    """
+    if num_types < 1:
+        raise TableError("num_types must be >= 1")
+    if speeds is None:
+        speeds = [1.6 ** (num_types - 1 - i) for i in range(num_types)]
+    if failure_rates is None:
+        failure_rates = [1e-4 * (1.5 ** (num_types - 1 - i)) for i in range(num_types)]
+    if len(speeds) != num_types or len(failure_rates) != num_types:
+        raise TableError("speeds/failure_rates length must equal num_types")
+    types = tuple(
+        FUType(
+            name=f"F{i + 1}",
+            speed=speeds[i],
+            energy_per_step=2.0 * speeds[i],
+            failure_rate=failure_rates[i],
+            price=float(num_types - i),
+        )
+        for i in range(num_types)
+    )
+    return FULibrary(types=types)

@@ -1,0 +1,125 @@
+"""Cost semantics: energy, reliability, and price models.
+
+Section 2 of the paper motivates the abstract "cost" with two concrete
+instantiations, both of which are additive over nodes:
+
+* **Energy** — the energy of running node ``v`` on type ``j`` is the
+  per-step energy of the type times the execution time.
+* **Reliability** — with per-type failure rate ``λ_j`` (failures per
+  step), the probability the whole DFG executes without a failure is
+  ``exp(-Σ λ_{a(v)} t_{a(v)}(v))``; maximizing it is equivalent to
+  minimizing the sum of per-node *reliability costs* ``λ_j · t_j(v)``.
+
+These builders derive a :class:`~repro.fu.table.TimeCostTable` from a
+library plus per-node base workloads, so the same DFG can be
+synthesized under either objective.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from ..errors import TableError
+from ..graph.dfg import DFG, Node
+from .library import FULibrary
+from .table import TimeCostTable
+
+__all__ = [
+    "execution_times",
+    "energy_table",
+    "reliability_table",
+    "system_reliability",
+    "DEFAULT_OP_WORK",
+]
+
+#: Default base workload (execution steps on a speed-1.0 FU) per
+#: operation label used by the benchmark suite.  Multiplications are
+#: the classical 2-cycle operations of HLS benchmarks; adds 1 cycle.
+DEFAULT_OP_WORK: Dict[str, int] = {
+    "mul": 2,
+    "add": 1,
+    "sub": 1,
+    "cmp": 1,
+    "div": 4,
+    "op": 1,
+}
+
+
+def _work_of(dfg: DFG, node: Node, op_work: Mapping[str, int]) -> int:
+    op = dfg.op(node)
+    try:
+        w = op_work[op]
+    except KeyError as exc:
+        raise TableError(
+            f"no base workload for operation {op!r} (node {node!r}); "
+            f"known ops: {sorted(op_work)}"
+        ) from exc
+    if w < 1:
+        raise TableError(f"base workload for {op!r} must be >= 1, got {w}")
+    return w
+
+
+def execution_times(
+    dfg: DFG,
+    library: FULibrary,
+    op_work: Mapping[str, int] = DEFAULT_OP_WORK,
+) -> Dict[Node, list]:
+    """Per-node execution time vectors derived from type speeds.
+
+    ``t_j(v) = ceil(work(op(v)) / speed_j)`` — a faster type takes
+    fewer steps, never less than one.
+    """
+    out: Dict[Node, list] = {}
+    for node in dfg.nodes():
+        w = _work_of(dfg, node, op_work)
+        out[node] = [max(1, math.ceil(w / t.speed)) for t in library]
+    return out
+
+
+def energy_table(
+    dfg: DFG,
+    library: FULibrary,
+    op_work: Mapping[str, int] = DEFAULT_OP_WORK,
+) -> TimeCostTable:
+    """Table whose cost column is energy: ``c_j(v) = e_j · t_j(v)``.
+
+    Fast types draw more energy per step, so the table exhibits the
+    time/cost trade-off the heterogeneous assignment problem exploits.
+    """
+    times = execution_times(dfg, library, op_work)
+    table = TimeCostTable(len(library))
+    for node, tvec in times.items():
+        costs = [library[j].energy_per_step * tvec[j] for j in range(len(library))]
+        table.set_row(node, tvec, costs)
+    return table
+
+
+def reliability_table(
+    dfg: DFG,
+    library: FULibrary,
+    op_work: Mapping[str, int] = DEFAULT_OP_WORK,
+    scale: float = 1e4,
+) -> TimeCostTable:
+    """Table whose cost column is the reliability cost ``λ_j · t_j(v)``.
+
+    ``scale`` multiplies the (tiny) raw costs into a numerically
+    comfortable range; it does not change any argmin.
+    """
+    times = execution_times(dfg, library, op_work)
+    table = TimeCostTable(len(library))
+    for node, tvec in times.items():
+        costs = [
+            scale * library[j].failure_rate * tvec[j] for j in range(len(library))
+        ]
+        table.set_row(node, tvec, costs)
+    return table
+
+
+def system_reliability(total_reliability_cost: float, scale: float = 1e4) -> float:
+    """Probability of failure-free execution from a summed reliability cost.
+
+    Inverts the scaling of :func:`reliability_table` and applies the
+    paper's first-order model ``R = exp(-Σ λ t)``.
+    """
+    return math.exp(-total_reliability_cost / scale)

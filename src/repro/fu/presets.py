@@ -1,0 +1,80 @@
+"""Named FU-library presets for realistic scenarios.
+
+The paper's experiments use an abstract three-type ladder; downstream
+users typically start from a concrete technology intent.  These
+presets capture three recognizable regimes, each expressed purely
+through the :class:`~repro.fu.library.FUType` attributes the cost
+models consume — so every preset works with both the energy and the
+reliability objective out of the box.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import TableError
+from .library import FULibrary, FUType
+
+__all__ = ["PRESETS", "preset_library", "preset_names"]
+
+
+def _asic_ladder() -> FULibrary:
+    """A hard-macro ASIC flow: wide speed range, energy ~ speed²
+    (voltage scaling), modest reliability differences."""
+    return FULibrary.of(
+        FUType(name="FAST", speed=4.0, energy_per_step=9.0,
+               failure_rate=4e-4, price=6.0),
+        FUType(name="BAL", speed=2.0, energy_per_step=3.5,
+               failure_rate=2e-4, price=3.0),
+        FUType(name="ECO", speed=1.0, energy_per_step=1.0,
+               failure_rate=1e-4, price=1.0),
+    )
+
+
+def _fpga_ladder() -> FULibrary:
+    """FPGA-style: a DSP hard block, a carry-chain soft unit, and a
+    LUT-serial unit; narrow energy range, price = area."""
+    return FULibrary.of(
+        FUType(name="DSP48", speed=3.0, energy_per_step=2.5,
+               failure_rate=1.5e-4, price=8.0),
+        FUType(name="CARRY", speed=1.5, energy_per_step=1.6,
+               failure_rate=1.2e-4, price=2.0),
+        FUType(name="LUTSER", speed=1.0, energy_per_step=1.2,
+               failure_rate=1e-4, price=1.0),
+    )
+
+
+def _safety_ladder() -> FULibrary:
+    """Safety-critical: a hardened (slow, highly reliable) unit next
+    to commercial ones — the regime of the reliability-driven papers
+    the cost model follows."""
+    return FULibrary.of(
+        FUType(name="COTS", speed=2.0, energy_per_step=2.0,
+               failure_rate=1e-3, price=1.0),
+        FUType(name="TMR", speed=1.0, energy_per_step=6.0,
+               failure_rate=5e-6, price=4.0),
+        FUType(name="RADHARD", speed=0.5, energy_per_step=1.5,
+               failure_rate=1e-6, price=9.0),
+    )
+
+
+PRESETS: Dict[str, FULibrary] = {
+    "asic": _asic_ladder(),
+    "fpga": _fpga_ladder(),
+    "safety": _safety_ladder(),
+}
+
+
+def preset_names() -> list:
+    """Registered preset names, sorted."""
+    return sorted(PRESETS)
+
+
+def preset_library(name: str) -> FULibrary:
+    """Fetch a preset by name; raises with the available names."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise TableError(
+            f"unknown preset {name!r}; available: {preset_names()}"
+        ) from None

@@ -1,0 +1,82 @@
+"""Randomized time/cost tables reproducing the paper's experimental setup.
+
+Section 7: *"Three different FU types P1, P2, P3 are used in the
+system, in which a FU with type P1 is the quickest with the highest
+cost and a FU with type P3 is the slowest with the lowest cost.  The
+execution costs and times for each node are randomly assigned."*
+
+The exact random draws are unrecoverable, so we preserve the stated
+*structure* — per node, execution times strictly increase and costs
+strictly decrease from the first type to the last — with a seeded
+generator so every experiment in this repository is reproducible
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..errors import TableError
+from ..graph.dfg import DFG, Node
+from .table import TimeCostTable
+
+__all__ = ["random_table", "random_table_for_nodes"]
+
+
+def random_table_for_nodes(
+    nodes: Iterable[Node],
+    num_types: int = 3,
+    seed: Optional[int] = 2004,
+    max_base_time: int = 3,
+    max_time_step: int = 3,
+    max_cost_step: int = 9,
+    rng: Optional[np.random.Generator] = None,
+) -> TimeCostTable:
+    """Monotone random rows for an explicit node collection.
+
+    For each node the fastest type gets a time in ``[1, max_base_time]``
+    and every subsequent type adds ``[1, max_time_step]`` steps; the
+    slowest type gets a cost in ``[1, max_cost_step]`` and every faster
+    type adds ``[1, max_cost_step]``.  This yields the paper's strict
+    speed/cost ladder with no dominated options.
+
+    Either pass ``seed`` (a fresh generator is created) or an existing
+    ``rng`` to continue a stream across several tables.
+    """
+    if num_types < 1:
+        raise TableError("num_types must be >= 1")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    table = TimeCostTable(num_types)
+    nodes = list(nodes)
+    if not nodes:
+        raise TableError("cannot build a random table for zero nodes")
+    for node in nodes:
+        t = int(gen.integers(1, max_base_time + 1))
+        times = [t]
+        for _ in range(num_types - 1):
+            t += int(gen.integers(1, max_time_step + 1))
+            times.append(t)
+        c = float(gen.integers(1, max_cost_step + 1))
+        costs = [c]
+        for _ in range(num_types - 1):
+            c += float(gen.integers(1, max_cost_step + 1))
+            costs.append(c)
+        costs.reverse()  # fastest (index 0) is most expensive
+        table.set_row(node, times, costs)
+    return table
+
+
+def random_table(
+    dfg: DFG,
+    num_types: int = 3,
+    seed: Optional[int] = 2004,
+    **kwargs,
+) -> TimeCostTable:
+    """Random monotone table covering every node of ``dfg``.
+
+    Node order is the DFG insertion order, so (dfg, seed) fully
+    determines the table.
+    """
+    return random_table_for_nodes(dfg.nodes(), num_types=num_types, seed=seed, **kwargs)

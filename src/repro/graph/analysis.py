@@ -1,0 +1,97 @@
+"""Structural metrics of DFGs.
+
+Used by the experiment reports to characterize benchmarks (the paper
+describes its graphs by node counts, operation mixes, and duplicated
+nodes) and by the scaling studies to explain where each algorithm's
+cost comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from .classify import duplication_count, is_in_forest, is_out_forest, is_simple_path
+from .dag import depth_map, require_acyclic
+from .dfg import DFG, Node
+from .paths import count_root_leaf_paths
+
+__all__ = ["GraphProfile", "profile", "parallelism_profile", "op_histogram"]
+
+
+def op_histogram(dfg: DFG) -> Dict[str, int]:
+    """``{operation label: node count}``."""
+    out: Dict[str, int] = {}
+    for n in dfg.nodes():
+        out[dfg.op(n)] = out.get(dfg.op(n), 0) + 1
+    return dict(sorted(out.items()))
+
+
+def parallelism_profile(dfg: DFG, times: Mapping[Node, int]) -> List[int]:
+    """Nodes concurrently executable per step under an ASAP placement.
+
+    The profile's maximum is the graph's peak intrinsic parallelism —
+    a quick upper bound intuition for configuration sizes before any
+    scheduling runs.
+    """
+    from ..sched.asap_alap import asap_starts
+
+    starts = asap_starts(dfg, times)
+    horizon = max((starts[n] + times[n] for n in dfg.nodes()), default=0)
+    profile = [0] * horizon
+    for n in dfg.nodes():
+        for s in range(starts[n], starts[n] + times[n]):
+            profile[s] += 1
+    return profile
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """A benchmark's structural fingerprint (report-ready)."""
+
+    name: str
+    nodes: int
+    edges: int
+    delays: int
+    ops: Dict[str, int]
+    depth: int  # longest chain, in hops
+    roots: int
+    leaves: int
+    root_leaf_paths: int
+    extra_copies_on_expansion: int
+    shape: str  # "path" | "tree" | "dag"
+
+    def describe(self) -> str:
+        op_text = ", ".join(f"{v} {k}" for k, v in self.ops.items())
+        return (
+            f"{self.name}: {self.nodes} nodes ({op_text}), "
+            f"{self.edges} edges, {self.delays} delays, shape={self.shape}, "
+            f"depth={self.depth}, {self.root_leaf_paths} root-leaf paths, "
+            f"expansion adds {self.extra_copies_on_expansion} copies"
+        )
+
+
+def profile(dfg: DFG) -> GraphProfile:
+    """Compute the full structural fingerprint of the DAG part."""
+    dag = dfg.dag()
+    require_acyclic(dag)
+    if is_simple_path(dag):
+        shape = "path"
+    elif is_out_forest(dag) or is_in_forest(dag):
+        shape = "tree"
+    else:
+        shape = "dag"
+    depths = depth_map(dag)
+    return GraphProfile(
+        name=dfg.name,
+        nodes=len(dfg),
+        edges=dfg.num_edges(),
+        delays=dfg.total_delays(),
+        ops=op_histogram(dfg),
+        depth=max(depths.values(), default=0),
+        roots=len(dag.roots()),
+        leaves=len(dag.leaves()),
+        root_leaf_paths=count_root_leaf_paths(dag),
+        extra_copies_on_expansion=duplication_count(dag),
+        shape=shape,
+    )

@@ -1,0 +1,92 @@
+"""Orderings and reachability on the DAG part of a DFG.
+
+Everything in this module operates on a :class:`~repro.graph.dfg.DFG`
+that is already acyclic (typically the result of :meth:`DFG.dag`); a
+cyclic input raises :class:`~repro.errors.CyclicDependencyError`.
+
+The paper's *post-ordering* (Section 5.2) is a linear order in which,
+for every edge ``(u, v)``, ``u`` appears before ``v`` — i.e. a plain
+topological order.  We expose both directions because `Tree_Assign`
+walks the graph leaves-first (reverse topological) while `DFG_Expand`
+duplicates bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from ..errors import CyclicDependencyError, GraphError
+from .dfg import DFG, Node
+
+__all__ = [
+    "topological_order",
+    "reverse_topological_order",
+    "require_acyclic",
+    "descendants",
+    "ancestors",
+    "depth_map",
+    "height_map",
+]
+
+
+def require_acyclic(dfg: DFG) -> None:
+    """Raise :class:`CyclicDependencyError` unless ``dfg`` is a DAG."""
+    if dfg.has_cycle():
+        cyc = nx.find_cycle(dfg.nx)
+        raise CyclicDependencyError(
+            f"graph {dfg.name!r} contains cycle {[e[:2] for e in cyc]}; "
+            "call .dag() first to drop delayed edges"
+        )
+
+
+def topological_order(dfg: DFG) -> List[Node]:
+    """Nodes in an order where every edge goes forward.
+
+    Deterministic for a given insertion order (networkx's Kahn
+    implementation is stable w.r.t. node ordering).
+    """
+    require_acyclic(dfg)
+    return list(nx.topological_sort(dfg.nx))
+
+
+def reverse_topological_order(dfg: DFG) -> List[Node]:
+    """Nodes in an order where every edge goes backward (leaves first)."""
+    return list(reversed(topological_order(dfg)))
+
+
+def descendants(dfg: DFG, node: Node) -> Set[Node]:
+    """All nodes reachable from ``node`` (excluding ``node`` itself)."""
+    if node not in dfg:
+        raise GraphError(f"unknown node {node!r}")
+    return set(nx.descendants(dfg.nx, node))
+
+
+def ancestors(dfg: DFG, node: Node) -> Set[Node]:
+    """All nodes that can reach ``node`` (excluding ``node`` itself)."""
+    if node not in dfg:
+        raise GraphError(f"unknown node {node!r}")
+    return set(nx.ancestors(dfg.nx, node))
+
+
+def depth_map(dfg: DFG) -> Dict[Node, int]:
+    """Hop distance from the farthest root: roots have depth 0.
+
+    ``depth(v) = max(depth(u) + 1 for parents u)``; useful for layered
+    displays and as a deterministic tie-breaker in schedulers.
+    """
+    depth: Dict[Node, int] = {}
+    for n in topological_order(dfg):
+        ps = dfg.parents(n)
+        depth[n] = 0 if not ps else 1 + max(depth[p] for p in ps)
+    return depth
+
+
+def height_map(dfg: DFG) -> Dict[Node, int]:
+    """Hop distance to the farthest leaf: leaves have height 0."""
+    height: Dict[Node, int] = {}
+    for n in reverse_topological_order(dfg):
+        cs = dfg.children(n)
+        height[n] = 0 if not cs else 1 + max(height[c] for c in cs)
+    return height

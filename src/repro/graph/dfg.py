@@ -1,0 +1,265 @@
+"""Data-flow graph (DFG) model.
+
+The paper models a DSP application as a node-weighted directed graph
+``G = (V, E, d)`` where ``V`` is the set of operations, ``E`` the set of
+data-dependence edges, and ``d(e)`` the number of *delays* (registers)
+on edge ``e``.  An edge with zero delays expresses an intra-iteration
+precedence; an edge with ``d`` delays expresses a dependence on the
+value produced ``d`` iterations earlier (inter-iteration), so a DFG may
+be cyclic as long as every cycle carries at least one delay.
+
+Assignment and scheduling operate on the *DAG part* of the DFG — the
+subgraph left after removing every edge that carries a delay
+(:meth:`DFG.dag`), exactly as prescribed in Section 3 of the paper.
+
+Nodes are arbitrary hashable identifiers (strings in the benchmark
+suite).  Each node may carry an operation label (``op``) used by the
+benchmark generators to derive per-type execution times and costs, and
+the expansion algorithm records provenance through the ``origin``
+attribute (which original node a duplicated copy stands for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import CyclicDependencyError, GraphError
+
+__all__ = ["DFG", "Node", "Edge"]
+
+#: Type alias for node identifiers.
+Node = Hashable
+#: Type alias for ``(u, v, delay)`` edge triples.
+Edge = Tuple[Node, Node, int]
+
+
+class DFG:
+    """A data-flow graph with integer edge delays.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (benchmark graphs set this).
+
+    Notes
+    -----
+    Parallel edges between the same pair of nodes are permitted (they
+    occur in unfolded/retimed graphs where the same producer feeds the
+    same consumer at several iteration distances), hence the graph is
+    backed by a :class:`networkx.MultiDiGraph`.
+    """
+
+    __slots__ = ("_g", "name")
+
+    def __init__(self, name: str = "dfg"):
+        self._g = nx.MultiDiGraph()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, op: str = "op", **attrs) -> None:
+        """Add ``node`` with operation label ``op``.
+
+        Re-adding an existing node updates its attributes (networkx
+        semantics); this is occasionally convenient when building
+        graphs programmatically.
+        """
+        if node is None:
+            raise GraphError("node identifier must not be None")
+        self._g.add_node(node, op=op, **attrs)
+
+    def add_edge(self, u: Node, v: Node, delay: int = 0) -> None:
+        """Add a dependence edge ``u -> v`` carrying ``delay`` delays.
+
+        Endpoints that do not exist yet are created with the default
+        operation label.
+        """
+        if delay < 0:
+            raise GraphError(f"edge ({u!r}, {v!r}) has negative delay {delay}")
+        if u == v and delay == 0:
+            raise CyclicDependencyError(
+                f"zero-delay self loop on {u!r}: the iteration can never start"
+            )
+        for n in (u, v):
+            if n not in self._g:
+                self.add_node(n)
+        self._g.add_edge(u, v, delay=int(delay))
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Node, Node] | Edge],
+        name: str = "dfg",
+        ops: Optional[Dict[Node, str]] = None,
+    ) -> "DFG":
+        """Build a DFG from an iterable of ``(u, v)`` or ``(u, v, delay)``.
+
+        ``ops`` optionally maps nodes to operation labels.
+        """
+        g = cls(name=name)
+        if ops:
+            for node, op in ops.items():
+                g.add_node(node, op=op)
+        for e in edges:
+            if len(e) == 2:
+                u, v = e  # type: ignore[misc]
+                d = 0
+            else:
+                u, v, d = e  # type: ignore[misc]
+            g.add_edge(u, v, d)
+        return g
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._g
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._g.nodes)
+
+    @property
+    def nx(self) -> nx.MultiDiGraph:
+        """The underlying networkx multigraph (treat as read-only)."""
+        return self._g
+
+    def nodes(self) -> List[Node]:
+        """All node identifiers, in insertion order."""
+        return list(self._g.nodes)
+
+    def edges(self) -> List[Edge]:
+        """All edges as ``(u, v, delay)`` triples."""
+        return [(u, v, d["delay"]) for u, v, d in self._g.edges(data=True)]
+
+    def num_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def op(self, node: Node) -> str:
+        """The operation label of ``node``."""
+        try:
+            return self._g.nodes[node]["op"]
+        except KeyError as exc:
+            raise GraphError(f"unknown node {node!r}") from exc
+
+    def attr(self, node: Node, key: str, default=None):
+        """Arbitrary node attribute access (used for expansion provenance)."""
+        if node not in self._g:
+            raise GraphError(f"unknown node {node!r}")
+        return self._g.nodes[node].get(key, default)
+
+    def set_attr(self, node: Node, key: str, value) -> None:
+        if node not in self._g:
+            raise GraphError(f"unknown node {node!r}")
+        self._g.nodes[node][key] = value
+
+    def parents(self, node: Node) -> List[Node]:
+        """Distinct predecessors of ``node`` (any delay)."""
+        if node not in self._g:
+            raise GraphError(f"unknown node {node!r}")
+        return list(self._g.predecessors(node))
+
+    def children(self, node: Node) -> List[Node]:
+        """Distinct successors of ``node`` (any delay)."""
+        if node not in self._g:
+            raise GraphError(f"unknown node {node!r}")
+        return list(self._g.successors(node))
+
+    def in_degree(self, node: Node) -> int:
+        """Number of distinct parents (parallel edges counted once)."""
+        return len(self.parents(node))
+
+    def out_degree(self, node: Node) -> int:
+        """Number of distinct children (parallel edges counted once)."""
+        return len(self.children(node))
+
+    def roots(self) -> List[Node]:
+        """Nodes without any parent (sources of the graph)."""
+        return [n for n in self._g.nodes if self._g.in_degree(n) == 0]
+
+    def leaves(self) -> List[Node]:
+        """Nodes without any child (sinks of the graph)."""
+        return [n for n in self._g.nodes if self._g.out_degree(n) == 0]
+
+    def total_delays(self) -> int:
+        """Sum of delay counts over all edges."""
+        return sum(d for _, _, d in self.edges())
+
+    def has_cycle(self) -> bool:
+        """Whether the full graph (including delayed edges) is cyclic."""
+        return not nx.is_directed_acyclic_graph(self._g)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def dag(self) -> "DFG":
+        """The DAG part: every node, only the zero-delay edges.
+
+        This is the graph the assignment and scheduling phases operate
+        on.  Raises :class:`CyclicDependencyError` if a zero-delay cycle
+        exists (such a DFG admits no static schedule).
+        """
+        out = DFG(name=f"{self.name}.dag")
+        for n, data in self._g.nodes(data=True):
+            out._g.add_node(n, **data)
+        for u, v, d in self.edges():
+            if d == 0:
+                out._g.add_edge(u, v, delay=0)
+        if out.has_cycle():
+            cyc = nx.find_cycle(out._g)
+            raise CyclicDependencyError(
+                f"zero-delay cycle {[e[:2] for e in cyc]} in {self.name!r}"
+            )
+        return out
+
+    def transpose(self) -> "DFG":
+        """The graph with every edge reversed (delays preserved)."""
+        out = DFG(name=f"{self.name}.T")
+        for n, data in self._g.nodes(data=True):
+            out._g.add_node(n, **data)
+        for u, v, d in self.edges():
+            out._g.add_edge(v, u, delay=d)
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "DFG":
+        """Deep-enough copy (node/edge attributes are shallow-copied)."""
+        out = DFG(name=name or self.name)
+        out._g = self._g.copy()
+        return out
+
+    def subgraph(self, nodes: Iterable[Node], name: Optional[str] = None) -> "DFG":
+        """Copy of the induced subgraph on ``nodes``."""
+        nodes = list(nodes)
+        for n in nodes:
+            if n not in self._g:
+                raise GraphError(f"unknown node {n!r}")
+        out = DFG(name=name or f"{self.name}.sub")
+        out._g = self._g.subgraph(nodes).copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DFG(name={self.name!r}, nodes={len(self)}, "
+            f"edges={self.num_edges()}, delays={self.total_delays()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same nodes, ops, and edge multisets."""
+        if not isinstance(other, DFG):
+            return NotImplemented
+        if set(self.nodes()) != set(other.nodes()):
+            return False
+        if any(self.op(n) != other.op(n) for n in self.nodes()):
+            return False
+        return sorted(self.edges(), key=repr) == sorted(other.edges(), key=repr)
+
+    def __hash__(self):  # DFGs are mutable; identity hash like nx graphs.
+        return id(self)

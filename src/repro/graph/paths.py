@@ -1,0 +1,150 @@
+"""Critical-path machinery for node-weighted DAGs.
+
+The timing semantics of the paper: given per-node execution times, the
+completion time of a DFG (without resource constraints) is the length
+of the longest root→leaf path, where a path's length is the *sum of the
+execution times of its nodes* (edges take no time).  An assignment is
+feasible for constraint ``L`` iff this longest path is ≤ ``L``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping
+
+from ..errors import GraphError
+from .dag import reverse_topological_order, topological_order
+from .dfg import DFG, Node
+
+__all__ = [
+    "path_time",
+    "longest_path_time",
+    "critical_path",
+    "all_critical_paths",
+    "min_path_to_leaf",
+    "enumerate_root_leaf_paths",
+    "count_root_leaf_paths",
+]
+
+
+def _check_times(dfg: DFG, times: Mapping[Node, int]) -> None:
+    missing = [n for n in dfg.nodes() if n not in times]
+    if missing:
+        raise GraphError(f"missing execution times for nodes {missing[:5]!r}")
+
+
+def path_time(path: List[Node], times: Mapping[Node, int]) -> int:
+    """Total execution time along ``path`` (sum of node times)."""
+    return sum(times[n] for n in path)
+
+
+def min_path_to_leaf(dfg: DFG, times: Mapping[Node, int]) -> Dict[Node, int]:
+    """For each node ``v``: the longest ``v``→leaf path time, inclusive.
+
+    ``down(v) = times[v] + max(down(c) for children c, default 0)``.
+
+    With per-node *minimum* times this is the paper's ``Tmin`` quantity:
+    the least time in which the subtree hanging off ``v`` can possibly
+    complete.
+    """
+    _check_times(dfg, times)
+    down: Dict[Node, int] = {}
+    for n in reverse_topological_order(dfg):
+        cs = dfg.children(n)
+        down[n] = times[n] + (max(down[c] for c in cs) if cs else 0)
+    return down
+
+
+def longest_path_time(dfg: DFG, times: Mapping[Node, int]) -> int:
+    """Completion time of the DAG under ``times`` (no resource limits).
+
+    Defined as 0 for the empty graph.
+    """
+    if len(dfg) == 0:
+        return 0
+    down = min_path_to_leaf(dfg, times)
+    return max(down[r] for r in dfg.roots())
+
+
+def critical_path(dfg: DFG, times: Mapping[Node, int]) -> List[Node]:
+    """One root→leaf path achieving :func:`longest_path_time`.
+
+    Deterministic: ties are broken by node insertion order.
+    """
+    if len(dfg) == 0:
+        return []
+    down = min_path_to_leaf(dfg, times)
+    node = max(dfg.roots(), key=lambda r: (down[r],))
+    path = [node]
+    while dfg.children(node):
+        node = max(dfg.children(node), key=lambda c: (down[c],))
+        path.append(node)
+    return path
+
+
+def all_critical_paths(
+    dfg: DFG, times: Mapping[Node, int], limit: int = 10_000
+) -> List[List[Node]]:
+    """Every root→leaf path whose time equals the longest path time.
+
+    ``limit`` bounds the number of returned paths (a DAG can have
+    exponentially many); exceeding it raises :class:`GraphError` so
+    callers never silently truncate.
+    """
+    if len(dfg) == 0:
+        return []
+    down = min_path_to_leaf(dfg, times)
+    target = max(down[r] for r in dfg.roots())
+    out: List[List[Node]] = []
+
+    def walk(node: Node, prefix: List[Node]) -> None:
+        if len(out) >= limit:
+            raise GraphError(f"more than {limit} critical paths")
+        cs = dfg.children(node)
+        if not cs:
+            out.append(prefix + [node])
+            return
+        rem = down[node] - times[node]
+        for c in cs:
+            if down[c] == rem:
+                walk(c, prefix + [node])
+
+    for r in dfg.roots():
+        if down[r] == target:
+            walk(r, [])
+    return out
+
+
+def enumerate_root_leaf_paths(
+    dfg: DFG, limit: int = 100_000
+) -> Iterator[List[Node]]:
+    """Yield every root→leaf path of the DAG.
+
+    Used by brute-force feasibility checks in the test suite.  Raises
+    :class:`GraphError` past ``limit`` paths rather than running away.
+    """
+    count = 0
+
+    def walk(node: Node, prefix: List[Node]) -> Iterator[List[Node]]:
+        nonlocal count
+        cs = dfg.children(node)
+        if not cs:
+            count += 1
+            if count > limit:
+                raise GraphError(f"more than {limit} root-leaf paths")
+            yield prefix + [node]
+            return
+        for c in cs:
+            yield from walk(c, prefix + [node])
+
+    topological_order(dfg)  # validates acyclicity up front
+    for r in dfg.roots():
+        yield from walk(r, [])
+
+
+def count_root_leaf_paths(dfg: DFG) -> int:
+    """Number of distinct root→leaf paths (dynamic programming, O(V+E))."""
+    counts: Dict[Node, int] = {}
+    for n in reverse_topological_order(dfg):
+        cs = dfg.children(n)
+        counts[n] = 1 if not cs else sum(counts[c] for c in cs)
+    return sum(counts[r] for r in dfg.roots())

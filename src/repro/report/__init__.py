@@ -1,0 +1,70 @@
+"""Experiment harness: paper tables, ablations, scaling studies."""
+
+from .ablations import (
+    FixOrderResult,
+    LowerBoundResult,
+    TreeChoiceResult,
+    fix_order_ablation,
+    lower_bound_ablation,
+    tree_choice_ablation,
+)
+from .experiments import (
+    DEFAULT_SEED,
+    TABLE1_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    ExperimentRow,
+    average_reduction,
+    deadline_sweep,
+    headline_summary,
+    render_rows,
+    run_benchmark_rows,
+    run_table1,
+    run_table2,
+)
+from .export import rows_to_csv, rows_to_json, rows_to_latex, rows_to_markdown
+from .gantt import render_gantt
+from .profiles import BenchmarkProfile, profile_benchmarks, render_profiles
+from .robustness import RobustnessSummary, robustness_study
+from .scaling import (
+    OptimalityRecord,
+    ScalingRecord,
+    optimality_gap_sweep,
+    runtime_sweep,
+)
+from .tables import format_percent, format_table
+
+__all__ = [
+    "render_gantt",
+    "RobustnessSummary",
+    "robustness_study",
+    "BenchmarkProfile",
+    "profile_benchmarks",
+    "render_profiles",
+    "rows_to_csv",
+    "rows_to_json",
+    "rows_to_markdown",
+    "rows_to_latex",
+    "ExperimentRow",
+    "deadline_sweep",
+    "run_benchmark_rows",
+    "run_table1",
+    "run_table2",
+    "average_reduction",
+    "render_rows",
+    "headline_summary",
+    "TABLE1_BENCHMARKS",
+    "TABLE2_BENCHMARKS",
+    "DEFAULT_SEED",
+    "TreeChoiceResult",
+    "tree_choice_ablation",
+    "FixOrderResult",
+    "fix_order_ablation",
+    "LowerBoundResult",
+    "lower_bound_ablation",
+    "ScalingRecord",
+    "runtime_sweep",
+    "OptimalityRecord",
+    "optimality_gap_sweep",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,120 @@
+"""Export experiment rows to CSV, JSON, and Markdown.
+
+The text tables in :mod:`repro.report.tables` are for terminals; these
+writers feed spreadsheets, notebooks, and the EXPERIMENTS.md style of
+documentation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from ..errors import ReproError
+from .experiments import ExperimentRow
+
+__all__ = ["rows_to_csv", "rows_to_json", "rows_to_markdown", "rows_to_latex"]
+
+_FIELDS = [
+    "benchmark",
+    "deadline",
+    "greedy_cost",
+    "tree_cost",
+    "once_cost",
+    "once_reduction",
+    "repeat_cost",
+    "repeat_reduction",
+    "exact_cost",
+    "configuration",
+]
+
+
+def _record(row: ExperimentRow) -> dict:
+    return {
+        "benchmark": row.benchmark,
+        "deadline": row.deadline,
+        "greedy_cost": row.greedy_cost,
+        "tree_cost": row.tree_cost,
+        "once_cost": row.once_cost,
+        "once_reduction": round(row.once_reduction, 6),
+        "repeat_cost": row.repeat_cost,
+        "repeat_reduction": round(row.repeat_reduction, 6),
+        "exact_cost": row.exact_cost,
+        "configuration": row.configuration,
+    }
+
+
+def rows_to_csv(rows: Sequence[ExperimentRow]) -> str:
+    """CSV with a fixed, documented column order."""
+    if not rows:
+        raise ReproError("no rows to export")
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(_record(row))
+    return buf.getvalue()
+
+
+def rows_to_json(rows: Sequence[ExperimentRow], indent: int = 2) -> str:
+    """JSON array of row objects (None for absent optional columns)."""
+    if not rows:
+        raise ReproError("no rows to export")
+    return json.dumps([_record(r) for r in rows], indent=indent)
+
+
+def rows_to_latex(rows: Sequence[ExperimentRow], caption: str = "") -> str:
+    """LaTeX ``tabular`` of the rows — paper-ready, booktabs style."""
+    if not rows:
+        raise ReproError("no rows to export")
+    lines: List[str] = [
+        r"\begin{table}[t]",
+        r"  \centering",
+        r"  \begin{tabular}{lrrrrrrrl}",
+        r"    \toprule",
+        r"    benchmark & $T$ & greedy & tree & once & once\% & "
+        r"repeat & repeat\% & configuration \\",
+        r"    \midrule",
+    ]
+    for r in rows:
+        tree = "--" if r.tree_cost is None else f"{r.tree_cost:.0f}"
+        name = str(r.benchmark).replace("_", r"\_")
+        cfg = str(r.configuration).replace("_", r"\_")
+        lines.append(
+            f"    {name} & {r.deadline} & {r.greedy_cost:.0f} & {tree} & "
+            f"{r.once_cost:.0f} & {100 * r.once_reduction:.1f} & "
+            f"{r.repeat_cost:.0f} & {100 * r.repeat_reduction:.1f} & "
+            f"{cfg} \\\\"
+        )
+    lines.append(r"    \bottomrule")
+    lines.append(r"  \end{tabular}")
+    if caption:
+        lines.append(f"  \\caption{{{caption}}}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def rows_to_markdown(rows: Sequence[ExperimentRow], title: str = "") -> str:
+    """GitHub-flavored Markdown table (used to refresh EXPERIMENTS.md)."""
+    if not rows:
+        raise ReproError("no rows to export")
+    lines: List[str] = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append(
+        "| benchmark | T | greedy | tree | once | once% | repeat | "
+        "repeat% | configuration |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        tree = "-" if r.tree_cost is None else f"{r.tree_cost:.0f}"
+        lines.append(
+            f"| {r.benchmark} | {r.deadline} | {r.greedy_cost:.0f} | {tree} "
+            f"| {r.once_cost:.0f} | {100 * r.once_reduction:.1f}% "
+            f"| {r.repeat_cost:.0f} | {100 * r.repeat_reduction:.1f}% "
+            f"| {r.configuration} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""ASCII Gantt rendering of schedules.
+
+Turns a bound :class:`~repro.sched.schedule.Schedule` into the
+time-vs-FU chart papers draw (the paper's Figure 3 is exactly this
+view): one row per FU instance, one column per control step, node
+names inked over their occupancy.  Used by the CLI's ``synth --gantt``
+and by humans debugging schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ScheduleError
+from ..fu.table import TimeCostTable
+
+from ..assign.assignment import Assignment
+from ..sched.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def _label(node, width: int) -> str:
+    text = str(node)
+    if len(text) > width:
+        text = text[: max(1, width - 1)] + "…"
+    return text
+
+
+def render_gantt(
+    schedule: Schedule,
+    table: TimeCostTable,
+    assignment: Assignment,
+    names: Optional[List[str]] = None,
+    cell_width: int = 4,
+) -> str:
+    """Render ``schedule`` as an aligned ASCII Gantt chart.
+
+    One row per (FU type, instance); occupied steps show the node name
+    padded/truncated to ``cell_width`` characters, idle steps show
+    dots.  Rows for unused instances still appear — seeing the idle
+    capacity is the point of the chart.
+    """
+    if cell_width < 2:
+        raise ScheduleError(f"cell_width must be >= 2, got {cell_width}")
+    horizon = max(schedule.makespan(table), 1)
+    m = schedule.configuration.num_types
+    names = names or [f"F{j + 1}" for j in range(m)]
+    if len(names) != m:
+        raise ScheduleError(f"need {m} type names, got {len(names)}")
+
+    #: (type, instance) -> per-step cell text
+    grid: Dict[Tuple[int, int], List[str]] = {
+        (j, i): ["·" * cell_width] * horizon
+        for j in range(m)
+        for i in range(schedule.configuration.counts[j])
+    }
+    for node, op in schedule.ops.items():
+        duration = table.time(node, op.fu_type)
+        text = _label(node, cell_width)
+        for s in range(op.start, op.start + duration):
+            grid[(op.fu_type, op.fu_index)][s] = text.ljust(cell_width)
+
+    gutter = max(len(f"{names[j]}#{i}") for (j, i) in grid) if grid else 4
+    header_cells = "".join(
+        f"{s:<{cell_width}}" for s in range(horizon)
+    )
+    lines = [f"{'step':<{gutter}} {header_cells}"]
+    lines.append("-" * (gutter + 1 + cell_width * horizon))
+    for (j, i) in sorted(grid):
+        row = "".join(grid[(j, i)])
+        lines.append(f"{names[j]}#{i:<{gutter - len(names[j]) - 1}} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Benchmark characterization report.
+
+Regenerates the paper's prose description of its benchmark suite as a
+table — node counts, operation mixes, tree-ness, duplicated nodes —
+plus the derived quantities our extension studies use (path counts,
+expansion growth, peak intrinsic parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..assign.dfg_assign import choose_expansion
+from ..fu.random_tables import random_table
+from ..graph.analysis import parallelism_profile, profile
+from ..suite.registry import PAPER_BENCHMARKS, get_benchmark
+from .tables import format_table
+
+__all__ = ["BenchmarkProfile", "profile_benchmarks", "render_profiles"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """One line of the characterization table."""
+
+    name: str
+    nodes: int
+    shape: str
+    ops: str
+    duplicated_nodes: int
+    chosen_tree_size: int
+    peak_parallelism: int
+
+
+def profile_benchmarks(
+    names: Sequence[str] = tuple(PAPER_BENCHMARKS), seed: int = 24
+) -> List[BenchmarkProfile]:
+    """Characterize each benchmark (with a seeded table for the
+    parallelism profile's execution times)."""
+    out = []
+    for name in names:
+        dfg = get_benchmark(name)
+        dag = dfg.dag()
+        p = profile(dfg)
+        expansion = choose_expansion(dag)
+        table = random_table(dag, num_types=3, seed=seed)
+        par = parallelism_profile(dag, table.min_times(dag.nodes()))
+        out.append(
+            BenchmarkProfile(
+                name=name,
+                nodes=p.nodes,
+                shape=p.shape,
+                ops=", ".join(f"{v}{k[0]}" for k, v in p.ops.items()),
+                duplicated_nodes=len(expansion.duplicated_originals()),
+                chosen_tree_size=len(expansion),
+                peak_parallelism=max(par, default=0),
+            )
+        )
+    return out
+
+
+def render_profiles(profiles: Sequence[BenchmarkProfile]) -> str:
+    """ASCII table of the characterization."""
+    return format_table(
+        ["benchmark", "nodes", "shape", "ops", "dup", "tree", "peak-par"],
+        [
+            [
+                p.name,
+                p.nodes,
+                p.shape,
+                p.ops,
+                p.duplicated_nodes,
+                p.chosen_tree_size,
+                p.peak_parallelism,
+            ]
+            for p in profiles
+        ],
+        title="Benchmark characterization (paper §7 setup)",
+    )

@@ -1,0 +1,117 @@
+"""Runtime/quality scaling studies on synthetic graph families.
+
+Extensions beyond the paper's evaluation: how the algorithms behave as
+the graph, the deadline, or the library grows, and how far the
+heuristics sit from the certified optimum on random DAGs (the paper
+only had the tree benchmarks' optima to compare against).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..assign import (
+    dfg_assign_once,
+    dfg_assign_repeat,
+    exact_assign,
+    greedy_assign,
+    min_completion_time,
+)
+from ..fu.random_tables import random_table
+from ..suite.synthetic import layered_dag, random_dag
+
+__all__ = ["ScalingRecord", "runtime_sweep", "OptimalityRecord", "optimality_gap_sweep"]
+
+
+@dataclass(frozen=True)
+class ScalingRecord:
+    """Wall-clock of every algorithm on one synthetic instance."""
+
+    nodes: int
+    deadline: int
+    seconds: Dict[str, float]
+
+
+def _timed(fn: Callable, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def runtime_sweep(
+    sizes: Sequence[int] = (20, 40, 80, 160),
+    seed: int = 7,
+    slack: float = 1.5,
+    include_exact_up_to: int = 15,
+) -> List[ScalingRecord]:
+    """Time greedy/once/repeat (and exact on small sizes) vs node count.
+
+    Uses layered DAGs (bounded fan-in keeps expansion polynomial) with
+    a deadline of ``slack ×`` the minimum completion time.
+    """
+    records = []
+    for n in sizes:
+        layers = max(2, n // 5)
+        dfg = layered_dag(layers=layers, width=5, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        deadline = int(slack * min_completion_time(dfg, table)) + 1
+        seconds = {
+            "greedy": _timed(greedy_assign, dfg, table, deadline),
+            "once": _timed(dfg_assign_once, dfg, table, deadline),
+            "repeat": _timed(dfg_assign_repeat, dfg, table, deadline),
+        }
+        if len(dfg) <= include_exact_up_to:
+            seconds["exact"] = _timed(exact_assign, dfg, table, deadline)
+        records.append(
+            ScalingRecord(nodes=len(dfg), deadline=deadline, seconds=seconds)
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class OptimalityRecord:
+    """Heuristic-vs-optimal costs on one random DAG instance."""
+
+    nodes: int
+    deadline: int
+    exact_cost: float
+    greedy_cost: float
+    once_cost: float
+    repeat_cost: float
+
+    def gap(self, which: str) -> float:
+        """Fractional excess over the optimum (0.0 = optimal)."""
+        cost = {
+            "greedy": self.greedy_cost,
+            "once": self.once_cost,
+            "repeat": self.repeat_cost,
+        }[which]
+        return (cost - self.exact_cost) / self.exact_cost
+
+
+def optimality_gap_sweep(
+    trials: int = 20,
+    nodes: int = 12,
+    edge_prob: float = 0.25,
+    seed: int = 11,
+    slack: float = 1.4,
+) -> List[OptimalityRecord]:
+    """Measure heuristic optimality gaps against branch-and-bound."""
+    records = []
+    for trial in range(trials):
+        dfg = random_dag(nodes, edge_prob=edge_prob, seed=seed + trial)
+        table = random_table(dfg, num_types=3, seed=seed + trial)
+        deadline = int(slack * min_completion_time(dfg, table)) + 1
+        records.append(
+            OptimalityRecord(
+                nodes=len(dfg),
+                deadline=deadline,
+                exact_cost=exact_assign(dfg, table, deadline).cost,
+                greedy_cost=greedy_assign(dfg, table, deadline).cost,
+                once_cost=dfg_assign_once(dfg, table, deadline).cost,
+                repeat_cost=dfg_assign_repeat(dfg, table, deadline).cost,
+            )
+        )
+    return records

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports.
+
+The benches print paper-style tables to stdout; nothing here depends
+on the rest of the library, so it is reusable for ad-hoc reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """``0.177 → '17.7%'`` (the paper reports reductions this way)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats
+    print with two decimals.
+    """
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.2f}"
+        return str(x)
+
+    str_rows: List[List[str]] = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def is_numeric(col: int) -> bool:
+        vals = [r[col] for r in str_rows if r[col]]
+        return bool(vals) and all(
+            v.replace(".", "").replace("-", "").replace("%", "").isdigit()
+            for v in vals
+        )
+
+    aligns = [">" if is_numeric(i) else "<" for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(f"{h:{a}{w}}" for h, a, w in zip(headers, aligns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(f"{c:{a}{w}}" for c, a, w in zip(row, aligns, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Cyclic-DFG substrate: retiming, unfolding, rotation scheduling."""
+
+from .modulo import ModuloSchedule, modulo_schedule, rec_mii, res_mii
+from .retime import apply_retiming, cycle_period, feasible_retiming, min_cycle_period
+from .rotation import RotationResult, rotation_schedule
+from .unfold import unfold, unfolded_name
+
+__all__ = [
+    "ModuloSchedule",
+    "modulo_schedule",
+    "res_mii",
+    "rec_mii",
+    "cycle_period",
+    "apply_retiming",
+    "feasible_retiming",
+    "min_cycle_period",
+    "RotationResult",
+    "rotation_schedule",
+    "unfold",
+    "unfolded_name",
+]

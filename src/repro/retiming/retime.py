@@ -1,0 +1,134 @@
+"""Retiming of cyclic DFGs (Leiserson–Saxe, the group's framework).
+
+The paper's DFGs are loop bodies: cycles are legal as long as every
+cycle carries a delay, and assignment/scheduling constrain only the
+zero-delay DAG part.  *Which* edges carry the delays, however, is a
+design choice — retiming moves registers across nodes, changing the
+DAG part and therefore the minimum feasible timing constraint (the
+*cycle period*).  Shortening the cycle period before running the
+assignment phase lets tighter deadlines become feasible, which is why
+this substrate ships alongside the assignment algorithms (the
+"rotation scheduling" line of work the paper builds on).
+
+A retiming is an integer label ``r(v)`` per node; edge ``u → v`` gets
+``d_r(e) = d(e) + r(v) − r(u)`` delays, which must stay ≥ 0.  We
+implement the classical FEAS feasibility test (incremental retiming of
+violating nodes, |V| − 1 rounds) and a binary search over achievable
+periods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import GraphError, InfeasibleError
+from ..graph.dfg import DFG, Node
+from ..graph.paths import longest_path_time
+
+__all__ = [
+    "cycle_period",
+    "apply_retiming",
+    "feasible_retiming",
+    "min_cycle_period",
+]
+
+
+def cycle_period(dfg: DFG, times: Mapping[Node, int]) -> int:
+    """The longest zero-delay path time — the minimum static deadline.
+
+    Raises :class:`~repro.errors.CyclicDependencyError` (via
+    :meth:`DFG.dag`) when a zero-delay cycle exists.
+    """
+    return longest_path_time(dfg.dag(), times)
+
+
+def _check_legal(dfg: DFG, retiming: Mapping[Node, int]) -> None:
+    for u, v, d in dfg.edges():
+        new_d = d + retiming.get(v, 0) - retiming.get(u, 0)
+        if new_d < 0:
+            raise GraphError(
+                f"illegal retiming: edge ({u!r}, {v!r}) would carry "
+                f"{new_d} delays"
+            )
+
+
+def apply_retiming(dfg: DFG, retiming: Mapping[Node, int]) -> DFG:
+    """The retimed graph: same nodes, delays moved per ``retiming``.
+
+    Raises :class:`GraphError` if any edge would go negative.
+    """
+    _check_legal(dfg, retiming)
+    out = DFG(name=f"{dfg.name}.retimed")
+    for n in dfg.nodes():
+        out.add_node(n, op=dfg.op(n))
+    for u, v, d in dfg.edges():
+        out.add_edge(u, v, d + retiming.get(v, 0) - retiming.get(u, 0))
+    return out
+
+
+def feasible_retiming(
+    dfg: DFG, times: Mapping[Node, int], target: int
+) -> Optional[Dict[Node, int]]:
+    """A legal retiming achieving cycle period ≤ ``target``, or None.
+
+    The FEAS algorithm: repeatedly compute each node's zero-delay
+    arrival time under the tentative retiming and increment ``r`` on
+    every node whose arrival exceeds the target.  Converges within
+    |V| − 1 rounds iff the target is achievable.
+    """
+    nodes = dfg.nodes()
+    missing = [n for n in nodes if n not in times]
+    if missing:
+        raise GraphError(f"missing times for {missing[:5]!r}")
+    if any(times[n] > target for n in nodes):
+        return None  # a single node already overruns the target
+    r: Dict[Node, int] = {n: 0 for n in nodes}
+    for _ in range(max(1, len(nodes) - 1)):
+        retimed = apply_retiming(dfg, r)
+        dag = retimed.dag()
+        # Arrival time = longest zero-delay path ending at each node.
+        arrival: Dict[Node, int] = {}
+        from ..graph.dag import topological_order
+
+        for n in topological_order(dag):
+            parents = dag.parents(n)
+            arrival[n] = times[n] + (
+                max(arrival[p] for p in parents) if parents else 0
+            )
+        late = [n for n in nodes if arrival[n] > target]
+        if not late:
+            return r
+        for n in late:
+            r[n] += 1
+    # One final check after the last adjustment round.
+    retimed = apply_retiming(dfg, r)
+    if cycle_period(retimed, times) <= target:
+        return r
+    return None
+
+
+def min_cycle_period(
+    dfg: DFG, times: Mapping[Node, int]
+) -> Tuple[int, Dict[Node, int]]:
+    """The smallest achievable cycle period and a retiming attaining it.
+
+    Binary search between the largest single-node time (an absolute
+    floor) and the current period.  Raises :class:`InfeasibleError`
+    only for graphs with zero-delay cycles (propagated).
+    """
+    current = cycle_period(dfg, times)
+    lo = max((times[n] for n in dfg.nodes()), default=0)
+    hi = current
+    best = current
+    best_r: Dict[Node, int] = {n: 0 for n in dfg.nodes()}
+    # Invariant: ``best``/``best_r`` is feasible and best == hi whenever
+    # hi moved; the search narrows [lo, hi] until lo == hi == best.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        r = feasible_retiming(dfg, times, mid)
+        if r is None:
+            lo = mid + 1
+        else:
+            best, best_r = mid, r
+            hi = mid
+    return best, best_r

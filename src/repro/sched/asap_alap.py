@@ -1,0 +1,79 @@
+"""ASAP and ALAP scheduling (unconstrained resources).
+
+The classical mobility anchors: *as soon as possible* places every
+node at the earliest step its zero-delay predecessors allow; *as late
+as possible* places it at the latest step that still lets every
+descendant finish by the deadline.  Both ignore resource limits —
+they exist to bound where a node may go, and `Lower_Bound_R` and
+`Min_R_Scheduling` are built directly on them.
+
+The *mobility* (slack) of a node is ``alap_start − asap_start``; nodes
+with zero mobility form the schedule-critical spine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import ScheduleError
+from ..graph.dag import reverse_topological_order, topological_order
+from ..graph.dfg import DFG, Node
+
+__all__ = ["asap_starts", "alap_starts", "mobility"]
+
+
+def _check(dfg: DFG, times: Mapping[Node, int]) -> None:
+    missing = [n for n in dfg.nodes() if n not in times]
+    if missing:
+        raise ScheduleError(f"missing times for {missing[:5]!r}")
+    negative = [n for n in dfg.nodes() if times[n] < 0]
+    if negative:
+        raise ScheduleError(f"negative times for {negative[:5]!r}")
+
+
+def asap_starts(dfg: DFG, times: Mapping[Node, int]) -> Dict[Node, int]:
+    """Earliest start step per node: ``max(end of parents)``, roots at 0."""
+    _check(dfg, times)
+    start: Dict[Node, int] = {}
+    for node in topological_order(dfg):
+        parents = dfg.parents(node)
+        start[node] = (
+            max(start[p] + times[p] for p in parents) if parents else 0
+        )
+    return start
+
+
+def alap_starts(
+    dfg: DFG, times: Mapping[Node, int], deadline: int
+) -> Dict[Node, int]:
+    """Latest start step per node compatible with ``deadline``.
+
+    ``start(v) = min(start of children) − t(v)``, leaves at
+    ``deadline − t(v)``.  Raises :class:`ScheduleError` when the
+    deadline is shorter than the critical path (some start would go
+    negative) — callers should have checked assignment feasibility
+    first.
+    """
+    _check(dfg, times)
+    if deadline < 0:
+        raise ScheduleError(f"deadline must be >= 0, got {deadline}")
+    start: Dict[Node, int] = {}
+    for node in reverse_topological_order(dfg):
+        children = dfg.children(node)
+        latest_end = min((start[c] for c in children), default=deadline)
+        start[node] = latest_end - times[node]
+        if start[node] < 0:
+            raise ScheduleError(
+                f"deadline {deadline} infeasible: {node!r} would need to "
+                f"start at {start[node]}"
+            )
+    return start
+
+
+def mobility(
+    dfg: DFG, times: Mapping[Node, int], deadline: int
+) -> Dict[Node, int]:
+    """Per-node slack ``alap − asap`` (all ≥ 0 for a feasible deadline)."""
+    asap = asap_starts(dfg, times)
+    alap = alap_starts(dfg, times, deadline)
+    return {n: alap[n] - asap[n] for n in dfg.nodes()}

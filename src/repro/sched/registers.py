@@ -1,0 +1,148 @@
+"""Register allocation for static schedules (lifetime analysis).
+
+The paper's reference [12] (Ito & Parhi, "Register minimization in
+cost-optimal synthesis of DSP architectures") treats the register file
+as part of the synthesized architecture's cost.  Given a bound
+schedule we compute each value's *lifetime* — from its producer's
+completion to its last consumer's start — and allocate registers with
+the classical left-edge algorithm, which is optimal for this interval
+problem: the register count equals the maximum number of
+simultaneously live values.
+
+Values consumed only across iterations (all out-edges delayed) are
+conservatively kept live to the end of the schedule: they must survive
+into the next iteration's prologue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ScheduleError
+from ..fu.table import TimeCostTable
+from ..graph.dfg import DFG, Node
+
+from ..assign.assignment import Assignment
+from .schedule import Schedule
+
+__all__ = ["Lifetime", "RegisterAllocation", "value_lifetimes", "allocate_registers"]
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """A value's live interval ``[birth, death)`` in schedule steps."""
+
+    producer: Node
+    birth: int
+    death: int
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        return self.birth < other.death and other.birth < self.death
+
+    def __post_init__(self):
+        if self.death < self.birth:
+            raise ScheduleError(
+                f"value of {self.producer!r}: death {self.death} before "
+                f"birth {self.birth}"
+            )
+
+
+@dataclass(frozen=True)
+class RegisterAllocation:
+    """Result of the left-edge pass.
+
+    ``registers[node]`` is the register index holding ``node``'s value
+    (absent for values nobody reads and that die immediately).
+    """
+
+    registers: Dict[Node, int]
+    num_registers: int
+    lifetimes: Dict[Node, Lifetime]
+
+    def verify(self) -> None:
+        """No two values sharing a register may overlap in time."""
+        by_reg: Dict[int, List[Lifetime]] = {}
+        for node, reg in self.registers.items():
+            by_reg.setdefault(reg, []).append(self.lifetimes[node])
+        for reg, intervals in by_reg.items():
+            intervals.sort(key=lambda lt: lt.birth)
+            for a, b in zip(intervals, intervals[1:]):
+                if a.overlaps(b):
+                    raise ScheduleError(
+                        f"register r{reg}: {a.producer!r} [{a.birth},{a.death}) "
+                        f"overlaps {b.producer!r} [{b.birth},{b.death})"
+                    )
+
+
+def value_lifetimes(
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+    schedule: Schedule,
+) -> Dict[Node, Lifetime]:
+    """Per-producer live intervals under ``schedule``.
+
+    A value is born when its producer finishes.  It dies at the latest
+    start among its zero-delay consumers; if it additionally (or only)
+    feeds delayed edges, it survives to the schedule's makespan.
+    Pure sinks (no consumers at all) die at birth — their value leaves
+    the datapath immediately (e.g. to an output port).
+    """
+    makespan = schedule.makespan(table)
+    out: Dict[Node, Lifetime] = {}
+    for node in dfg.nodes():
+        op = schedule.ops[node]
+        birth = op.start + table.time(node, assignment[node])
+        death = birth
+        crosses_iteration = False
+        for _, child, delay in (
+            (u, v, d) for u, v, d in dfg.edges() if u == node
+        ):
+            if delay == 0:
+                death = max(death, schedule.ops[child].start)
+            else:
+                crosses_iteration = True
+        if crosses_iteration:
+            death = max(death, makespan)
+        out[node] = Lifetime(producer=node, birth=birth, death=death)
+    return out
+
+
+def allocate_registers(
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+    schedule: Schedule,
+) -> RegisterAllocation:
+    """Left-edge register allocation over the schedule's lifetimes.
+
+    Optimal register count for the given schedule (equal to the peak
+    number of overlapping live intervals).  Zero-length lifetimes
+    consume no register.
+    """
+    lifetimes = value_lifetimes(dfg, table, assignment, schedule)
+    live = [
+        lt for lt in lifetimes.values() if lt.death > lt.birth
+    ]
+    live.sort(key=lambda lt: (lt.birth, lt.death, str(lt.producer)))
+    registers: Dict[Node, int] = {}
+    free_at: List[int] = []  # per register: step it becomes free
+    for lt in live:
+        chosen = None
+        for i, free in enumerate(free_at):
+            if free <= lt.birth:
+                chosen = i
+                break
+        if chosen is None:
+            free_at.append(0)
+            chosen = len(free_at) - 1
+        free_at[chosen] = lt.death
+        registers[lt.producer] = chosen
+    allocation = RegisterAllocation(
+        registers=registers,
+        num_registers=len(free_at),
+        lifetimes=lifetimes,
+    )
+    allocation.verify()
+    return allocation

@@ -1,0 +1,206 @@
+"""Schedules, configurations, and their validation.
+
+Phase 2 of the paper turns a feasible assignment into two artifacts:
+
+* a **configuration** — how many FU instances of each type the
+  synthesized architecture instantiates (the paper writes ``2F1 1F2``);
+* a **static schedule** — a start step and a concrete FU instance for
+  every node, obeying precedence, the configuration's resource limits,
+  and the timing constraint.
+
+Steps are 0-indexed integers; a node with execution time ``t`` started
+at step ``s`` occupies its FU during steps ``s … s+t−1`` and its
+results are available from step ``s+t`` on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ScheduleError
+from ..fu.library import FULibrary
+from ..fu.table import TimeCostTable
+from ..graph.dfg import DFG, Node
+
+if False:  # pragma: no cover - import for type checkers only
+    from ..assign.assignment import Assignment
+
+__all__ = ["Configuration", "ScheduledOp", "Schedule"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """FU instance counts per type index.
+
+    ``counts[j]`` is the number of type-``j`` units the architecture
+    provides.  Immutable; the schedulers build it up on a plain list
+    and freeze at the end.
+    """
+
+    counts: Tuple[int, ...]
+
+    def __post_init__(self):
+        if any(c < 0 for c in self.counts):
+            raise ScheduleError(f"negative FU count in {self.counts}")
+
+    @classmethod
+    def of(cls, counts) -> "Configuration":
+        return cls(counts=tuple(int(c) for c in counts))
+
+    @property
+    def num_types(self) -> int:
+        return len(self.counts)
+
+    def total_units(self) -> int:
+        """Total number of FU instances."""
+        return sum(self.counts)
+
+    def price(self, library: FULibrary) -> float:
+        """Monetary/area price of instantiating this configuration."""
+        if len(library) != len(self.counts):
+            raise ScheduleError(
+                f"library has {len(library)} types, configuration {len(self.counts)}"
+            )
+        return sum(c * library[j].price for j, c in enumerate(self.counts))
+
+    def dominates(self, other: "Configuration") -> bool:
+        """True when this uses no more units of every type than ``other``."""
+        if len(self.counts) != len(other.counts):
+            raise ScheduleError("configurations over different libraries")
+        return all(a <= b for a, b in zip(self.counts, other.counts))
+
+    def label(self, names: Optional[List[str]] = None) -> str:
+        """Paper-style label, e.g. ``"2F1 1F2 1F3"`` (zero counts omitted)."""
+        names = names or [f"F{j + 1}" for j in range(len(self.counts))]
+        parts = [f"{c}{names[j]}" for j, c in enumerate(self.counts) if c > 0]
+        return " ".join(parts) if parts else "(empty)"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One node's placement: start step, FU type, FU instance index."""
+
+    start: int
+    fu_type: int
+    fu_index: int
+
+    def __post_init__(self):
+        if self.start < 0 or self.fu_type < 0 or self.fu_index < 0:
+            raise ScheduleError(f"negative field in {self}")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete static schedule plus the configuration it runs on."""
+
+    ops: Mapping[Node, ScheduledOp]
+    configuration: Configuration
+    deadline: int
+
+    def start(self, node: Node) -> int:
+        return self.ops[node].start
+
+    def end(self, node: Node, table: TimeCostTable, assignment) -> int:
+        op = self.ops[node]
+        return op.start + table.time(node, op.fu_type)
+
+    def makespan(self, table: TimeCostTable) -> int:
+        """Completion step of the last-finishing operation."""
+        if not self.ops:
+            return 0
+        return max(
+            op.start + table.time(node, op.fu_type)
+            for node, op in self.ops.items()
+        )
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        dfg: DFG,
+        table: TimeCostTable,
+        assignment: "Assignment",
+    ) -> None:
+        """Full conformance check; raises :class:`ScheduleError` on any hole.
+
+        Checks performed:
+
+        1. every DFG node is scheduled exactly once;
+        2. the scheduled FU type equals the assignment's choice;
+        3. zero-delay precedence: a consumer starts no earlier than its
+           producer finishes;
+        4. FU binding: instance indices are within the configuration
+           and no two operations overlap on the same instance;
+        5. per-step usage never exceeds the configuration;
+        6. everything finishes by the deadline.
+        """
+        missing = [n for n in dfg.nodes() if n not in self.ops]
+        if missing:
+            raise ScheduleError(f"unscheduled nodes: {missing[:5]!r}")
+        extra = [n for n in self.ops if n not in dfg]
+        if extra:
+            raise ScheduleError(f"schedule mentions unknown nodes: {extra[:5]!r}")
+
+        for node, op in self.ops.items():
+            if assignment[node] != op.fu_type:
+                raise ScheduleError(
+                    f"{node!r}: scheduled on type {op.fu_type} but assigned "
+                    f"type {assignment[node]}"
+                )
+            if op.fu_index >= self.configuration.counts[op.fu_type]:
+                raise ScheduleError(
+                    f"{node!r}: FU index {op.fu_index} exceeds configuration "
+                    f"{self.configuration.counts}"
+                )
+            if op.start + table.time(node, op.fu_type) > self.deadline:
+                raise ScheduleError(
+                    f"{node!r} finishes at "
+                    f"{op.start + table.time(node, op.fu_type)} > deadline "
+                    f"{self.deadline}"
+                )
+
+        for u, v, delay in dfg.edges():
+            if delay != 0:
+                continue  # inter-iteration dependence: no same-iteration order
+            end_u = self.ops[u].start + table.time(u, self.ops[u].fu_type)
+            if self.ops[v].start < end_u:
+                raise ScheduleError(
+                    f"precedence violated: {v!r} starts at {self.ops[v].start} "
+                    f"before {u!r} ends at {end_u}"
+                )
+
+        # Per-instance overlap check (implies the per-step usage bound).
+        by_instance: Dict[Tuple[int, int], List[Tuple[int, int, Node]]] = {}
+        for node, op in self.ops.items():
+            t = table.time(node, op.fu_type)
+            if t == 0:
+                continue  # pseudo nodes occupy no FU time
+            by_instance.setdefault((op.fu_type, op.fu_index), []).append(
+                (op.start, op.start + t, node)
+            )
+        for (j, i), intervals in by_instance.items():
+            intervals.sort()
+            for (s1, e1, n1), (s2, e2, n2) in zip(intervals, intervals[1:]):
+                if s2 < e1:
+                    raise ScheduleError(
+                        f"FU F{j + 1}#{i}: {n1!r} [{s1},{e1}) overlaps "
+                        f"{n2!r} [{s2},{e2})"
+                    )
+
+    def usage_profile(self, table: TimeCostTable) -> Dict[int, List[int]]:
+        """``{type: per-step busy-unit counts}`` over ``range(deadline)``.
+
+        Handy for plotting utilization and for resource assertions in
+        the test suite.
+        """
+        profile = {
+            j: [0] * self.deadline for j in range(self.configuration.num_types)
+        }
+        for node, op in self.ops.items():
+            t = table.time(node, op.fu_type)
+            for s in range(op.start, op.start + t):
+                profile[op.fu_type][s] += 1
+        return profile

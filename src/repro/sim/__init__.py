@@ -1,0 +1,17 @@
+"""Functional simulation substrate: execute DFGs and their schedules."""
+
+from .functional import Trace, simulate, simulate_schedule
+from .signals import impulse, mse, sine, snr_db, step, streams_equal, white_noise
+
+__all__ = [
+    "simulate",
+    "simulate_schedule",
+    "Trace",
+    "impulse",
+    "step",
+    "sine",
+    "white_noise",
+    "mse",
+    "snr_db",
+    "streams_equal",
+]

@@ -1,0 +1,88 @@
+"""Test-signal generators and stream metrics for the simulator.
+
+Small, numpy-backed utilities for driving the functional simulator
+with recognizable DSP stimuli and quantifying how two value streams
+compare — used by the semantic validation tests and by anyone probing
+a synthesized datapath's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["impulse", "step", "sine", "white_noise", "mse", "snr_db", "streams_equal"]
+
+
+def _check_length(n: int) -> None:
+    if n < 0:
+        raise ReproError(f"signal length must be >= 0, got {n}")
+
+
+def impulse(n: int, amplitude: float = 1.0) -> List[float]:
+    """Unit impulse: ``[A, 0, 0, …]``."""
+    _check_length(n)
+    out = [0.0] * n
+    if n:
+        out[0] = float(amplitude)
+    return out
+
+
+def step(n: int, amplitude: float = 1.0) -> List[float]:
+    """Unit step: ``[A, A, A, …]``."""
+    _check_length(n)
+    return [float(amplitude)] * n
+
+
+def sine(n: int, period: float, amplitude: float = 1.0, phase: float = 0.0) -> List[float]:
+    """A sampled sinusoid with the given period (in samples)."""
+    _check_length(n)
+    if period <= 0:
+        raise ReproError(f"period must be > 0, got {period}")
+    t = np.arange(n)
+    return list(amplitude * np.sin(2.0 * np.pi * t / period + phase))
+
+
+def white_noise(n: int, amplitude: float = 1.0, seed: int = 0) -> List[float]:
+    """Seeded uniform white noise in ``[-A, A]``."""
+    _check_length(n)
+    gen = np.random.default_rng(seed)
+    return list(amplitude * (2.0 * gen.random(n) - 1.0))
+
+
+def mse(a: Sequence[float], b: Sequence[float]) -> float:
+    """Mean squared error between two equal-length streams."""
+    if len(a) != len(b):
+        raise ReproError(f"stream lengths differ: {len(a)} vs {len(b)}")
+    if not a:
+        return 0.0
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    return float(np.mean((x - y) ** 2))
+
+
+def snr_db(reference: Sequence[float], test: Sequence[float]) -> float:
+    """Signal-to-noise ratio of ``test`` against ``reference`` in dB.
+
+    ``inf`` for an exact match; raises on an all-zero reference with a
+    nonzero error (SNR undefined).
+    """
+    err = mse(reference, test)
+    if err == 0.0:
+        return float("inf")
+    power = float(np.mean(np.asarray(reference, dtype=np.float64) ** 2))
+    if power == 0.0:
+        raise ReproError("SNR undefined: zero reference power, nonzero error")
+    return float(10.0 * np.log10(power / err))
+
+
+def streams_equal(
+    a: Sequence[float], b: Sequence[float], tol: float = 1e-9
+) -> bool:
+    """Elementwise equality within ``tol`` (and equal lengths)."""
+    if len(a) != len(b):
+        return False
+    return all(abs(x - y) <= tol for x, y in zip(a, b))

@@ -1,0 +1,85 @@
+"""8-point DCT benchmark DFG (Lee's fast algorithm, butterfly style).
+
+A classic HLS benchmark beyond the paper's six: the 8-point discrete
+cosine transform decomposes into three butterfly stages plus rotation
+multipliers, producing a dense DAG with heavy operand sharing — the
+stress case for `DFG_Expand` (every butterfly output feeds two
+consumers) and a realistic workload for the exact/heuristic gap
+studies.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG
+
+__all__ = ["dct8"]
+
+
+def dct8() -> DFG:
+    """The 8-point DCT dataflow: 3 butterfly stages + rotations.
+
+    Structure per stage: lane pairs ``(i, j)`` combine through an
+    add/sub butterfly; between stages selected lanes pass through
+    rotation multipliers (the cosine coefficients).  48 operations:
+    8 input latches, 12 add/12 sub butterfly halves, 8 rotation and
+    8 output-scaling multipliers; 64 root→leaf paths.
+    """
+    dfg = DFG(name="dct8")
+    lanes = [f"x{i}" for i in range(8)]
+    for lane in lanes:
+        dfg.add_node(lane, op="add")  # input latch / port adder
+
+    def butterfly(stage: int, i: int, j: int, top: str, bot: str):
+        a, s = f"s{stage}_a{i}_{j}", f"s{stage}_s{i}_{j}"
+        dfg.add_node(a, op="add")
+        dfg.add_node(s, op="sub")
+        dfg.add_edge(top, a, 0)
+        dfg.add_edge(bot, a, 0)
+        dfg.add_edge(top, s, 0)
+        dfg.add_edge(bot, s, 0)
+        return a, s
+
+    # stage 1: mirror pairs (0,7) (1,6) (2,5) (3,4)
+    cur = list(lanes)
+    nxt = [None] * 8
+    for k in range(4):
+        a, s = butterfly(1, k, 7 - k, cur[k], cur[7 - k])
+        nxt[k], nxt[7 - k] = a, s
+    cur = nxt
+
+    # rotations on the lower half before stage 2
+    for k in (4, 5, 6, 7):
+        m = f"r1_m{k}"
+        dfg.add_node(m, op="mul")
+        dfg.add_edge(cur[k], m, 0)
+        cur[k] = m
+
+    # stage 2: (0,3) (1,2) on top half; (4,7) (5,6) on bottom half
+    nxt = list(cur)
+    for base in (0, 4):
+        for k in range(2):
+            i, j = base + k, base + 3 - k
+            a, s = butterfly(2, i, j, cur[i], cur[j])
+            nxt[i], nxt[j] = a, s
+    cur = nxt
+
+    # rotations on odd lanes before stage 3
+    for k in (2, 3, 6, 7):
+        m = f"r2_m{k}"
+        dfg.add_node(m, op="mul")
+        dfg.add_edge(cur[k], m, 0)
+        cur[k] = m
+
+    # stage 3: adjacent pairs
+    nxt = list(cur)
+    for base in (0, 2, 4, 6):
+        a, s = butterfly(3, base, base + 1, cur[base], cur[base + 1])
+        nxt[base], nxt[base + 1] = a, s
+    cur = nxt
+
+    # output scaling multipliers
+    for k in range(8):
+        m = f"out{k}"
+        dfg.add_node(m, op="mul")
+        dfg.add_edge(cur[k], m, 0)
+    return dfg

@@ -1,0 +1,53 @@
+"""HAL differential equation solver benchmark DFG.
+
+The classic high-level-synthesis benchmark introduced by Paulin &
+Knight's force-directed scheduling paper: one Euler iteration of
+``y'' + 3xy' + 3y = 0``, computing::
+
+    x1 = x + dx
+    u1 = u − (3·x·u·dx) − (3·y·dx)
+    y1 = y + u·dx
+    c  = x1 < a
+
+Eleven operations — six multiplications, two subtractions, two
+additions, one comparison — forming a genuine DAG (not a tree): the
+product ``3·x·u·dx`` joins two multiplier sub-chains, and the ``u1``
+subtraction chain merges with the ``3·y·dx`` branch.  After
+`DFG_Expand`, exactly three original nodes are duplicated (``m3``,
+``s1``, ``s2``), matching the paper's description of this benchmark.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG
+
+__all__ = ["differential_equation_solver"]
+
+
+def differential_equation_solver() -> DFG:
+    """The 11-operation HAL diffeq DFG (6 mul, 2 sub, 2 add, 1 cmp)."""
+    dfg = DFG(name="diffeq")
+    ops = {
+        "m1": "mul",  # 3 · x
+        "m2": "mul",  # u · dx
+        "m3": "mul",  # (3x) · (u·dx)
+        "m4": "mul",  # 3 · y
+        "m5": "mul",  # (3y) · dx
+        "m6": "mul",  # u · dx   (the y1 branch's own product)
+        "s1": "sub",  # u − m3
+        "s2": "sub",  # s1 − m5   (= u1)
+        "a1": "add",  # y + m6    (= y1)
+        "a2": "add",  # x + dx    (= x1)
+        "c1": "cmp",  # x1 < a
+    }
+    for node, op in ops.items():
+        dfg.add_node(node, op=op)
+    dfg.add_edge("m1", "m3", 0)
+    dfg.add_edge("m2", "m3", 0)
+    dfg.add_edge("m3", "s1", 0)
+    dfg.add_edge("s1", "s2", 0)
+    dfg.add_edge("m4", "m5", 0)
+    dfg.add_edge("m5", "s2", 0)
+    dfg.add_edge("m6", "a1", 0)
+    dfg.add_edge("a2", "c1", 0)
+    return dfg

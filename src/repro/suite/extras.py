@@ -1,0 +1,121 @@
+"""Additional DSP graphs beyond the paper's six benchmarks.
+
+These exercise parts of the system the headline tables do not:
+
+* :func:`fir_filter` — the simplest realistic in-tree (tap multipliers
+  into an adder chain);
+* :func:`iir_biquad_cascade` — a *cyclic* DFG whose feedback edges
+  carry delays, exercising :meth:`DFG.dag` extraction and the
+  retiming substrate;
+* :func:`fft_butterfly` — a dense DAG whose expansion grows quickly,
+  exercising the `node_limit` guard rails and the exact solver.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graph.dfg import DFG
+
+__all__ = ["fir_filter", "iir_biquad_cascade", "fft_butterfly"]
+
+
+def fir_filter(taps: int) -> DFG:
+    """A ``taps``-tap direct-form FIR filter (in-tree, 2·taps − 1 nodes)."""
+    if taps < 1:
+        raise GraphError(f"need >= 1 tap, got {taps}")
+    dfg = DFG(name=f"fir{taps}")
+    chain = None
+    for i in range(taps):
+        m = f"t{i}_m"
+        dfg.add_node(m, op="mul")
+        if chain is None:
+            chain = m
+            continue
+        a = f"t{i}_a"
+        dfg.add_node(a, op="add")
+        dfg.add_edge(chain, a, 0)
+        dfg.add_edge(m, a, 0)
+        chain = a
+    return dfg
+
+
+def iir_biquad_cascade(sections: int) -> DFG:
+    """A cascade of direct-form-II biquad sections with delayed feedback.
+
+    Each section: feedback adders ``fb1``/``fb2`` (consuming the state
+    one and two iterations back — edges with 1 and 2 delays),
+    coefficient multipliers, and feed-forward output adders.  The full
+    graph is cyclic; its :meth:`~repro.graph.dfg.DFG.dag` part is what
+    assignment and scheduling consume.
+    """
+    if sections < 1:
+        raise GraphError(f"need >= 1 section, got {sections}")
+    dfg = DFG(name=f"biquad{sections}")
+    prev_out = None
+    for i in range(1, sections + 1):
+        w, fb1, fb2 = f"q{i}_w", f"q{i}_fb1", f"q{i}_fb2"
+        m1, m2 = f"q{i}_ma1", f"q{i}_ma2"
+        mb1, mb2 = f"q{i}_mb1", f"q{i}_mb2"
+        y = f"q{i}_y"
+        dfg.add_node(w, op="add")    # w[n] = x + feedback
+        dfg.add_node(fb1, op="add")
+        dfg.add_node(fb2, op="add")
+        dfg.add_node(m1, op="mul")   # a1 · w[n−1]
+        dfg.add_node(m2, op="mul")   # a2 · w[n−2]
+        dfg.add_node(mb1, op="mul")  # b1 · w[n−1]
+        dfg.add_node(mb2, op="mul")  # b2 · w[n−2]
+        dfg.add_node(y, op="add")    # output accumulation
+        # Feedback path (inter-iteration → delayed edges, cyclic).
+        dfg.add_edge(w, m1, 1)
+        dfg.add_edge(w, m2, 2)
+        dfg.add_edge(m1, fb1, 0)
+        dfg.add_edge(m2, fb2, 0)
+        dfg.add_edge(fb1, w, 0)
+        dfg.add_edge(fb2, fb1, 0)
+        # Feed-forward path.
+        dfg.add_edge(w, mb1, 1)
+        dfg.add_edge(w, mb2, 2)
+        dfg.add_edge(w, y, 0)
+        dfg.add_edge(mb1, y, 0)
+        dfg.add_edge(mb2, y, 0)
+        if prev_out is not None:
+            dfg.add_edge(prev_out, w, 0)
+        prev_out = y
+    return dfg
+
+
+def fft_butterfly(stages: int) -> DFG:
+    """A radix-2 FFT dataflow of ``stages`` stages over ``2**stages`` lanes.
+
+    Every butterfly is one multiplier (twiddle) and two adders whose
+    outputs both fan out to the next stage — the classic worst case
+    for critical-path-tree expansion.
+    """
+    if stages < 1:
+        raise GraphError(f"need >= 1 stage, got {stages}")
+    lanes = 2 ** stages
+    dfg = DFG(name=f"fft{stages}")
+    current = []
+    for lane in range(lanes):
+        node = f"in{lane}"
+        dfg.add_node(node, op="add")
+        current.append(node)
+    for s in range(stages):
+        span = 2 ** s
+        nxt = list(current)
+        for base in range(0, lanes, 2 * span):
+            for k in range(span):
+                i, j = base + k, base + k + span
+                tw = f"s{s}_tw{i}"
+                top, bot = f"s{s}_a{i}", f"s{s}_b{i}"
+                dfg.add_node(tw, op="mul")
+                dfg.add_node(top, op="add")
+                dfg.add_node(bot, op="sub")
+                dfg.add_edge(current[j], tw, 0)
+                dfg.add_edge(current[i], top, 0)
+                dfg.add_edge(tw, top, 0)
+                dfg.add_edge(current[i], bot, 0)
+                dfg.add_edge(tw, bot, 0)
+                nxt[i], nxt[j] = top, bot
+        current = nxt
+    return dfg

@@ -1,0 +1,55 @@
+"""Lattice filter benchmark DFGs (tree-shaped).
+
+The paper's first two benchmarks are the 4-stage and 8-stage lattice
+filters, whose data-flow graphs are trees.  Our generator follows the
+classical one-multiplier-pair-per-stage normalized lattice structure:
+each stage contributes two multipliers (the reflection coefficients)
+and two adders, with the stage output accumulating into a single
+forward chain — every node feeds exactly one consumer, so the graph is
+an in-tree (out-degree ≤ 1), exactly the shape `Tree_Assign` solves
+optimally.
+
+Node naming: ``s{i}_{role}`` with roles ``m1``/``m2`` (multipliers)
+and ``a1``/``a2`` (adders); the final output adder is ``out``.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graph.dfg import DFG
+
+__all__ = ["lattice_filter"]
+
+
+def lattice_filter(stages: int) -> DFG:
+    """An ``stages``-stage lattice filter DFG (a tree of 4·stages+1 nodes).
+
+    Structure per stage ``i`` (all edges zero-delay; the graph is the
+    DAG part directly, as the delays of a lattice sit on the
+    inter-stage state edges the paper removes before assignment)::
+
+        m1_i ─┐
+        m2_i ─→ a2_i ─→ a1_i ─→ a1_{i+1} → … → out
+
+    giving operation mix 2·stages multipliers and 2·stages+1 adders.
+    """
+    if stages < 1:
+        raise GraphError(f"lattice filter needs >= 1 stage, got {stages}")
+    dfg = DFG(name=f"lattice{stages}")
+    prev_chain = None
+    for i in range(1, stages + 1):
+        m1, m2 = f"s{i}_m1", f"s{i}_m2"
+        a1, a2 = f"s{i}_a1", f"s{i}_a2"
+        dfg.add_node(m1, op="mul")
+        dfg.add_node(m2, op="mul")
+        dfg.add_node(a2, op="add")
+        dfg.add_node(a1, op="add")
+        dfg.add_edge(m1, a2, 0)
+        dfg.add_edge(m2, a2, 0)
+        dfg.add_edge(a2, a1, 0)
+        if prev_chain is not None:
+            dfg.add_edge(prev_chain, a1, 0)
+        prev_chain = a1
+    dfg.add_node("out", op="add")
+    dfg.add_edge(prev_chain, "out", 0)
+    return dfg

@@ -1,0 +1,72 @@
+"""Name-indexed registry of every benchmark DFG.
+
+The CLI, the table benches, and the experiment harness all look
+benchmarks up here, so adding a graph in one place makes it available
+everywhere.  :data:`PAPER_BENCHMARKS` lists the six graphs of the
+paper's Tables 1–2 in publication order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+from ..graph.dfg import DFG
+from .dct import dct8
+from .diffeq import differential_equation_solver
+from .elliptic import elliptic_filter
+from .extras import fft_butterfly, fir_filter, iir_biquad_cascade
+from .lattice import lattice_filter
+from .paper_example import paper_example_dfg
+from .rls_laguerre import rls_laguerre_filter
+from .volterra import volterra_filter
+
+__all__ = ["BENCHMARKS", "PAPER_BENCHMARKS", "get_benchmark", "benchmark_names"]
+
+#: Every named benchmark: name → zero-argument factory.
+BENCHMARKS: Dict[str, Callable[[], DFG]] = {
+    "lattice4": lambda: lattice_filter(4),
+    "lattice8": lambda: lattice_filter(8),
+    "volterra": volterra_filter,
+    "diffeq": differential_equation_solver,
+    "rls_laguerre": rls_laguerre_filter,
+    "elliptic": elliptic_filter,
+    "paper_example": paper_example_dfg,
+    "fir8": lambda: fir_filter(8),
+    "fir16": lambda: fir_filter(16),
+    "biquad2": lambda: iir_biquad_cascade(2),
+    "biquad4": lambda: iir_biquad_cascade(4),
+    "dct8": dct8,
+    "fft3": lambda: fft_butterfly(3),
+    "fft4": lambda: fft_butterfly(4),
+}
+
+#: The six benchmarks of the paper's evaluation, in table order
+#: (Table 1: the three trees; Table 2: the three general DFGs).
+PAPER_BENCHMARKS: List[str] = [
+    "lattice4",
+    "lattice8",
+    "volterra",
+    "diffeq",
+    "rls_laguerre",
+    "elliptic",
+]
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names, sorted."""
+    return sorted(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> DFG:
+    """Instantiate the benchmark called ``name``.
+
+    Raises :class:`ReproError` with the available names on a typo.
+    """
+    try:
+        factory = BENCHMARKS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None
+    return factory()

@@ -1,0 +1,69 @@
+"""RLS-laguerre lattice filter benchmark DFG.
+
+The paper's sixth benchmark is an RLS-laguerre lattice filter whose
+DFG is a DAG with **three duplicated nodes** (same count as the
+diffeq solver).  No public edge list for this benchmark exists, so we
+reconstruct the structure from its signal-processing anatomy:
+
+* a Laguerre lattice front end — the same per-stage
+  multiplier/adder accumulation tree as the lattice filters;
+* an RLS update section: a gain chain (two multiplications computing
+  the normalized gain, one subtraction producing the a-priori error)
+  whose error value fans out to two coefficient-update multipliers.
+
+The error chain is the only shared computation, so `DFG_Expand` (in
+the cheaper, transposed direction) duplicates exactly its three
+nodes — reproducing the paper's "three duplicated nodes" property
+while the rest of the graph stays tree-like.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graph.dfg import DFG
+
+__all__ = ["rls_laguerre_filter"]
+
+
+def rls_laguerre_filter(stages: int = 4) -> DFG:
+    """An ``stages``-stage RLS-laguerre lattice DFG (default 24 nodes)."""
+    if stages < 1:
+        raise GraphError(f"need >= 1 stage, got {stages}")
+    dfg = DFG(name=f"rls_laguerre{stages}")
+
+    # Laguerre lattice accumulation (in-tree), as in lattice_filter.
+    prev_chain = None
+    for i in range(1, stages + 1):
+        m1, m2 = f"s{i}_m1", f"s{i}_m2"
+        a1, a2 = f"s{i}_a1", f"s{i}_a2"
+        dfg.add_node(m1, op="mul")
+        dfg.add_node(m2, op="mul")
+        dfg.add_node(a2, op="add")
+        dfg.add_node(a1, op="add")
+        dfg.add_edge(m1, a2, 0)
+        dfg.add_edge(m2, a2, 0)
+        dfg.add_edge(a2, a1, 0)
+        if prev_chain is not None:
+            dfg.add_edge(prev_chain, a1, 0)
+        prev_chain = a1
+
+    # RLS gain/error chain: k1 → k2 → e1, with the error shared by two
+    # coefficient updates (the three duplicated nodes).
+    dfg.add_node("k1", op="mul")
+    dfg.add_node("k2", op="mul")
+    dfg.add_node("e1", op="sub")
+    dfg.add_edge("k1", "k2", 0)
+    dfg.add_edge("k2", "e1", 0)
+    dfg.add_node("u1", op="mul")
+    dfg.add_node("u2", op="mul")
+    dfg.add_edge("e1", "u1", 0)
+    dfg.add_edge("e1", "u2", 0)
+
+    # Updates merge with the lattice output.
+    dfg.add_node("y1", op="add")
+    dfg.add_node("y2", op="add")
+    dfg.add_edge(prev_chain, "y1", 0)
+    dfg.add_edge("u1", "y1", 0)
+    dfg.add_edge("u2", "y2", 0)
+    dfg.add_edge("y1", "y2", 0)
+    return dfg

@@ -1,0 +1,123 @@
+"""Synthetic DFG generators for scaling studies and property tests.
+
+The paper evaluates on six fixed DSP graphs; the scaling and ablation
+benches (extensions) additionally need families of graphs with
+controllable size and shape.  All generators are deterministic in
+their ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.dfg import DFG
+
+__all__ = ["random_dag", "random_tree", "random_path", "layered_dag"]
+
+_OPS = ("mul", "add", "sub", "cmp")
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_path(n: int, seed: Optional[int] = 0) -> DFG:
+    """A simple chain of ``n`` nodes with random operation labels."""
+    if n < 1:
+        raise GraphError(f"need >= 1 node, got {n}")
+    gen = _rng(seed)
+    dfg = DFG(name=f"path{n}")
+    prev = None
+    for i in range(n):
+        node = f"v{i}"
+        dfg.add_node(node, op=_OPS[int(gen.integers(len(_OPS)))])
+        if prev is not None:
+            dfg.add_edge(prev, node, 0)
+        prev = node
+    return dfg
+
+
+def random_tree(n: int, seed: Optional[int] = 0, out_tree: bool = True) -> DFG:
+    """A uniformly-attached random tree of ``n`` nodes.
+
+    Each node ``i ≥ 1`` attaches to a uniformly random earlier node;
+    ``out_tree`` orients edges parent→child (in-degree ≤ 1), otherwise
+    child→parent (out-degree ≤ 1, the shape of the DSP accumulation
+    trees).
+    """
+    if n < 1:
+        raise GraphError(f"need >= 1 node, got {n}")
+    gen = _rng(seed)
+    dfg = DFG(name=f"tree{n}")
+    dfg.add_node("v0", op=_OPS[int(gen.integers(len(_OPS)))])
+    for i in range(1, n):
+        node = f"v{i}"
+        dfg.add_node(node, op=_OPS[int(gen.integers(len(_OPS)))])
+        anchor = f"v{int(gen.integers(i))}"
+        if out_tree:
+            dfg.add_edge(anchor, node, 0)
+        else:
+            dfg.add_edge(node, anchor, 0)
+    return dfg
+
+
+def random_dag(
+    n: int,
+    edge_prob: float = 0.2,
+    seed: Optional[int] = 0,
+    max_parents: int = 3,
+) -> DFG:
+    """A random DAG: each forward pair is an edge with ``edge_prob``.
+
+    ``max_parents`` caps in-degree to keep `DFG_Expand` from exploding
+    on dense instances (set it to ``n`` to disable the cap).
+    """
+    if n < 1:
+        raise GraphError(f"need >= 1 node, got {n}")
+    if not 0 <= edge_prob <= 1:
+        raise GraphError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    gen = _rng(seed)
+    dfg = DFG(name=f"dag{n}")
+    for i in range(n):
+        dfg.add_node(f"v{i}", op=_OPS[int(gen.integers(len(_OPS)))])
+    for j in range(1, n):
+        parents = 0
+        for i in range(j - 1, -1, -1):
+            if parents >= max_parents:
+                break
+            if gen.random() < edge_prob:
+                dfg.add_edge(f"v{i}", f"v{j}", 0)
+                parents += 1
+    return dfg
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    seed: Optional[int] = 0,
+    fan_in: int = 2,
+) -> DFG:
+    """A layered DAG: ``layers × width`` nodes, edges only between
+    adjacent layers, each node drawing up to ``fan_in`` random parents.
+
+    The shape of unrolled filter pipelines; used by the scaling bench
+    because its critical paths grow with ``layers`` while expansion
+    growth is governed by ``fan_in``.
+    """
+    if layers < 1 or width < 1:
+        raise GraphError(f"need positive layers/width, got {layers}/{width}")
+    gen = _rng(seed)
+    dfg = DFG(name=f"layered{layers}x{width}")
+    for layer in range(layers):
+        for w in range(width):
+            dfg.add_node(f"l{layer}n{w}", op=_OPS[int(gen.integers(len(_OPS)))])
+    for layer in range(1, layers):
+        for w in range(width):
+            k = int(gen.integers(1, fan_in + 1))
+            parents = gen.choice(width, size=min(k, width), replace=False)
+            for p in parents:
+                dfg.add_edge(f"l{layer - 1}n{int(p)}", f"l{layer}n{w}", 0)
+    return dfg

@@ -1,0 +1,64 @@
+"""Second-order Volterra filter benchmark DFG (tree-shaped).
+
+The voltera filter of the paper's Table 1 is a tree.  A second-order
+(truncated) Volterra series
+
+    y[n] = Σ_i h1[i]·x[n−i]  +  Σ_{i≤j} h2[i,j]·x[n−i]·x[n−j]
+
+maps to a DFG with one multiplier per linear tap, two chained
+multipliers per quadratic term (signal product, then kernel weight),
+and an adder chain accumulating everything into the output: every node
+has a single consumer, so the graph is an in-tree.
+
+With the default ``linear_taps=3, quadratic_terms=6`` the graph has
+27 nodes (15 multipliers, 12 adders — 3 linear muls, 6 product muls,
+6 kernel muls, and an 11-adder accumulation chain plus output add),
+matching the scale of the classical voltera benchmark.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graph.dfg import DFG
+
+__all__ = ["volterra_filter"]
+
+
+def volterra_filter(linear_taps: int = 3, quadratic_terms: int = 6) -> DFG:
+    """A second-order Volterra filter DFG (in-tree).
+
+    ``linear_taps`` first-order kernel taps and ``quadratic_terms``
+    second-order kernel terms; both ≥ 1.
+    """
+    if linear_taps < 1 or quadratic_terms < 1:
+        raise GraphError(
+            f"need >= 1 linear tap and quadratic term, got "
+            f"{linear_taps}/{quadratic_terms}"
+        )
+    dfg = DFG(name=f"volterra{linear_taps}x{quadratic_terms}")
+    terms = []
+    for i in range(1, linear_taps + 1):
+        m = f"lin{i}_m"
+        dfg.add_node(m, op="mul")
+        terms.append(m)
+    for i in range(1, quadratic_terms + 1):
+        prod, kern = f"quad{i}_x", f"quad{i}_h"
+        dfg.add_node(prod, op="mul")  # x[n−i]·x[n−j]
+        dfg.add_node(kern, op="mul")  # · h2[i,j]
+        dfg.add_edge(prod, kern, 0)
+        terms.append(kern)
+    # Accumulate all terms along a single adder chain.
+    chain = None
+    for i, term in enumerate(terms, start=1):
+        if chain is None:
+            chain = term
+            continue
+        acc = f"acc{i - 1}"
+        dfg.add_node(acc, op="add")
+        dfg.add_edge(chain, acc, 0)
+        dfg.add_edge(term, acc, 0)
+        chain = acc
+    out = "out"
+    dfg.add_node(out, op="add")
+    dfg.add_edge(chain, out, 0)
+    return dfg

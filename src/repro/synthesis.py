@@ -1,0 +1,165 @@
+"""Two-phase synthesis pipeline — the paper's end-to-end flow.
+
+Phase 1 picks an FU type per operation (minimum system cost within the
+timing constraint); phase 2 builds a static schedule and a minimal
+configuration for that assignment.  :func:`synthesize` wires the
+phases together behind one call and one result object, selecting the
+structurally-best assignment algorithm by default:
+
+========================  =======================================
+graph shape                default algorithm
+========================  =======================================
+simple path                `Path_Assign` (optimal)
+tree / forest              `Tree_Assign` (optimal)
+general DAG                `DFG_Assign_Repeat` (best heuristic)
+========================  =======================================
+
+Pass ``algorithm=`` to override (e.g. ``"greedy"`` for the baseline or
+``"exact"`` for a certified optimum on small graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .assign import (
+    AssignResult,
+    dfg_assign_once,
+    dfg_assign_repeat,
+    downgrade_assign,
+    exact_assign,
+    sp_assign,
+    greedy_assign,
+    path_assign,
+    tree_assign,
+)
+from .errors import CyclicDependencyError, ReproError
+from .fu.table import TimeCostTable
+from .graph.classify import is_in_forest, is_out_forest, is_simple_path
+from .graph.dfg import DFG
+from .sched import Configuration, Schedule, lower_bound_configuration, min_resource_schedule
+
+__all__ = ["SynthesisResult", "synthesize", "ALGORITHMS", "auto_algorithm"]
+
+#: Name → phase-1 algorithm; all share the (dfg, table, deadline) call shape.
+ALGORITHMS: Dict[str, Callable[[DFG, TimeCostTable, int], AssignResult]] = {
+    "path": path_assign,
+    "tree": tree_assign,
+    "once": dfg_assign_once,
+    "repeat": dfg_assign_repeat,
+    "greedy": greedy_assign,
+    "downgrade": downgrade_assign,
+    "sp": sp_assign,
+    "exact": exact_assign,
+}
+
+
+def auto_algorithm(dfg: DFG) -> str:
+    """The structurally-appropriate default algorithm name for ``dfg``."""
+    if is_simple_path(dfg):
+        return "path"
+    if is_out_forest(dfg) or is_in_forest(dfg):
+        return "tree"
+    return "repeat"
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Everything the two-phase flow produces for one DFG.
+
+    Attributes
+    ----------
+    assign_result:
+        Phase-1 outcome (assignment, cost, algorithm used).
+    schedule:
+        Phase-2 static schedule with concrete FU bindings.
+    configuration:
+        FU instance counts of the schedule.
+    lower_bound:
+        `Lower_Bound_R`'s configuration floor, kept for reporting the
+        achieved-vs-bound gap.
+    """
+
+    assign_result: AssignResult
+    schedule: Schedule
+    configuration: Configuration
+    lower_bound: Configuration
+
+    @property
+    def assignment(self):
+        return self.assign_result.assignment
+
+    @property
+    def cost(self) -> float:
+        """Phase-1 system cost (the paper's minimization objective)."""
+        return self.assign_result.cost
+
+    def verify(self, dfg: DFG, table: TimeCostTable) -> None:
+        """Re-check both phases from first principles."""
+        self.assign_result.verify(dfg, table)
+        self.schedule.validate(dfg, table, self.assignment)
+        if not self.lower_bound.dominates(self.configuration):
+            raise ReproError(
+                f"configuration {self.configuration.counts} below its own "
+                f"lower bound {self.lower_bound.counts}"
+            )
+
+
+def synthesize(
+    dfg: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    algorithm: Optional[str] = None,
+    scheduler: str = "min_resource",
+) -> SynthesisResult:
+    """Run the full two-phase flow on the DAG part of ``dfg``.
+
+    ``dfg`` may be cyclic (a loop-carried DSP graph); assignment and
+    scheduling constrain only its zero-delay DAG part, per the paper.
+
+    ``scheduler`` selects phase 2: ``"min_resource"`` (the paper's
+    `Min_R_Scheduling`, default) or ``"force_directed"`` (the classical
+    Paulin–Knight alternative, for comparison studies).
+
+    Raises
+    ------
+    InfeasibleError
+        When no assignment meets ``deadline``.
+    ReproError
+        On an unknown ``algorithm`` or ``scheduler`` name.
+    """
+    try:
+        dag = dfg.dag()
+    except CyclicDependencyError:
+        raise
+    name = algorithm or auto_algorithm(dag)
+    try:
+        algo = ALGORITHMS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    assign_result = algo(dag, table, deadline)
+    lower = lower_bound_configuration(dag, table, assign_result.assignment, deadline)
+    if scheduler == "min_resource":
+        schedule = min_resource_schedule(
+            dag, table, assign_result.assignment, deadline, initial=lower
+        )
+    elif scheduler == "force_directed":
+        from .sched import force_directed_schedule
+
+        schedule = force_directed_schedule(
+            dag, table, assign_result.assignment, deadline
+        )
+    else:
+        raise ReproError(
+            f"unknown scheduler {scheduler!r}; choose 'min_resource' or "
+            "'force_directed'"
+        )
+    return SynthesisResult(
+        assign_result=assign_result,
+        schedule=schedule,
+        configuration=schedule.configuration,
+        lower_bound=lower,
+    )

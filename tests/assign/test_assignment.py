@@ -1,0 +1,113 @@
+"""Unit tests for the Assignment type and evaluation."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.errors import TableError
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+
+
+@pytest.fixture
+def table():
+    return TimeCostTable.from_rows(
+        {
+            "a": ([1, 3], [10.0, 2.0]),
+            "b": ([2, 4], [12.0, 3.0]),
+            "c": ([1, 2], [9.0, 1.0]),
+        }
+    )
+
+
+@pytest.fixture
+def graph():
+    return DFG.from_edges([("a", "b"), ("b", "c")])
+
+
+class TestConstruction:
+    def test_of_copies(self):
+        src = {"a": 0}
+        a = Assignment.of(src)
+        src["a"] = 1
+        assert a["a"] == 0
+
+    def test_uniform(self, graph):
+        a = Assignment.uniform(graph, 1)
+        assert all(a[n] == 1 for n in graph.nodes())
+
+    def test_cheapest(self, graph, table):
+        a = Assignment.cheapest(graph, table)
+        assert all(a[n] == 1 for n in graph.nodes())
+
+    def test_fastest(self, graph, table):
+        a = Assignment.fastest(graph, table)
+        assert all(a[n] == 0 for n in graph.nodes())
+
+    def test_mapping_interface(self):
+        a = Assignment.of({"a": 0, "b": 1})
+        assert len(a) == 2
+        assert "a" in a
+        assert set(a) == {"a", "b"}
+        assert a.get("zzz") is None
+        assert dict(a.items()) == {"a": 0, "b": 1}
+
+    def test_merged_with(self):
+        a = Assignment.of({"a": 0, "b": 0})
+        merged = a.merged_with({"b": 1, "c": 2})
+        assert merged["a"] == 0 and merged["b"] == 1 and merged["c"] == 2
+        assert a["b"] == 0  # original untouched
+
+
+class TestEvaluation:
+    def test_total_cost(self, graph, table):
+        a = Assignment.of({"a": 0, "b": 1, "c": 0})
+        assert a.total_cost(graph, table) == pytest.approx(10.0 + 3.0 + 9.0)
+
+    def test_completion_time_chain(self, graph, table):
+        a = Assignment.of({"a": 0, "b": 1, "c": 0})
+        assert a.completion_time(graph, table) == 1 + 4 + 1
+
+    def test_completion_time_parallel(self, table):
+        g = DFG.from_edges([("a", "c"), ("b", "c")])
+        t = TimeCostTable.from_rows(
+            {
+                "a": ([1, 3], [1.0, 1.0]),
+                "b": ([2, 4], [1.0, 1.0]),
+                "c": ([1, 2], [1.0, 1.0]),
+            }
+        )
+        a = Assignment.of({"a": 1, "b": 0, "c": 0})
+        # critical path is max(3, 2) + 1
+        assert a.completion_time(g, t) == 4
+
+    def test_is_feasible(self, graph, table):
+        a = Assignment.fastest(graph, table)
+        assert a.is_feasible(graph, table, 4)
+        assert not a.is_feasible(graph, table, 3)
+
+    def test_execution_times(self, graph, table):
+        a = Assignment.of({"a": 1, "b": 0, "c": 1})
+        assert a.execution_times(graph, table) == {"a": 3, "b": 2, "c": 2}
+
+
+class TestValidation:
+    def test_missing_node(self, graph, table):
+        a = Assignment.of({"a": 0})
+        with pytest.raises(TableError):
+            a.validate_for(graph, table)
+
+    def test_bad_type_index(self, graph, table):
+        a = Assignment.of({"a": 0, "b": 5, "c": 0})
+        with pytest.raises(TableError):
+            a.validate_for(graph, table)
+
+
+class TestMinCompletionTime:
+    def test_equals_fastest_assignment(self, graph, table):
+        fastest = Assignment.fastest(graph, table)
+        assert min_completion_time(graph, table) == fastest.completion_time(
+            graph, table
+        )
+
+    def test_chain_value(self, graph, table):
+        assert min_completion_time(graph, table) == 4

@@ -1,0 +1,138 @@
+"""Unit tests for DFG_Expand (critical-path tree extraction)."""
+
+import pytest
+
+from repro.assign.dfg_expand import dfg_expand
+from repro.errors import GraphError
+from repro.graph.classify import is_out_forest
+from repro.graph.dfg import DFG
+from repro.graph.paths import enumerate_root_leaf_paths
+
+
+def path_signatures(dfg, origin=None):
+    """Multiset of root→leaf paths as tuples of (original) node names."""
+    sigs = []
+    for path in enumerate_root_leaf_paths(dfg):
+        if origin:
+            sigs.append(tuple(origin[n] for n in path))
+        else:
+            sigs.append(tuple(path))
+    return sorted(sigs)
+
+
+class TestShape:
+    def test_tree_is_unchanged(self, small_tree):
+        tree = dfg_expand(small_tree)
+        assert len(tree) == len(small_tree)
+        assert tree.duplicated_originals() == []
+
+    def test_output_is_out_forest(self, diamond, wide_dag):
+        for g in (diamond, wide_dag):
+            assert is_out_forest(dfg_expand(g).tree)
+
+    def test_diamond_duplicates_sink(self, diamond):
+        tree = dfg_expand(diamond)
+        assert len(tree) == 5  # d copied once
+        assert tree.duplicated_originals() == ["d"]
+        assert len(tree.copies["d"]) == 2
+
+    def test_ops_preserved_on_copies(self, diamond):
+        diamond2 = diamond.copy()
+        diamond2.set_attr("d", "op", "mul")
+        tree = dfg_expand(diamond2)
+        for copy in tree.copies["d"]:
+            assert tree.tree.op(copy) == "mul"
+
+    def test_origin_mapping_total(self, wide_dag):
+        tree = dfg_expand(wide_dag)
+        for n in tree.tree.nodes():
+            assert tree.origin_of(n) in wide_dag
+
+    def test_origin_of_unknown(self, diamond):
+        tree = dfg_expand(diamond)
+        with pytest.raises(GraphError):
+            tree.origin_of("nope")
+
+
+class TestPathPreservation:
+    def test_diamond_paths(self, diamond):
+        tree = dfg_expand(diamond)
+        assert path_signatures(tree.tree, tree.origin) == path_signatures(diamond)
+
+    def test_wide_dag_paths(self, wide_dag):
+        tree = dfg_expand(wide_dag)
+        assert path_signatures(tree.tree, tree.origin) == path_signatures(wide_dag)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dag_paths(self, seed):
+        from repro.suite.synthetic import random_dag
+
+        g = random_dag(10, edge_prob=0.3, seed=seed)
+        tree = dfg_expand(g)
+        assert is_out_forest(tree.tree)
+        assert path_signatures(tree.tree, tree.origin) == path_signatures(g)
+
+    def test_transpose_paths_are_reversed(self, wide_dag):
+        tree = dfg_expand(wide_dag.transpose(), transposed=True)
+        assert tree.transposed
+        fwd = path_signatures(wide_dag)
+        rev = sorted(tuple(reversed(p)) for p in path_signatures(
+            tree.tree, tree.origin
+        ))
+        assert rev == fwd
+
+
+class TestBookkeeping:
+    def test_copies_partition_tree_nodes(self, wide_dag):
+        tree = dfg_expand(wide_dag)
+        all_copies = [c for copies in tree.copies.values() for c in copies]
+        assert sorted(map(str, all_copies)) == sorted(
+            map(str, tree.tree.nodes())
+        )
+
+    def test_duplicated_sorted_by_copy_count(self):
+        # two separate common nodes with different path multiplicities
+        g = DFG.from_edges(
+            [
+                ("a", "x"), ("b", "x"), ("c", "x"),  # x: 3 parents
+                ("a", "y"), ("b", "y"),              # y: 2 parents
+            ]
+        )
+        tree = dfg_expand(g)
+        dup = tree.duplicated_originals()
+        assert dup == ["x", "y"]
+        assert len(tree.copies["x"]) == 3
+        assert len(tree.copies["y"]) == 2
+
+    def test_len_is_tree_size(self, diamond):
+        tree = dfg_expand(diamond)
+        assert len(tree) == len(tree.tree)
+
+
+class TestGuards:
+    def test_node_limit(self):
+        # stacked diamonds: exponential expansion must hit the guard
+        g = DFG()
+        prev = "n0"
+        g.add_node(prev)
+        for i in range(12):
+            t, b, j = f"t{i}", f"b{i}", f"n{i + 1}"
+            g.add_edge(prev, t, 0)
+            g.add_edge(prev, b, 0)
+            g.add_edge(t, j, 0)
+            g.add_edge(b, j, 0)
+            prev = j
+        with pytest.raises(GraphError, match="node_limit"):
+            dfg_expand(g, node_limit=500)
+
+    def test_rejects_delayed_edges(self):
+        g = DFG.from_edges([("a", "b", 1)])
+        with pytest.raises(GraphError, match="delay"):
+            dfg_expand(g)
+
+    def test_rejects_cycles(self):
+        g = DFG.from_edges([("a", "b", 0), ("b", "a", 0)])
+        from repro.errors import CyclicDependencyError
+
+        with pytest.raises(CyclicDependencyError):
+            dfg_expand(g)

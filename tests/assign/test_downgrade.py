@@ -1,0 +1,77 @@
+"""Unit tests for the downgrade (all-fastest-then-relax) baseline."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.downgrade import downgrade_assign
+from repro.assign.exact import brute_force_assign
+from repro.errors import InfeasibleError
+from repro.fu.random_tables import random_table
+from repro.suite.synthetic import random_dag
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_feasible(self, seed):
+        dfg = random_dag(10, edge_prob=0.25, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 4, floor + 20):
+            result = downgrade_assign(dfg, table, deadline)
+            result.verify(dfg, table)
+            assert result.completion_time <= deadline
+
+    def test_infeasible_raises(self, wide_dag):
+        table = random_table(wide_dag, seed=0)
+        floor = min_completion_time(wide_dag, table)
+        with pytest.raises(InfeasibleError):
+            downgrade_assign(wide_dag, table, floor - 1)
+
+
+class TestQuality:
+    def test_never_beats_optimum(self):
+        for seed in range(5):
+            dfg = random_dag(8, edge_prob=0.3, seed=seed)
+            table = random_table(dfg, num_types=3, seed=seed)
+            floor = min_completion_time(dfg, table)
+            for deadline in (floor, floor + 5):
+                down = downgrade_assign(dfg, table, deadline)
+                opt = brute_force_assign(dfg, table, deadline)
+                assert down.cost >= opt.cost - 1e-9
+
+    def test_loose_deadline_reaches_cheapest(self, wide_dag):
+        table = random_table(wide_dag, seed=1)
+        result = downgrade_assign(wide_dag, table, 10_000)
+        assert result.cost == pytest.approx(
+            sum(table.min_cost(n) for n in wide_dag.nodes())
+        )
+
+    def test_at_floor_never_worse_than_all_fastest(self, wide_dag):
+        table = random_table(wide_dag, seed=2)
+        floor = min_completion_time(wide_dag, table)
+        result = downgrade_assign(wide_dag, table, floor)
+        fastest = Assignment.fastest(wide_dag, table)
+        assert result.cost <= fastest.total_cost(wide_dag, table) + 1e-9
+
+    def test_differs_from_upgrade_greedy_somewhere(self):
+        """The two greedy directions are genuinely different heuristics."""
+        from repro.assign.greedy import greedy_assign
+
+        different = False
+        for seed in range(10):
+            dfg = random_dag(10, edge_prob=0.3, seed=seed)
+            table = random_table(dfg, num_types=3, seed=seed)
+            floor = min_completion_time(dfg, table)
+            for deadline in (floor + 1, floor + 3):
+                up = greedy_assign(dfg, table, deadline)
+                down = downgrade_assign(dfg, table, deadline)
+                if abs(up.cost - down.cost) > 1e-9:
+                    different = True
+        assert different
+
+    def test_deterministic(self, wide_dag):
+        table = random_table(wide_dag, seed=3)
+        floor = min_completion_time(wide_dag, table)
+        a = downgrade_assign(wide_dag, table, floor + 2)
+        b = downgrade_assign(wide_dag, table, floor + 2)
+        assert dict(a.assignment.items()) == dict(b.assignment.items())

@@ -1,0 +1,77 @@
+"""Unit tests for the exact solvers (branch-and-bound and brute force)."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.assign.exact import brute_force_assign, exact_assign
+from repro.errors import InfeasibleError, ReproError
+from repro.fu.random_tables import random_table
+from repro.suite.synthetic import random_dag, random_tree
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bb_matches_brute_force(self, seed):
+        dfg = random_dag(8, edge_prob=0.3, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 3, floor + 9):
+            bb = exact_assign(dfg, table, deadline)
+            bb.verify(dfg, table)
+            bf = brute_force_assign(dfg, table, deadline)
+            assert bb.cost == pytest.approx(bf.cost)
+
+    def test_bb_matches_tree_dp(self):
+        from repro.assign.tree_assign import tree_assign
+
+        for seed in range(5):
+            tree = random_tree(8, seed=seed)
+            table = random_table(tree, num_types=3, seed=seed)
+            floor = min_completion_time(tree, table)
+            for deadline in (floor, floor + 6):
+                assert exact_assign(tree, table, deadline).cost == pytest.approx(
+                    tree_assign(tree, table, deadline).cost
+                )
+
+
+class TestGuards:
+    def test_brute_force_size_cap(self):
+        dfg = random_dag(13, seed=0)
+        table = random_table(dfg, seed=0)
+        with pytest.raises(ReproError, match="max_nodes"):
+            brute_force_assign(dfg, table, 100, max_nodes=12)
+
+    def test_bb_node_budget(self, wide_dag):
+        table = random_table(wide_dag, seed=1)
+        floor = min_completion_time(wide_dag, table)
+        with pytest.raises(ReproError, match="budget"):
+            exact_assign(wide_dag, table, floor + 5, node_budget=2)
+
+    def test_infeasible(self, wide_dag):
+        table = random_table(wide_dag, seed=2)
+        floor = min_completion_time(wide_dag, table)
+        with pytest.raises(InfeasibleError):
+            exact_assign(wide_dag, table, floor - 1)
+        with pytest.raises(InfeasibleError):
+            brute_force_assign(wide_dag, table, floor - 1)
+
+
+class TestScale:
+    def test_bb_handles_benchmark_scale(self):
+        """The ILP stand-in must solve the paper's medium graphs."""
+        from repro.suite.registry import get_benchmark
+
+        dfg = get_benchmark("diffeq").dag()
+        table = random_table(dfg, num_types=3, seed=24)
+        floor = min_completion_time(dfg, table)
+        result = exact_assign(dfg, table, floor + 4)
+        result.verify(dfg, table)
+
+    def test_exact_at_floor_is_fastest_cost_or_better(self, wide_dag):
+        from repro.assign.assignment import Assignment
+
+        table = random_table(wide_dag, seed=3)
+        floor = min_completion_time(wide_dag, table)
+        result = exact_assign(wide_dag, table, floor)
+        fastest = Assignment.fastest(wide_dag, table)
+        assert result.cost <= fastest.total_cost(wide_dag, table) + 1e-9

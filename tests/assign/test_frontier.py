@@ -1,0 +1,109 @@
+"""Unit tests for Pareto cost/latency frontiers."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.assign.frontier import dfg_frontier, frontier_knees, tree_frontier
+from repro.assign.tree_assign import tree_assign
+from repro.errors import InfeasibleError
+from repro.fu.random_tables import random_table
+from repro.suite.registry import get_benchmark
+
+
+class TestKnees:
+    def test_collapses_plateaus(self):
+        points = [(1, 10.0), (2, 10.0), (3, 8.0), (4, 8.0), (5, 5.0)]
+        assert frontier_knees(points) == [(1, 10.0), (3, 8.0), (5, 5.0)]
+
+    def test_empty(self):
+        assert frontier_knees([]) == []
+
+    def test_single(self):
+        assert frontier_knees([(3, 7.0)]) == [(3, 7.0)]
+
+
+class TestTreeFrontier:
+    @pytest.fixture
+    def setup(self):
+        dfg = get_benchmark("lattice4").dag()
+        table = random_table(dfg, num_types=3, seed=0)
+        return dfg, table
+
+    def test_starts_at_floor(self, setup):
+        dfg, table = setup
+        floor = min_completion_time(dfg, table)
+        frontier = tree_frontier(dfg, table, floor + 20)
+        assert frontier[0][0] == floor
+
+    def test_strictly_decreasing_costs(self, setup):
+        dfg, table = setup
+        frontier = tree_frontier(dfg, table, 80)
+        costs = [c for _, c in frontier]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_points_match_tree_assign(self, setup):
+        dfg, table = setup
+        frontier = tree_frontier(dfg, table, 60)
+        for deadline, cost in frontier:
+            assert tree_assign(dfg, table, deadline).cost == pytest.approx(cost)
+
+    def test_ends_at_cheapest(self, setup):
+        dfg, table = setup
+        loose = sum(int(table.times(n).max()) for n in dfg.nodes())
+        frontier = tree_frontier(dfg, table, loose)
+        assert frontier[-1][1] == pytest.approx(
+            sum(table.min_cost(n) for n in dfg.nodes())
+        )
+
+    def test_infeasible_horizon(self, setup):
+        dfg, table = setup
+        with pytest.raises(InfeasibleError):
+            tree_frontier(dfg, table, 1)
+
+    def test_rejects_general_dag(self):
+        dfg = get_benchmark("elliptic").dag()
+        table = random_table(dfg, num_types=3, seed=0)
+        with pytest.raises(InfeasibleError, match="dfg_frontier"):
+            tree_frontier(dfg, table, 100)
+
+
+class TestDfgFrontier:
+    @pytest.fixture
+    def setup(self, wide_dag):
+        table = random_table(wide_dag, num_types=3, seed=1)
+        return wide_dag, table
+
+    def test_monotone(self, setup):
+        dfg, table = setup
+        floor = min_completion_time(dfg, table)
+        frontier = dfg_frontier(dfg, table, floor + 15)
+        costs = [c for _, c in frontier]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_exact_dominates_heuristic(self, setup):
+        dfg, table = setup
+        floor = min_completion_time(dfg, table)
+        heur = dict(dfg_frontier(dfg, table, floor + 10))
+        opt = dict(dfg_frontier(dfg, table, floor + 10, exact=True))
+        # compare the achievable cost at every deadline in both
+        for deadline in range(floor, floor + 11):
+            h = min(c for d, c in heur.items() if d <= deadline)
+            o = min(c for d, c in opt.items() if d <= deadline)
+            assert o <= h + 1e-9
+
+    def test_below_floor_raises(self, setup):
+        dfg, table = setup
+        floor = min_completion_time(dfg, table)
+        with pytest.raises(InfeasibleError):
+            dfg_frontier(dfg, table, floor - 1)
+
+    def test_tree_and_dfg_agree_on_forests(self):
+        dfg = get_benchmark("diffeq").dag()  # an in-forest
+        table = random_table(dfg, num_types=3, seed=2)
+        floor = min_completion_time(dfg, table)
+        t = dict(tree_frontier(dfg, table, floor + 8))
+        d = dict(dfg_frontier(dfg, table, floor + 8))
+        for deadline in range(floor, floor + 9):
+            tc = min(c for dl, c in t.items() if dl <= deadline)
+            dc = min(c for dl, c in d.items() if dl <= deadline)
+            assert tc == pytest.approx(dc)

@@ -1,0 +1,93 @@
+"""Unit tests for the greedy baseline."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.exact import brute_force_assign
+from repro.assign.greedy import greedy_assign
+from repro.errors import InfeasibleError
+from repro.fu.random_tables import random_table
+from repro.suite.synthetic import random_dag
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_feasible_whenever_possible(self, seed):
+        dfg = random_dag(10, edge_prob=0.25, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 1, floor + 5, floor + 30):
+            result = greedy_assign(dfg, table, deadline)
+            result.verify(dfg, table)
+            assert result.completion_time <= deadline
+
+    def test_infeasible_raises_with_floor(self, wide_dag):
+        table = random_table(wide_dag, seed=0)
+        floor = min_completion_time(wide_dag, table)
+        with pytest.raises(InfeasibleError) as exc:
+            greedy_assign(wide_dag, table, floor - 1)
+        assert exc.value.min_feasible == floor
+
+
+class TestBehaviour:
+    def test_loose_deadline_keeps_cheapest(self, wide_dag):
+        table = random_table(wide_dag, seed=1)
+        result = greedy_assign(wide_dag, table, 10_000)
+        cheapest = Assignment.cheapest(wide_dag, table)
+        assert result.cost == pytest.approx(
+            cheapest.total_cost(wide_dag, table)
+        )
+
+    def test_never_beats_optimum(self):
+        for seed in range(6):
+            dfg = random_dag(8, edge_prob=0.3, seed=seed)
+            table = random_table(dfg, num_types=3, seed=seed)
+            floor = min_completion_time(dfg, table)
+            for deadline in (floor, floor + 5):
+                greedy = greedy_assign(dfg, table, deadline)
+                opt = brute_force_assign(dfg, table, deadline)
+                assert greedy.cost >= opt.cost - 1e-9
+
+    def test_suboptimal_instance_exists(self):
+        """Greedy must be genuinely weaker than the DP somewhere
+        (otherwise the paper's comparison would be vacuous)."""
+        from repro.assign.dfg_assign import dfg_assign_repeat
+        from repro.suite.registry import get_benchmark
+
+        found_gap = False
+        for name in ("lattice4", "elliptic", "rls_laguerre"):
+            dfg = get_benchmark(name).dag()
+            table = random_table(dfg, num_types=3, seed=24)
+            floor = min_completion_time(dfg, table)
+            for deadline in range(floor, floor + 12):
+                g = greedy_assign(dfg, table, deadline)
+                r = dfg_assign_repeat(dfg, table, deadline)
+                if g.cost > r.cost + 1e-9:
+                    found_gap = True
+        assert found_gap
+
+    def test_single_node(self):
+        from repro.graph.dfg import DFG
+
+        dfg = DFG()
+        dfg.add_node("x")
+        table = random_table(dfg, seed=2)
+        result = greedy_assign(dfg, table, table.min_time("x"))
+        result.verify(dfg, table)
+
+    def test_deterministic(self, wide_dag):
+        table = random_table(wide_dag, seed=3)
+        floor = min_completion_time(wide_dag, table)
+        a = greedy_assign(wide_dag, table, floor + 2)
+        b = greedy_assign(wide_dag, table, floor + 2)
+        assert dict(a.assignment.items()) == dict(b.assignment.items())
+
+    def test_cost_non_increasing_in_deadline(self, wide_dag):
+        table = random_table(wide_dag, seed=4)
+        floor = min_completion_time(wide_dag, table)
+        costs = [
+            greedy_assign(wide_dag, table, L).cost
+            for L in range(floor, floor + 15)
+        ]
+        # greedy is not guaranteed monotone, but must trend down overall
+        assert costs[-1] <= costs[0]

@@ -1,0 +1,104 @@
+"""Unit tests for the ILP model builder (Ito et al. formulation)."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.exact import brute_force_assign, exact_assign
+from repro.assign.ilp_model import build_ilp, check_solution, to_lp_format
+from repro.errors import TableError
+from repro.fu.random_tables import random_table
+from repro.suite.synthetic import random_dag
+
+
+@pytest.fixture
+def instance(wide_dag):
+    table = random_table(wide_dag, num_types=3, seed=0)
+    deadline = min_completion_time(wide_dag, table) + 4
+    return wide_dag, table, deadline
+
+
+class TestModelShape:
+    def test_variable_counts(self, instance):
+        dfg, table, deadline = instance
+        model = build_ilp(dfg, table, deadline)
+        n, m = len(dfg), table.num_types
+        assert len(model.binaries) == n * m
+        assert len(model.continuous) == n
+        assert model.num_variables() == n * (m + 1)
+
+    def test_constraint_counts(self, instance):
+        dfg, table, deadline = instance
+        model = build_ilp(dfg, table, deadline)
+        n = len(dfg)
+        edges = dfg.num_edges()
+        roots = len(dfg.roots())
+        # choose(n) + deadline(n) + path(edges) + source(roots)
+        assert model.num_constraints() == 2 * n + edges + roots
+
+    def test_objective_covers_all_costs(self, instance):
+        dfg, table, deadline = instance
+        model = build_ilp(dfg, table, deadline)
+        total = sum(model.objective.values())
+        expected = sum(
+            table.cost(n, j) for n in dfg.nodes() for j in range(table.num_types)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_negative_deadline_rejected(self, instance):
+        dfg, table, _ = instance
+        with pytest.raises(TableError):
+            build_ilp(dfg, table, -1)
+
+
+class TestLPFormat:
+    def test_sections_present(self, instance):
+        dfg, table, deadline = instance
+        text = to_lp_format(build_ilp(dfg, table, deadline))
+        for section in ("Minimize", "Subject To", "Bounds", "Binaries", "End"):
+            assert section in text
+
+    def test_mentions_every_variable(self, instance):
+        dfg, table, deadline = instance
+        model = build_ilp(dfg, table, deadline)
+        text = to_lp_format(model)
+        for v in model.binaries:
+            assert v in text
+        for v in model.continuous:
+            assert v in text
+
+    def test_deadline_in_bounds(self, instance):
+        dfg, table, deadline = instance
+        text = to_lp_format(build_ilp(dfg, table, deadline))
+        assert f"<= {deadline}" in text
+
+
+class TestCheckSolution:
+    def test_optimal_assignment_is_model_feasible(self, instance):
+        dfg, table, deadline = instance
+        model = build_ilp(dfg, table, deadline)
+        result = exact_assign(dfg, table, deadline)
+        objective = check_solution(model, dfg, table, result.assignment)
+        assert objective == pytest.approx(result.cost)
+
+    def test_infeasible_assignment_rejected(self, instance):
+        dfg, table, _ = instance
+        floor = min_completion_time(dfg, table)
+        model = build_ilp(dfg, table, floor)  # tightest deadline
+        slowest = Assignment.cheapest(dfg, table)
+        if slowest.completion_time(dfg, table) > floor:
+            with pytest.raises(TableError, match="deadline"):
+                check_solution(model, dfg, table, slowest)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_model_objective_equals_system_cost(self, seed):
+        """The ILP objective of any feasible assignment equals its
+        system cost — the equivalence the paper relies on."""
+        dfg = random_dag(8, edge_prob=0.3, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        deadline = min_completion_time(dfg, table) + 3
+        model = build_ilp(dfg, table, deadline)
+        for algo_seeded in (exact_assign, brute_force_assign):
+            result = algo_seeded(dfg, table, deadline)
+            assert check_solution(
+                model, dfg, table, result.assignment
+            ) == pytest.approx(result.cost)

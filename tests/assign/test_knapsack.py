@@ -1,0 +1,112 @@
+"""Unit tests for the 0-1 Knapsack ↔ HAP reduction (NP-completeness)."""
+
+import itertools
+
+import pytest
+
+from repro.assign.knapsack import (
+    SKIPPED,
+    TAKEN,
+    KnapsackInstance,
+    hap_from_knapsack,
+    solve_knapsack_via_hap,
+)
+from repro.errors import TableError
+from repro.graph.classify import is_simple_path
+
+
+def knapsack_dp(values, weights, capacity):
+    """Classical O(nW) knapsack DP, the independent oracle."""
+    best = [0.0] * (capacity + 1)
+    for v, w in zip(values, weights):
+        for c in range(capacity, w - 1, -1):
+            best[c] = max(best[c], best[c - w] + v)
+    return best[capacity]
+
+
+class TestInstanceValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(TableError):
+            KnapsackInstance(values=(1.0,), weights=(1, 2), capacity=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TableError):
+            KnapsackInstance(values=(-1.0,), weights=(1,), capacity=3)
+        with pytest.raises(TableError):
+            KnapsackInstance(values=(1.0,), weights=(-1,), capacity=3)
+        with pytest.raises(TableError):
+            KnapsackInstance(values=(1.0,), weights=(1,), capacity=-1)
+
+
+class TestReductionStructure:
+    def test_builds_simple_path(self):
+        inst = KnapsackInstance(values=(3.0, 4.0), weights=(2, 3), capacity=4)
+        dfg, table = hap_from_knapsack(inst)
+        assert is_simple_path(dfg)
+        assert table.num_types == 2
+
+    def test_taken_type_costs_flipped_value(self):
+        inst = KnapsackInstance(values=(3.0, 5.0), weights=(2, 3), capacity=4)
+        _, table = hap_from_knapsack(inst)
+        vmax = 5.0
+        assert table.cost("item0", TAKEN) == pytest.approx(vmax - 3.0)
+        assert table.cost("item0", SKIPPED) == pytest.approx(vmax)
+        assert table.time("item0", TAKEN) == 2
+        assert table.time("item0", SKIPPED) == 0
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(TableError):
+            hap_from_knapsack(KnapsackInstance(values=(), weights=(), capacity=1))
+
+
+class TestSolving:
+    def test_trivial(self):
+        inst = KnapsackInstance(values=(10.0,), weights=(5,), capacity=5)
+        value, taken = solve_knapsack_via_hap(inst)
+        assert value == 10.0 and taken == [0]
+
+    def test_too_heavy(self):
+        inst = KnapsackInstance(values=(10.0,), weights=(6,), capacity=5)
+        value, taken = solve_knapsack_via_hap(inst)
+        assert value == 0.0 and taken == []
+
+    def test_classic_instance(self):
+        inst = KnapsackInstance(
+            values=(60.0, 100.0, 120.0), weights=(10, 20, 30), capacity=50
+        )
+        value, taken = solve_knapsack_via_hap(inst)
+        assert value == 220.0
+        assert taken == [1, 2]
+
+    def test_empty(self):
+        value, taken = solve_knapsack_via_hap(
+            KnapsackInstance(values=(), weights=(), capacity=5)
+        )
+        assert value == 0.0 and taken == []
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_dp_oracle_random(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        values = tuple(float(v) for v in rng.integers(1, 30, size=n))
+        weights = tuple(int(w) for w in rng.integers(1, 10, size=n))
+        capacity = int(rng.integers(1, 25))
+        inst = KnapsackInstance(values=values, weights=weights, capacity=capacity)
+        got, taken = solve_knapsack_via_hap(inst)
+        assert got == pytest.approx(knapsack_dp(values, weights, capacity))
+        # the returned set must itself be legal and achieve the value
+        assert sum(weights[i] for i in taken) <= capacity
+        assert sum(values[i] for i in taken) == pytest.approx(got)
+
+    def test_matches_exhaustive_small(self):
+        values, weights, capacity = (7.0, 2.0, 9.0, 4.0), (3, 1, 4, 2), 6
+        best = 0.0
+        for mask in itertools.product([0, 1], repeat=4):
+            w = sum(m * wt for m, wt in zip(mask, weights))
+            if w <= capacity:
+                best = max(best, sum(m * v for m, v in zip(mask, values)))
+        inst = KnapsackInstance(values=values, weights=weights, capacity=capacity)
+        got, _ = solve_knapsack_via_hap(inst)
+        assert got == pytest.approx(best)

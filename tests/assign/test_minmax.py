@@ -1,0 +1,121 @@
+"""Unit tests for the min-max (peak-cost) assignment variant."""
+
+import itertools
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.minmax import max_cost, tree_minmax_assign
+from repro.errors import InfeasibleError, NotATreeError
+from repro.fu.random_tables import random_table
+from repro.graph.paths import longest_path_time
+from repro.suite.synthetic import random_tree
+
+
+def brute_force_minmax(dfg, table, deadline):
+    """Exhaustive oracle for the peak-cost objective."""
+    nodes = dfg.nodes()
+    best = float("inf")
+    for combo in itertools.product(range(table.num_types), repeat=len(nodes)):
+        mapping = dict(zip(nodes, combo))
+        times = {n: table.time(n, mapping[n]) for n in nodes}
+        if longest_path_time(dfg, times) > deadline:
+            continue
+        peak = max(table.cost(n, mapping[n]) for n in nodes)
+        best = min(best, peak)
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        tree = random_tree(7, seed=seed)
+        table = random_table(tree, num_types=3, seed=seed)
+        floor = min_completion_time(tree, table)
+        for deadline in (floor, floor + 3, floor + 8):
+            result = tree_minmax_assign(tree, table, deadline)
+            result.verify(tree, table)
+            assert result.peak_cost == pytest.approx(
+                brute_force_minmax(tree, table, deadline)
+            )
+
+    def test_in_tree_handled(self, small_tree):
+        in_tree = small_tree.transpose()
+        table = random_table(in_tree, seed=1)
+        floor = min_completion_time(in_tree, table)
+        result = tree_minmax_assign(in_tree, table, floor + 3)
+        result.verify(in_tree, table)
+
+    def test_loose_deadline_minimizes_global_peak(self, small_tree):
+        table = random_table(small_tree, seed=2)
+        result = tree_minmax_assign(small_tree, table, 10_000)
+        # with infinite slack every node takes its cheapest option, so
+        # the peak is the max over per-node minima
+        expected = max(table.min_cost(n) for n in small_tree.nodes())
+        assert result.peak_cost == pytest.approx(expected)
+
+
+class TestObjectiveDiffersFromSum:
+    def test_minmax_and_minsum_disagree_somewhere(self):
+        """The two objectives must pick different assignments on some
+        instance — otherwise the variant would be vacuous."""
+        from repro.assign.tree_assign import tree_assign
+
+        found = False
+        for seed in range(12):
+            tree = random_tree(7, seed=seed)
+            table = random_table(tree, num_types=3, seed=seed)
+            floor = min_completion_time(tree, table)
+            for deadline in (floor + 1, floor + 4):
+                mm = tree_minmax_assign(tree, table, deadline)
+                ms = tree_assign(tree, table, deadline)
+                peak_of_sum_opt = max_cost(tree, table, ms.assignment)
+                if mm.peak_cost < peak_of_sum_opt - 1e-9:
+                    found = True
+        assert found
+
+    def test_minmax_peak_never_above_sum_optimum_peak(self):
+        from repro.assign.tree_assign import tree_assign
+
+        for seed in range(6):
+            tree = random_tree(6, seed=seed)
+            table = random_table(tree, num_types=3, seed=seed)
+            deadline = min_completion_time(tree, table) + 3
+            mm = tree_minmax_assign(tree, table, deadline)
+            ms = tree_assign(tree, table, deadline)
+            assert mm.peak_cost <= max_cost(tree, table, ms.assignment) + 1e-9
+
+
+class TestErrors:
+    def test_rejects_dags(self, wide_dag):
+        table = random_table(wide_dag, seed=0)
+        with pytest.raises(NotATreeError):
+            tree_minmax_assign(wide_dag, table, 100)
+
+    def test_infeasible(self, small_tree):
+        table = random_table(small_tree, seed=3)
+        floor = min_completion_time(small_tree, table)
+        with pytest.raises(InfeasibleError):
+            tree_minmax_assign(small_tree, table, floor - 1)
+
+    def test_verify_catches_bad_peak(self, small_tree):
+        from repro.assign.minmax import MinMaxResult
+
+        table = random_table(small_tree, seed=4)
+        good = tree_minmax_assign(small_tree, table, 10_000)
+        forged = MinMaxResult(
+            assignment=good.assignment,
+            peak_cost=good.peak_cost / 2,
+            completion_time=good.completion_time,
+            deadline=good.deadline,
+        )
+        with pytest.raises(InfeasibleError):
+            forged.verify(small_tree, table)
+
+
+class TestMaxCost:
+    def test_empty_graph(self):
+        from repro.graph.dfg import DFG
+        from repro.fu.table import TimeCostTable
+
+        assert max_cost(DFG(), TimeCostTable(1), Assignment.of({})) == 0.0

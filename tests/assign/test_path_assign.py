@@ -1,0 +1,94 @@
+"""Unit tests for Path_Assign (optimal DP on simple paths)."""
+
+import pytest
+
+from repro.assign.exact import brute_force_assign
+from repro.assign.path_assign import chain_order, path_assign
+from repro.errors import InfeasibleError, NotAPathError
+from repro.fu.random_tables import random_table
+from repro.graph.dfg import DFG
+
+
+class TestChainOrder:
+    def test_orders_root_to_leaf(self, chain3):
+        assert chain_order(chain3) == ["a", "b", "c"]
+
+    def test_single_node(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        assert chain_order(dfg) == ["x"]
+
+    def test_rejects_tree(self, small_tree):
+        with pytest.raises(NotAPathError):
+            chain_order(small_tree)
+
+    def test_rejects_diamond(self, diamond):
+        with pytest.raises(NotAPathError):
+            chain_order(diamond)
+
+
+class TestOptimality:
+    def test_matches_brute_force_fixture(self, chain3, chain3_table):
+        for deadline in range(4, 16):
+            got = path_assign(chain3, chain3_table, deadline)
+            got.verify(chain3, chain3_table)
+            want = brute_force_assign(chain3, chain3_table, deadline)
+            assert got.cost == pytest.approx(want.cost), deadline
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_random(self, seed):
+        from repro.suite.synthetic import random_path
+
+        dfg = random_path(6, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = sum(table.min_time(n) for n in dfg.nodes())
+        for deadline in (floor, floor + 4, floor + 12):
+            got = path_assign(dfg, table, deadline)
+            got.verify(dfg, table)
+            want = brute_force_assign(dfg, table, deadline)
+            assert got.cost == pytest.approx(want.cost)
+
+    def test_loose_deadline_gives_all_cheapest(self, chain3, chain3_table):
+        result = path_assign(chain3, chain3_table, 1000)
+        expected = sum(chain3_table.min_cost(n) for n in chain3.nodes())
+        assert result.cost == pytest.approx(expected)
+
+    def test_tight_deadline_gives_all_fastest_cost(self, chain3, chain3_table):
+        result = path_assign(chain3, chain3_table, 4)  # exactly the floor
+        assert result.completion_time == 4
+
+
+class TestInfeasibility:
+    def test_below_floor_raises(self, chain3, chain3_table):
+        with pytest.raises(InfeasibleError) as exc:
+            path_assign(chain3, chain3_table, 3)
+        assert exc.value.min_feasible == 4
+
+    def test_negative_deadline(self, chain3, chain3_table):
+        with pytest.raises(InfeasibleError):
+            path_assign(chain3, chain3_table, -1)
+
+
+class TestResultMetadata:
+    def test_algorithm_name(self, chain3, chain3_table):
+        assert path_assign(chain3, chain3_table, 10).algorithm == "path_assign"
+
+    def test_deadline_recorded(self, chain3, chain3_table):
+        assert path_assign(chain3, chain3_table, 10).deadline == 10
+
+    def test_completion_within_deadline(self, chain3, chain3_table):
+        result = path_assign(chain3, chain3_table, 9)
+        assert result.completion_time <= 9
+
+    def test_deterministic(self, chain3, chain3_table):
+        r1 = path_assign(chain3, chain3_table, 8)
+        r2 = path_assign(chain3, chain3_table, 8)
+        assert dict(r1.assignment.items()) == dict(r2.assignment.items())
+
+
+class TestMonotonicity:
+    def test_cost_non_increasing_in_deadline(self, chain3, chain3_table):
+        costs = [
+            path_assign(chain3, chain3_table, L).cost for L in range(4, 20)
+        ]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))

@@ -1,0 +1,112 @@
+"""Unit tests for sensitivity analysis."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.assign.sensitivity import marginal_cost_of_time, node_sensitivity
+from repro.errors import InfeasibleError
+from repro.fu.random_tables import random_table
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+from repro.suite.registry import get_benchmark
+
+
+@pytest.fixture
+def tree_instance():
+    dfg = get_benchmark("lattice4").dag()
+    table = random_table(dfg, num_types=3, seed=24)
+    return dfg, table
+
+
+class TestMarginalCost:
+    def test_fields_consistent(self, tree_instance):
+        dfg, table = tree_instance
+        deadline = min_completion_time(dfg, table) + 3
+        mc = marginal_cost_of_time(dfg, table, deadline)
+        assert mc.deadline == deadline
+        assert mc.relax_gain >= 0.0
+        assert mc.tighten_penalty is None or mc.tighten_penalty >= 0.0
+
+    def test_at_floor_tightening_infeasible(self, tree_instance):
+        dfg, table = tree_instance
+        floor = min_completion_time(dfg, table)
+        mc = marginal_cost_of_time(dfg, table, floor)
+        assert mc.tighten_penalty is None
+
+    def test_matches_frontier(self, tree_instance):
+        """Marginal costs are the frontier's discrete derivative."""
+        from repro.assign.tree_assign import tree_assign
+
+        dfg, table = tree_instance
+        floor = min_completion_time(dfg, table)
+        deadline = floor + 4
+        mc = marginal_cost_of_time(dfg, table, deadline)
+        c_prev = tree_assign(dfg, table, deadline - 1).cost
+        c_next = tree_assign(dfg, table, deadline + 1).cost
+        assert mc.tighten_penalty == pytest.approx(c_prev - mc.cost)
+        assert mc.relax_gain == pytest.approx(mc.cost - c_next)
+
+    def test_infeasible_deadline_raises(self, tree_instance):
+        dfg, table = tree_instance
+        floor = min_completion_time(dfg, table)
+        with pytest.raises(InfeasibleError):
+            marginal_cost_of_time(dfg, table, floor - 1)
+
+    def test_saturated_regime_all_zero(self, tree_instance):
+        dfg, table = tree_instance
+        huge = 10 * min_completion_time(dfg, table)
+        mc = marginal_cost_of_time(dfg, table, huge)
+        assert mc.relax_gain == 0.0
+        assert mc.tighten_penalty == pytest.approx(0.0)
+
+    def test_dag_instance(self):
+        dfg = get_benchmark("elliptic").dag()
+        table = random_table(dfg, num_types=3, seed=24)
+        deadline = min_completion_time(dfg, table) + 5
+        mc = marginal_cost_of_time(dfg, table, deadline)
+        assert mc.cost > 0
+
+
+class TestNodeSensitivity:
+    def test_pinned_node_detected(self):
+        """A chain at its floor pins every node to its fastest type."""
+        dfg = DFG.from_edges([("a", "b")])
+        table = TimeCostTable.from_rows(
+            {"a": ([1, 3], [9.0, 1.0]), "b": ([1, 4], [8.0, 1.0])}
+        )
+        floor = min_completion_time(dfg, table)  # = 2
+        sens = node_sensitivity(dfg, table, floor)
+        assert all(s.pinned_fastest for s in sens)
+        # forcing the slow type is infeasible at the floor
+        for s in sens:
+            assert s.regret_per_type[1] is None
+
+    def test_indifferent_node_detected(self):
+        """Identical rows at a loose deadline: any type is optimal."""
+        dfg = DFG()
+        dfg.add_node("x")
+        table = TimeCostTable.from_rows({"x": ([2, 2], [5.0, 5.0])})
+        sens = node_sensitivity(dfg, table, 10)
+        assert sens[0].indifferent
+        assert not sens[0].pinned_fastest
+
+    def test_regret_of_expensive_forced_choice(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        table = TimeCostTable.from_rows({"x": ([1, 3], [9.0, 2.0])})
+        sens = node_sensitivity(dfg, table, 10)[0]
+        assert sens.regret_per_type[1] == pytest.approx(0.0)  # optimal
+        assert sens.regret_per_type[0] == pytest.approx(7.0)  # forced fast
+
+    def test_subset_of_nodes(self, tree_instance):
+        dfg, table = tree_instance
+        deadline = min_completion_time(dfg, table) + 3
+        sens = node_sensitivity(dfg, table, deadline, nodes=["s1_m1"])
+        assert len(sens) == 1 and str(sens[0].node) == "s1_m1"
+
+    def test_regrets_nonnegative_on_trees(self, tree_instance):
+        dfg, table = tree_instance
+        deadline = min_completion_time(dfg, table) + 2
+        for s in node_sensitivity(dfg, table, deadline):
+            for r in s.regret_per_type.values():
+                assert r is None or r >= -1e-9

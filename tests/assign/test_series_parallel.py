@@ -1,0 +1,182 @@
+"""Unit tests for the series-parallel exact DP (Li et al. [13])."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.assign.exact import brute_force_assign
+from repro.assign.path_assign import path_assign
+from repro.assign.series_parallel import (
+    NotSeriesParallelError,
+    is_two_terminal_sp,
+    sp_assign,
+)
+from repro.errors import InfeasibleError
+from repro.fu.random_tables import random_table
+from repro.graph.dfg import DFG
+
+
+def diamond():
+    return DFG.from_edges(
+        [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")], name="diamond_st"
+    )
+
+
+def nested():
+    """s → (a → (c ‖ d) → e) ‖ b → t: series and parallel nesting."""
+    return DFG.from_edges(
+        [
+            ("s", "a"), ("a", "c"), ("a", "d"), ("c", "e"), ("d", "e"),
+            ("e", "t"), ("s", "b"), ("b", "t"),
+        ],
+        name="nested_sp",
+    )
+
+
+def wheatstone():
+    return DFG.from_edges(
+        [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t"), ("a", "b")],
+        name="bridge",
+    )
+
+
+def random_sp(depth, seed):
+    """Random two-terminal SP graph via recursive construction."""
+    import numpy as np
+
+    gen = np.random.default_rng(seed)
+    dfg = DFG(name=f"sp{seed}")
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return f"n{counter[0]}"
+
+    def build(src, dst, d):
+        """Populate a sub-network between existing nodes src → dst."""
+        if d == 0 or gen.random() < 0.3:
+            mid = fresh()
+            dfg.add_node(mid)
+            dfg.add_edge(src, mid, 0)
+            dfg.add_edge(mid, dst, 0)
+            return
+        if gen.random() < 0.5:  # series: src -> m -> dst, recurse both
+            mid = fresh()
+            dfg.add_node(mid)
+            build(src, mid, d - 1)
+            build(mid, dst, d - 1)
+        else:  # parallel branches
+            for _ in range(int(gen.integers(2, 4))):
+                build(src, dst, d - 1)
+
+    dfg.add_node("S")
+    dfg.add_node("T")
+    build("S", "T", depth)
+    return dfg
+
+
+class TestRecognition:
+    def test_accepts_sp_shapes(self):
+        assert is_two_terminal_sp(diamond())
+        assert is_two_terminal_sp(nested())
+
+    def test_rejects_bridge(self):
+        assert not is_two_terminal_sp(wheatstone())
+
+    def test_rejects_multi_terminal(self, wide_dag):
+        assert not is_two_terminal_sp(wide_dag)
+
+    def test_single_node_is_sp(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        assert is_two_terminal_sp(dfg)
+
+    def test_chain_is_sp(self, chain3):
+        assert is_two_terminal_sp(chain3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_sp_recognized(self, seed):
+        assert is_two_terminal_sp(random_sp(3, seed))
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("builder", [diamond, nested])
+    def test_matches_brute_force_fixed(self, builder):
+        dfg = builder()
+        table = random_table(dfg, num_types=3, seed=7)
+        floor = min_completion_time(dfg, table)
+        for deadline in range(floor, floor + 8):
+            got = sp_assign(dfg, table, deadline)
+            got.verify(dfg, table)
+            want = brute_force_assign(dfg, table, deadline)
+            assert got.cost == pytest.approx(want.cost)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_random(self, seed):
+        dfg = random_sp(2, seed)
+        if len(dfg) > 11:
+            pytest.skip("instance too large for the brute-force oracle")
+        table = random_table(dfg, num_types=2, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 3, floor + 7):
+            got = sp_assign(dfg, table, deadline)
+            got.verify(dfg, table)
+            want = brute_force_assign(dfg, table, deadline)
+            assert got.cost == pytest.approx(want.cost)
+
+    def test_chain_agrees_with_path_assign(self, chain3, chain3_table):
+        for deadline in range(4, 14):
+            sp = sp_assign(chain3, chain3_table, deadline)
+            pa = path_assign(chain3, chain3_table, deadline)
+            assert sp.cost == pytest.approx(pa.cost)
+
+    def test_extends_beyond_trees(self):
+        """The whole point: the diamond is NOT a tree/forest, yet SP
+        solves it exactly where Tree_Assign refuses."""
+        from repro.assign.tree_assign import tree_assign
+        from repro.errors import NotATreeError
+
+        dfg = diamond()
+        table = random_table(dfg, num_types=3, seed=3)
+        deadline = min_completion_time(dfg, table) + 4
+        with pytest.raises(NotATreeError):
+            tree_assign(dfg, table, deadline)
+        result = sp_assign(dfg, table, deadline)
+        result.verify(dfg, table)
+
+
+class TestErrors:
+    def test_bridge_raises(self):
+        dfg = wheatstone()
+        table = random_table(dfg, num_types=2, seed=0)
+        with pytest.raises(NotSeriesParallelError):
+            sp_assign(dfg, table, 100)
+
+    def test_multi_source_raises(self, wide_dag):
+        table = random_table(wide_dag, num_types=2, seed=0)
+        with pytest.raises(NotSeriesParallelError, match="sources"):
+            sp_assign(wide_dag, table, 100)
+
+    def test_infeasible_deadline(self):
+        dfg = diamond()
+        table = random_table(dfg, num_types=2, seed=1)
+        floor = min_completion_time(dfg, table)
+        with pytest.raises(InfeasibleError):
+            sp_assign(dfg, table, floor - 1)
+
+    def test_negative_deadline(self):
+        dfg = diamond()
+        table = random_table(dfg, num_types=2, seed=1)
+        with pytest.raises(InfeasibleError):
+            sp_assign(dfg, table, -1)
+
+
+class TestSynthesisIntegration:
+    def test_sp_algorithm_name(self):
+        from repro.synthesis import synthesize
+
+        dfg = nested()
+        table = random_table(dfg, num_types=3, seed=2)
+        deadline = min_completion_time(dfg, table) + 3
+        result = synthesize(dfg, table, deadline, algorithm="sp")
+        result.verify(dfg, table)
+        assert result.assign_result.algorithm == "sp_assign"

@@ -1,0 +1,87 @@
+"""Unit tests for FU types and libraries."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.fu.library import FULibrary, FUType, default_library
+
+
+class TestFUType:
+    def test_defaults(self):
+        t = FUType(name="F1")
+        assert t.speed == 1.0
+        assert t.failure_rate >= 0
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(TableError):
+            FUType(name="bad", speed=0)
+
+    def test_negative_attributes_rejected(self):
+        with pytest.raises(TableError):
+            FUType(name="bad", failure_rate=-1)
+        with pytest.raises(TableError):
+            FUType(name="bad", energy_per_step=-1)
+
+    def test_frozen(self):
+        t = FUType(name="F1")
+        with pytest.raises(AttributeError):
+            t.speed = 2.0  # type: ignore[misc]
+
+
+class TestFULibrary:
+    def test_of_and_len(self):
+        lib = FULibrary.of(FUType(name="A"), FUType(name="B"))
+        assert len(lib) == 2
+        assert lib.names == ["A", "B"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TableError):
+            FULibrary(types=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TableError):
+            FULibrary.of(FUType(name="A"), FUType(name="A"))
+
+    def test_indexing(self):
+        lib = FULibrary.of(FUType(name="A"), FUType(name="B"))
+        assert lib[1].name == "B"
+        assert lib.index_of("B") == 1
+
+    def test_index_of_unknown(self):
+        lib = FULibrary.of(FUType(name="A"))
+        with pytest.raises(TableError):
+            lib.index_of("Z")
+
+    def test_iteration_order(self):
+        lib = FULibrary.of(FUType(name="A"), FUType(name="B"), FUType(name="C"))
+        assert [t.name for t in lib] == ["A", "B", "C"]
+
+
+class TestDefaultLibrary:
+    def test_three_graded_types(self):
+        lib = default_library(3)
+        assert lib.names == ["F1", "F2", "F3"]
+        # F1 fastest, F3 slowest
+        speeds = [t.speed for t in lib]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_failure_rates_grow_with_speed(self):
+        lib = default_library(3)
+        rates = [t.failure_rate for t in lib]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_custom_speeds(self):
+        lib = default_library(2, speeds=[4.0, 1.0], failure_rates=[1e-3, 1e-4])
+        assert lib[0].speed == 4.0
+
+    def test_bad_lengths(self):
+        with pytest.raises(TableError):
+            default_library(3, speeds=[1.0])
+
+    def test_bad_count(self):
+        with pytest.raises(TableError):
+            default_library(0)
+
+    def test_single_type(self):
+        lib = default_library(1)
+        assert len(lib) == 1

@@ -1,0 +1,115 @@
+"""Unit tests for the energy and reliability cost models."""
+
+import math
+
+import pytest
+
+from repro.errors import TableError
+from repro.fu.library import default_library
+from repro.fu.models import (
+    DEFAULT_OP_WORK,
+    energy_table,
+    execution_times,
+    reliability_table,
+    system_reliability,
+)
+from repro.graph.dfg import DFG
+
+
+@pytest.fixture
+def graph():
+    return DFG.from_edges(
+        [("m", "a")], ops={"m": "mul", "a": "add"}
+    )
+
+
+@pytest.fixture
+def lib():
+    return default_library(3)
+
+
+class TestExecutionTimes:
+    def test_faster_types_take_fewer_steps(self, graph, lib):
+        times = execution_times(graph, lib)
+        for node in graph.nodes():
+            assert times[node] == sorted(times[node])  # F1 fastest
+
+    def test_never_below_one_step(self, graph, lib):
+        times = execution_times(graph, lib)
+        assert all(t >= 1 for row in times.values() for t in row)
+
+    def test_mul_slower_than_add(self, graph, lib):
+        times = execution_times(graph, lib)
+        assert times["m"][-1] >= times["a"][-1]
+
+    def test_unknown_op_raises(self, lib):
+        dfg = DFG()
+        dfg.add_node("x", op="transmogrify")
+        with pytest.raises(TableError, match="transmogrify"):
+            execution_times(dfg, lib)
+
+    def test_custom_op_work(self, lib):
+        dfg = DFG()
+        dfg.add_node("x", op="fft")
+        times = execution_times(dfg, lib, op_work={"fft": 8})
+        assert times["x"][-1] == 8  # slowest type has speed 1.0
+
+    def test_bad_workload(self, lib):
+        dfg = DFG()
+        dfg.add_node("x", op="nop")
+        with pytest.raises(TableError):
+            execution_times(dfg, lib, op_work={"nop": 0})
+
+
+class TestEnergyTable:
+    def test_shape(self, graph, lib):
+        table = energy_table(graph, lib)
+        assert table.num_types == 3
+        table.validate_for(graph)
+
+    def test_energy_is_power_times_time(self, graph, lib):
+        table = energy_table(graph, lib)
+        times = execution_times(graph, lib)
+        for n in graph.nodes():
+            for j in range(3):
+                assert table.cost(n, j) == pytest.approx(
+                    lib[j].energy_per_step * times[n][j]
+                )
+
+    def test_tradeoff_exists(self, graph, lib):
+        # the fast type must not also be cheapest (else no problem to solve)
+        table = energy_table(graph, lib)
+        assert table.cost("m", 0) > table.cost("m", 2)
+        assert table.time("m", 0) < table.time("m", 2)
+
+
+class TestReliabilityTable:
+    def test_cost_is_lambda_times_time(self, graph, lib):
+        table = reliability_table(graph, lib, scale=1.0)
+        times = execution_times(graph, lib)
+        for n in graph.nodes():
+            for j in range(3):
+                assert table.cost(n, j) == pytest.approx(
+                    lib[j].failure_rate * times[n][j]
+                )
+
+    def test_scale_does_not_change_argmin(self, graph, lib):
+        t1 = reliability_table(graph, lib, scale=1.0)
+        t2 = reliability_table(graph, lib, scale=1e6)
+        for n in graph.nodes():
+            assert t1.cheapest_type(n) == t2.cheapest_type(n)
+
+    def test_system_reliability_inverts_scale(self):
+        # total cost 0 -> reliability 1
+        assert system_reliability(0.0) == 1.0
+        # consistency with exp model
+        assert system_reliability(1e4, scale=1e4) == pytest.approx(math.exp(-1))
+
+    def test_reliability_decreases_with_cost(self):
+        assert system_reliability(100.0) > system_reliability(200.0)
+
+
+class TestDefaults:
+    def test_default_op_work_covers_dsp_ops(self):
+        for op in ("mul", "add", "sub", "cmp"):
+            assert op in DEFAULT_OP_WORK

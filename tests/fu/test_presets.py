@@ -1,0 +1,57 @@
+"""Unit tests for the FU-library presets."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.fu.models import energy_table, reliability_table
+from repro.fu.presets import PRESETS, preset_library, preset_names
+from repro.suite.registry import get_benchmark
+
+
+class TestRegistry:
+    def test_names(self):
+        assert preset_names() == ["asic", "fpga", "safety"]
+
+    def test_unknown(self):
+        with pytest.raises(TableError, match="available"):
+            preset_library("quantum")
+
+    def test_lookup(self):
+        assert preset_library("asic") is PRESETS["asic"]
+
+
+class TestLadders:
+    @pytest.mark.parametrize("name", ["asic", "fpga"])
+    def test_speed_cost_tradeoff(self, name):
+        lib = preset_library(name)
+        speeds = [t.speed for t in lib]
+        energies = [t.energy_per_step for t in lib]
+        assert speeds == sorted(speeds, reverse=True)
+        assert energies == sorted(energies, reverse=True)
+
+    def test_safety_reliability_ladder(self):
+        lib = preset_library("safety")
+        rates = [t.failure_rate for t in lib]
+        assert rates == sorted(rates, reverse=True)
+        # the hardened units are slower than COTS
+        assert lib[0].speed > lib[-1].speed
+
+
+class TestUsableWithModels:
+    @pytest.mark.parametrize("name", ["asic", "fpga", "safety"])
+    def test_builds_both_tables(self, name):
+        dfg = get_benchmark("diffeq")
+        lib = preset_library(name)
+        for table in (energy_table(dfg, lib), reliability_table(dfg, lib)):
+            table.validate_for(dfg)
+            assert table.num_types == len(lib)
+
+    def test_synthesis_end_to_end(self):
+        from repro.assign.assignment import min_completion_time
+        from repro.synthesis import synthesize
+
+        dfg = get_benchmark("diffeq").dag()
+        table = energy_table(dfg, preset_library("asic"))
+        deadline = min_completion_time(dfg, table) + 3
+        result = synthesize(dfg, table, deadline)
+        result.verify(dfg, table)

@@ -1,0 +1,87 @@
+"""Unit tests for the paper-style randomized tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.fu.random_tables import random_table, random_table_for_nodes
+from repro.graph.dfg import DFG
+
+
+@pytest.fixture
+def graph():
+    return DFG.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+class TestMonotoneLadder:
+    def test_times_strictly_increase(self, graph):
+        table = random_table(graph, num_types=3, seed=1)
+        for n in graph.nodes():
+            t = table.times(n)
+            assert all(t[i] < t[i + 1] for i in range(len(t) - 1))
+
+    def test_costs_strictly_decrease(self, graph):
+        table = random_table(graph, num_types=3, seed=1)
+        for n in graph.nodes():
+            c = table.costs(n)
+            assert all(c[i] > c[i + 1] for i in range(len(c) - 1))
+
+    def test_no_dominated_options(self, graph):
+        # strict monotonicity in both columns means every type is on
+        # the Pareto front
+        table = random_table(graph, num_types=4, seed=3)
+        for n in graph.nodes():
+            t, c = table.times(n), table.costs(n)
+            for i in range(4):
+                for j in range(4):
+                    if i != j:
+                        assert not (t[i] <= t[j] and c[i] <= c[j])
+
+
+class TestDeterminism:
+    def test_same_seed_same_table(self, graph):
+        t1 = random_table(graph, seed=42)
+        t2 = random_table(graph, seed=42)
+        for n in graph.nodes():
+            assert np.array_equal(t1.times(n), t2.times(n))
+            assert np.array_equal(t1.costs(n), t2.costs(n))
+
+    def test_different_seed_different_table(self, graph):
+        t1 = random_table(graph, seed=1)
+        t2 = random_table(graph, seed=2)
+        assert any(
+            not np.array_equal(t1.times(n), t2.times(n)) for n in graph.nodes()
+        )
+
+    def test_shared_rng_continues_stream(self, graph):
+        rng = np.random.default_rng(0)
+        t1 = random_table_for_nodes(["x"], rng=rng)
+        t2 = random_table_for_nodes(["x"], rng=rng)
+        # continuing the stream should (almost surely) differ
+        assert not (
+            np.array_equal(t1.times("x"), t2.times("x"))
+            and np.array_equal(t1.costs("x"), t2.costs("x"))
+        )
+
+
+class TestValidation:
+    def test_covers_all_nodes(self, graph):
+        table = random_table(graph, seed=0)
+        table.validate_for(graph)
+
+    def test_single_type(self, graph):
+        table = random_table(graph, num_types=1, seed=0)
+        assert table.num_types == 1
+
+    def test_zero_types_rejected(self, graph):
+        with pytest.raises(TableError):
+            random_table(graph, num_types=0)
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(TableError):
+            random_table_for_nodes([])
+
+    def test_base_time_bounds(self, graph):
+        table = random_table(graph, seed=5, max_base_time=1, max_time_step=1)
+        for n in graph.nodes():
+            assert list(table.times(n)) == [1, 2, 3]

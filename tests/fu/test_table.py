@@ -1,0 +1,137 @@
+"""Unit tests for time/cost tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+
+
+@pytest.fixture
+def table():
+    return TimeCostTable.from_rows(
+        {
+            "a": ([1, 2, 3], [9.0, 5.0, 2.0]),
+            "b": ([2, 2, 5], [7.0, 7.0, 1.0]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, table):
+        assert table.num_types == 3
+        assert len(table) == 2
+        assert "a" in table and "c" not in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(TableError):
+            TimeCostTable.from_rows({})
+
+    def test_zero_types_rejected(self):
+        with pytest.raises(TableError):
+            TimeCostTable(0)
+
+    def test_row_length_mismatch(self):
+        t = TimeCostTable(3)
+        with pytest.raises(TableError):
+            t.set_row("x", [1, 2], [1.0, 2.0, 3.0])
+
+    def test_negative_time_rejected(self):
+        t = TimeCostTable(2)
+        with pytest.raises(TableError):
+            t.set_row("x", [-1, 2], [1.0, 2.0])
+
+    def test_fractional_time_rejected(self):
+        t = TimeCostTable(2)
+        with pytest.raises(TableError):
+            t.set_row("x", [1.5, 2], [1.0, 2.0])
+
+    def test_integer_valued_float_time_accepted(self):
+        t = TimeCostTable(2)
+        t.set_row("x", [1.0, 2.0], [1.0, 2.0])
+        assert t.time("x", 0) == 1
+
+    def test_negative_cost_rejected(self):
+        t = TimeCostTable(2)
+        with pytest.raises(TableError):
+            t.set_row("x", [1, 2], [-1.0, 2.0])
+
+    def test_nan_cost_rejected(self):
+        t = TimeCostTable(2)
+        with pytest.raises(TableError):
+            t.set_row("x", [1, 2], [float("nan"), 2.0])
+
+    def test_zero_time_allowed_for_pseudo_nodes(self):
+        t = TimeCostTable(2)
+        t.set_row("pseudo", [0, 0], [0.0, 0.0])
+        assert t.min_time("pseudo") == 0
+
+
+class TestAccess:
+    def test_time_cost(self, table):
+        assert table.time("a", 1) == 2
+        assert table.cost("b", 2) == 1.0
+
+    def test_rows_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.times("a")[0] = 99
+
+    def test_out_of_range_type(self, table):
+        with pytest.raises(TableError):
+            table.time("a", 3)
+        with pytest.raises(TableError):
+            table.cost("a", -1)
+
+    def test_unknown_node(self, table):
+        with pytest.raises(TableError):
+            table.times("zzz")
+
+    def test_min_time_cost(self, table):
+        assert table.min_time("a") == 1
+        assert table.min_cost("a") == 2.0
+
+    def test_min_times_map(self, table):
+        assert table.min_times() == {"a": 1, "b": 2}
+        assert table.min_times(["b"]) == {"b": 2}
+
+    def test_fastest_type_tie_breaks_on_cost(self, table):
+        # b: times (2,2,5) tie between types 0 and 1, costs equal -> index 0
+        assert table.fastest_type("b") == 0
+
+    def test_cheapest_type(self, table):
+        assert table.cheapest_type("a") == 2
+
+    def test_cheapest_tie_breaks_on_time(self):
+        t = TimeCostTable.from_rows({"x": ([5, 2], [3.0, 3.0])})
+        assert t.cheapest_type("x") == 1
+
+
+class TestDerivation:
+    def test_with_fixed_pins_all_entries(self, table):
+        fixed = table.with_fixed("a", 1)
+        assert list(fixed.times("a")) == [2, 2, 2]
+        assert list(fixed.costs("a")) == [5.0, 5.0, 5.0]
+        # original untouched
+        assert list(table.times("a")) == [1, 2, 3]
+
+    def test_with_row_replaces(self, table):
+        t2 = table.with_row("a", [9, 9, 9], [1.0, 1.0, 1.0])
+        assert t2.min_time("a") == 9
+        assert table.min_time("a") == 1
+
+    def test_copy_independent(self, table):
+        c = table.copy()
+        c.set_row("c", [1, 1, 1], [1.0, 1.0, 1.0])
+        assert "c" not in table
+
+
+class TestValidation:
+    def test_validate_for_ok(self, table):
+        dfg = DFG.from_edges([("a", "b")])
+        table.validate_for(dfg)  # must not raise
+
+    def test_validate_for_missing(self, table):
+        dfg = DFG.from_edges([("a", "zzz")])
+        with pytest.raises(TableError, match="zzz"):
+            table.validate_for(dfg)

@@ -1,0 +1,69 @@
+"""Unit tests for graph structural metrics."""
+
+import pytest
+
+from repro.graph.analysis import op_histogram, parallelism_profile, profile
+from repro.graph.dfg import DFG
+from repro.suite.registry import get_benchmark
+
+
+class TestOpHistogram:
+    def test_counts(self):
+        dfg = DFG.from_edges(
+            [("a", "b"), ("b", "c")], ops={"a": "mul", "b": "mul", "c": "add"}
+        )
+        assert op_histogram(dfg) == {"add": 1, "mul": 2}
+
+    def test_sorted_keys(self):
+        dfg = DFG()
+        dfg.add_node("x", op="sub")
+        dfg.add_node("y", op="add")
+        assert list(op_histogram(dfg)) == ["add", "sub"]
+
+
+class TestParallelismProfile:
+    def test_diamond(self, diamond):
+        unit = {n: 1 for n in diamond.nodes()}
+        assert parallelism_profile(diamond, unit) == [1, 2, 1]
+
+    def test_independent_nodes(self):
+        dfg = DFG()
+        for i in range(3):
+            dfg.add_node(f"v{i}")
+        assert parallelism_profile(dfg, {f"v{i}": 2 for i in range(3)}) == [3, 3]
+
+    def test_total_mass_is_total_work(self, diamond):
+        times = {"a": 2, "b": 3, "c": 1, "d": 2}
+        assert sum(parallelism_profile(diamond, times)) == sum(times.values())
+
+
+class TestProfile:
+    def test_elliptic_fingerprint(self):
+        p = profile(get_benchmark("elliptic"))
+        assert p.nodes == 34
+        assert p.ops == {"add": 26, "mul": 8}
+        assert p.shape == "dag"
+        assert p.roots == 8 and p.leaves == 1
+
+    def test_shapes(self, chain3, small_tree, wide_dag):
+        assert profile(chain3).shape == "path"
+        assert profile(small_tree).shape == "tree"
+        assert profile(wide_dag).shape == "dag"
+
+    def test_expansion_copies_matches_expand(self, wide_dag):
+        from repro.assign.dfg_expand import dfg_expand
+
+        p = profile(wide_dag)
+        assert p.extra_copies_on_expansion == len(dfg_expand(wide_dag)) - len(
+            wide_dag
+        )
+
+    def test_cyclic_graph_uses_dag_part(self):
+        dfg = get_benchmark("biquad2")
+        p = profile(dfg)
+        assert p.delays > 0
+        assert p.nodes == len(dfg)
+
+    def test_describe_readable(self):
+        text = profile(get_benchmark("diffeq")).describe()
+        assert "diffeq" in text and "11 nodes" in text and "mul" in text

@@ -1,0 +1,101 @@
+"""Unit tests for structural classification."""
+
+from repro.graph.classify import (
+    common_nodes,
+    duplication_count,
+    is_in_forest,
+    is_out_forest,
+    is_out_tree,
+    is_simple_path,
+    multi_parent_nodes,
+)
+from repro.graph.dfg import DFG
+
+
+class TestIsSimplePath:
+    def test_chain(self, chain3):
+        assert is_simple_path(chain3)
+
+    def test_single_node(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        assert is_simple_path(dfg)
+
+    def test_empty_not_path(self):
+        assert not is_simple_path(DFG())
+
+    def test_diamond_not_path(self, diamond):
+        assert not is_simple_path(diamond)
+
+    def test_two_components_not_path(self):
+        dfg = DFG.from_edges([("a", "b")])
+        dfg.add_node("c")
+        assert not is_simple_path(dfg)
+
+    def test_cycle_not_path(self):
+        dfg = DFG.from_edges([("a", "b", 0), ("b", "a", 1)])
+        assert not is_simple_path(dfg)
+
+
+class TestForests:
+    def test_out_tree(self):
+        dfg = DFG.from_edges([("r", "x"), ("r", "y"), ("y", "z")])
+        assert is_out_forest(dfg)
+        assert is_out_tree(dfg)
+        assert not is_in_forest(dfg)
+
+    def test_in_tree(self):
+        dfg = DFG.from_edges([("x", "r"), ("y", "r"), ("z", "y")])
+        assert is_in_forest(dfg)
+        assert not is_out_forest(dfg)
+
+    def test_chain_is_both(self, chain3):
+        assert is_out_forest(chain3)
+        assert is_in_forest(chain3)
+
+    def test_forest_with_two_roots(self):
+        dfg = DFG.from_edges([("r1", "x"), ("r2", "y")])
+        assert is_out_forest(dfg)
+        assert not is_out_tree(dfg)
+
+    def test_diamond_is_neither(self, diamond):
+        assert not is_out_forest(diamond)
+        assert not is_in_forest(diamond)
+
+    def test_empty_is_not_forest(self):
+        assert not is_out_forest(DFG())
+        assert not is_in_forest(DFG())
+
+
+class TestCommonNodes:
+    def test_diamond(self, diamond):
+        # a has 2 downward paths, d has 2 upward paths; b and c lie on one each
+        assert common_nodes(diamond) == ["a", "d"]
+
+    def test_multi_parent_nodes(self, diamond):
+        assert multi_parent_nodes(diamond) == ["d"]
+
+    def test_tree_has_common_root_only(self):
+        dfg = DFG.from_edges([("r", "x"), ("r", "y")])
+        assert common_nodes(dfg) == ["r"]
+        assert multi_parent_nodes(dfg) == []
+
+    def test_chain_has_none(self, chain3):
+        assert common_nodes(chain3) == []
+
+
+class TestDuplicationCount:
+    def test_tree_zero(self):
+        dfg = DFG.from_edges([("r", "x"), ("r", "y"), ("y", "z")])
+        assert duplication_count(dfg) == 0
+
+    def test_diamond(self, diamond):
+        # d reached via 2 paths -> one extra copy
+        assert duplication_count(diamond) == 1
+
+    def test_matches_expansion(self, wide_dag):
+        from repro.assign.dfg_expand import dfg_expand
+
+        extra = duplication_count(wide_dag)
+        tree = dfg_expand(wide_dag)
+        assert len(tree) == len(wide_dag) + extra

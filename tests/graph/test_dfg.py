@@ -1,0 +1,185 @@
+"""Unit tests for the DFG model."""
+
+import pytest
+
+from repro.errors import CyclicDependencyError, GraphError
+from repro.graph.dfg import DFG
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        dfg = DFG(name="empty")
+        assert len(dfg) == 0
+        assert dfg.nodes() == []
+        assert dfg.edges() == []
+        assert dfg.num_edges() == 0
+
+    def test_add_node_with_op(self):
+        dfg = DFG()
+        dfg.add_node("m", op="mul")
+        assert "m" in dfg
+        assert dfg.op("m") == "mul"
+
+    def test_add_node_default_op(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        assert dfg.op("x") == "op"
+
+    def test_add_node_none_rejected(self):
+        dfg = DFG()
+        with pytest.raises(GraphError):
+            dfg.add_node(None)
+
+    def test_add_edge_creates_endpoints(self):
+        dfg = DFG()
+        dfg.add_edge("u", "v", 0)
+        assert "u" in dfg and "v" in dfg
+        assert dfg.edges() == [("u", "v", 0)]
+
+    def test_add_edge_negative_delay_rejected(self):
+        dfg = DFG()
+        with pytest.raises(GraphError):
+            dfg.add_edge("u", "v", -1)
+
+    def test_zero_delay_self_loop_rejected(self):
+        dfg = DFG()
+        with pytest.raises(CyclicDependencyError):
+            dfg.add_edge("u", "u", 0)
+
+    def test_delayed_self_loop_allowed(self):
+        dfg = DFG()
+        dfg.add_edge("u", "u", 1)
+        assert dfg.edges() == [("u", "u", 1)]
+
+    def test_parallel_edges_allowed(self):
+        dfg = DFG()
+        dfg.add_edge("u", "v", 0)
+        dfg.add_edge("u", "v", 2)
+        assert dfg.num_edges() == 2
+        assert sorted(d for _, _, d in dfg.edges()) == [0, 2]
+
+    def test_from_edges_two_tuples(self):
+        dfg = DFG.from_edges([("a", "b"), ("b", "c")])
+        assert len(dfg) == 3
+        assert all(d == 0 for _, _, d in dfg.edges())
+
+    def test_from_edges_three_tuples(self):
+        dfg = DFG.from_edges([("a", "b", 2)])
+        assert dfg.edges() == [("a", "b", 2)]
+
+    def test_from_edges_with_ops(self):
+        dfg = DFG.from_edges([("a", "b")], ops={"a": "mul", "b": "add"})
+        assert dfg.op("a") == "mul"
+        assert dfg.op("b") == "add"
+
+
+class TestInspection:
+    def test_parents_children(self, diamond):
+        assert sorted(diamond.children("a")) == ["b", "c"]
+        assert sorted(diamond.parents("d")) == ["b", "c"]
+        assert diamond.parents("a") == []
+        assert diamond.children("d") == []
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.parents("zzz")
+        with pytest.raises(GraphError):
+            diamond.op("zzz")
+
+    def test_roots_and_leaves(self, diamond):
+        assert diamond.roots() == ["a"]
+        assert diamond.leaves() == ["d"]
+
+    def test_degrees_count_distinct_neighbors(self):
+        dfg = DFG()
+        dfg.add_edge("u", "v", 0)
+        dfg.add_edge("u", "v", 1)  # parallel edge
+        assert dfg.in_degree("v") == 1
+        assert dfg.out_degree("u") == 1
+
+    def test_total_delays(self):
+        dfg = DFG.from_edges([("a", "b", 2), ("b", "c", 0), ("c", "a", 3)])
+        assert dfg.total_delays() == 5
+
+    def test_has_cycle(self):
+        acyclic = DFG.from_edges([("a", "b")])
+        assert not acyclic.has_cycle()
+        cyclic = DFG.from_edges([("a", "b", 0), ("b", "a", 1)])
+        assert cyclic.has_cycle()
+
+    def test_attrs_roundtrip(self):
+        dfg = DFG()
+        dfg.add_node("x", op="mul")
+        dfg.set_attr("x", "origin", "orig")
+        assert dfg.attr("x", "origin") == "orig"
+        assert dfg.attr("x", "missing", 42) == 42
+
+    def test_attr_unknown_node(self):
+        dfg = DFG()
+        with pytest.raises(GraphError):
+            dfg.attr("nope", "k")
+        with pytest.raises(GraphError):
+            dfg.set_attr("nope", "k", 1)
+
+
+class TestDerivedGraphs:
+    def test_dag_strips_delayed_edges(self):
+        dfg = DFG.from_edges([("a", "b", 0), ("b", "c", 1), ("c", "a", 2)])
+        dag = dfg.dag()
+        assert dag.edges() == [("a", "b", 0)]
+        assert len(dag) == 3  # nodes survive even if isolated
+
+    def test_dag_rejects_zero_delay_cycle(self):
+        dfg = DFG.from_edges([("a", "b", 0), ("b", "a", 0)])
+        with pytest.raises(CyclicDependencyError):
+            dfg.dag()
+
+    def test_dag_preserves_ops(self):
+        dfg = DFG.from_edges([("a", "b", 1)], ops={"a": "mul", "b": "add"})
+        dag = dfg.dag()
+        assert dag.op("a") == "mul"
+
+    def test_transpose_reverses_edges(self, diamond):
+        t = diamond.transpose()
+        assert sorted(t.children("d")) == ["b", "c"]
+        assert t.roots() == ["d"]
+        assert t.leaves() == ["a"]
+
+    def test_transpose_preserves_delays(self):
+        dfg = DFG.from_edges([("a", "b", 3)])
+        assert dfg.transpose().edges() == [("b", "a", 3)]
+
+    def test_double_transpose_is_identity(self, diamond):
+        assert diamond.transpose().transpose() == diamond
+
+    def test_copy_is_independent(self, diamond):
+        c = diamond.copy()
+        c.add_node("new")
+        assert "new" not in diamond
+        assert len(c) == len(diamond) + 1
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph(["a", "b", "d"])
+        assert len(sub) == 3
+        assert sub.edges() == [("a", "b", 0), ("b", "d", 0)]
+
+    def test_subgraph_unknown_node(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.subgraph(["a", "nope"])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        g1 = DFG.from_edges([("a", "b", 1)], ops={"a": "mul", "b": "add"})
+        g2 = DFG.from_edges([("a", "b", 1)], ops={"a": "mul", "b": "add"})
+        assert g1 == g2
+
+    def test_different_ops_not_equal(self):
+        g1 = DFG.from_edges([("a", "b")], ops={"a": "mul", "b": "add"})
+        g2 = DFG.from_edges([("a", "b")], ops={"a": "add", "b": "add"})
+        assert g1 != g2
+
+    def test_different_delays_not_equal(self):
+        g1 = DFG.from_edges([("a", "b", 0)])
+        g2 = DFG.from_edges([("a", "b", 1)])
+        assert g1 != g2

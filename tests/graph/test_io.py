@@ -1,0 +1,74 @@
+"""Unit tests for DFG serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dfg import DFG
+from repro.graph.io import from_dict, from_json, to_dict, to_dot, to_json
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_structure(self, diamond):
+        assert from_json(to_json(diamond)) == diamond
+
+    def test_roundtrip_preserves_ops_and_delays(self):
+        dfg = DFG.from_edges(
+            [("a", "b", 2), ("b", "c", 0)], ops={"a": "mul", "b": "add", "c": "sub"}
+        )
+        back = from_json(to_json(dfg))
+        assert back == dfg
+        assert back.op("a") == "mul"
+        assert back.total_delays() == 2
+
+    def test_roundtrip_preserves_origin(self):
+        dfg = DFG()
+        dfg.add_node("x~1", op="mul", origin="x")
+        back = from_dict(to_dict(dfg))
+        assert back.attr("x~1", "origin") == "x"
+
+    def test_name_preserved(self, diamond):
+        assert from_json(to_json(diamond)).name == "diamond"
+
+    def test_document_shape(self, chain3):
+        doc = to_dict(chain3)
+        assert set(doc) == {"name", "nodes", "edges"}
+        assert all(set(n) >= {"id", "op"} for n in doc["nodes"])
+        assert all(set(e) == {"src", "dst", "delay"} for e in doc["edges"])
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(GraphError):
+            from_json("not json{")
+
+    def test_malformed_document(self):
+        with pytest.raises(GraphError):
+            from_dict({"nodes": "oops"})
+
+    def test_missing_edges_key(self):
+        with pytest.raises(GraphError):
+            from_dict({"nodes": []})
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self, diamond):
+        dot = to_dot(diamond)
+        for n in diamond.nodes():
+            assert f'"{n}"' in dot
+        assert dot.count("->") == diamond.num_edges()
+
+    def test_delayed_edges_dashed(self):
+        dfg = DFG.from_edges([("a", "b", 2)])
+        dot = to_dot(dfg)
+        assert "dashed" in dot
+        assert "2D" in dot
+
+    def test_valid_shape(self, diamond):
+        dot = to_dot(diamond)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_json_is_parseable(self, diamond):
+        json.loads(to_json(diamond))  # must not raise

@@ -1,0 +1,114 @@
+"""Unit tests for critical-path machinery."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dfg import DFG
+from repro.graph.paths import (
+    all_critical_paths,
+    count_root_leaf_paths,
+    critical_path,
+    enumerate_root_leaf_paths,
+    longest_path_time,
+    min_path_to_leaf,
+    path_time,
+)
+
+UNIT = {"a": 1, "b": 1, "c": 1, "d": 1}
+
+
+class TestPathTime:
+    def test_sums_node_times(self):
+        assert path_time(["a", "b"], {"a": 2, "b": 5}) == 7
+
+    def test_empty_path(self):
+        assert path_time([], {}) == 0
+
+
+class TestLongestPath:
+    def test_diamond_unit_times(self, diamond):
+        assert longest_path_time(diamond, UNIT) == 3
+
+    def test_diamond_weighted(self, diamond):
+        times = {"a": 1, "b": 10, "c": 1, "d": 1}
+        assert longest_path_time(diamond, times) == 12
+
+    def test_single_node(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        assert longest_path_time(dfg, {"x": 7}) == 7
+
+    def test_empty_graph(self):
+        assert longest_path_time(DFG(), {}) == 0
+
+    def test_missing_times_raise(self, diamond):
+        with pytest.raises(GraphError):
+            longest_path_time(diamond, {"a": 1})
+
+    def test_disconnected_components(self):
+        dfg = DFG.from_edges([("a", "b")])
+        dfg.add_node("z")
+        assert longest_path_time(dfg, {"a": 1, "b": 1, "z": 9}) == 9
+
+
+class TestMinPathToLeaf:
+    def test_diamond(self, diamond):
+        down = min_path_to_leaf(diamond, UNIT)
+        assert down == {"a": 3, "b": 2, "c": 2, "d": 1}
+
+    def test_is_inclusive_of_own_time(self):
+        dfg = DFG.from_edges([("a", "b")])
+        down = min_path_to_leaf(dfg, {"a": 3, "b": 4})
+        assert down["b"] == 4
+        assert down["a"] == 7
+
+
+class TestCriticalPath:
+    def test_returns_longest(self, diamond):
+        times = {"a": 1, "b": 10, "c": 1, "d": 1}
+        path = critical_path(diamond, times)
+        assert path == ["a", "b", "d"]
+        assert path_time(path, times) == longest_path_time(diamond, times)
+
+    def test_empty(self):
+        assert critical_path(DFG(), {}) == []
+
+    def test_all_critical_paths_ties(self, diamond):
+        paths = all_critical_paths(diamond, UNIT)
+        assert sorted(map(tuple, paths)) == [("a", "b", "d"), ("a", "c", "d")]
+
+    def test_all_critical_paths_single(self, diamond):
+        times = {"a": 1, "b": 10, "c": 1, "d": 1}
+        assert all_critical_paths(diamond, times) == [["a", "b", "d"]]
+
+    def test_all_critical_paths_limit(self, diamond):
+        with pytest.raises(GraphError):
+            all_critical_paths(diamond, UNIT, limit=1)
+
+
+class TestEnumeration:
+    def test_enumerates_all(self, diamond):
+        paths = sorted(map(tuple, enumerate_root_leaf_paths(diamond)))
+        assert paths == [("a", "b", "d"), ("a", "c", "d")]
+
+    def test_count_matches_enumeration(self, diamond):
+        assert count_root_leaf_paths(diamond) == 2
+
+    def test_count_exponential_family(self):
+        # k stacked diamonds -> 2^k paths, counted without enumeration
+        dfg = DFG()
+        prev = "n0"
+        dfg.add_node(prev)
+        for i in range(10):
+            top, bot, join = f"t{i}", f"b{i}", f"n{i + 1}"
+            dfg.add_edge(prev, top, 0)
+            dfg.add_edge(prev, bot, 0)
+            dfg.add_edge(top, join, 0)
+            dfg.add_edge(bot, join, 0)
+            prev = join
+        assert count_root_leaf_paths(dfg) == 2 ** 10
+
+    def test_enumeration_limit(self):
+        dfg = DFG.from_edges([("a", "b"), ("a", "c")])
+        with pytest.raises(GraphError):
+            list(enumerate_root_leaf_paths(dfg, limit=1))

@@ -1,0 +1,181 @@
+"""Adversarial and degenerate instances across the whole stack.
+
+Edge regimes that unit tests' "reasonable" tables never hit: total
+ties, free options, single-type libraries, zero slack everywhere,
+wide-flat and deep-thin graphs.
+"""
+
+import pytest
+
+from repro.assign import (
+    Assignment,
+    brute_force_assign,
+    dfg_assign_once,
+    dfg_assign_repeat,
+    exact_assign,
+    greedy_assign,
+    min_completion_time,
+    tree_assign,
+)
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+from repro.sched import min_resource_schedule
+from repro.synthesis import synthesize
+
+
+class TestDegenerateTables:
+    def test_all_types_identical(self, wide_dag):
+        """Total tie: any assignment is optimal; everything must still
+        run and agree."""
+        table = TimeCostTable.from_rows(
+            {n: ([2, 2, 2], [5.0, 5.0, 5.0]) for n in wide_dag.nodes()}
+        )
+        floor = min_completion_time(wide_dag, table)
+        expected = 5.0 * len(wide_dag)
+        for algo in (greedy_assign, dfg_assign_once, dfg_assign_repeat, exact_assign):
+            result = algo(wide_dag, table, floor)
+            result.verify(wide_dag, table)
+            assert result.cost == pytest.approx(expected)
+
+    def test_zero_cost_options(self, small_tree):
+        """Free types exist: the optimum is exactly 0."""
+        table = TimeCostTable.from_rows(
+            {n: ([1, 5], [9.0, 0.0]) for n in small_tree.nodes()}
+        )
+        loose = 5 * len(small_tree)
+        result = tree_assign(small_tree, table, loose)
+        assert result.cost == 0.0
+
+    def test_single_type_library(self, wide_dag):
+        """M = 1 collapses the problem to a feasibility check."""
+        table = TimeCostTable.from_rows(
+            {n: ([2], [3.0]) for n in wide_dag.nodes()}
+        )
+        floor = min_completion_time(wide_dag, table)
+        for algo in (greedy_assign, dfg_assign_once, dfg_assign_repeat):
+            result = algo(wide_dag, table, floor)
+            assert result.cost == pytest.approx(3.0 * len(wide_dag))
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            greedy_assign(wide_dag, table, floor - 1)
+
+    def test_dominated_fast_type(self, chain3):
+        """A type that is both slower and more expensive must never be
+        chosen by the optimum."""
+        table = TimeCostTable.from_rows(
+            {
+                n: ([1, 5], [2.0, 9.0])  # type 1 strictly dominated
+                for n in chain3.nodes()
+            }
+        )
+        result = exact_assign(chain3, table, 100)
+        assert all(k == 0 for k in dict(result.assignment.items()).values())
+
+    def test_inverted_ladder(self, chain3):
+        """Faster AND cheaper (no trade-off): everything picks type 0."""
+        table = TimeCostTable.from_rows(
+            {n: ([1, 9], [1.0, 50.0]) for n in chain3.nodes()}
+        )
+        for algo in (greedy_assign, dfg_assign_repeat):
+            result = algo(chain3, table, 100)
+            assert result.cost == pytest.approx(1.0 * len(chain3))
+
+
+class TestDegenerateShapes:
+    def test_totally_disconnected(self):
+        dfg = DFG()
+        for i in range(6):
+            dfg.add_node(f"v{i}")
+        table = TimeCostTable.from_rows(
+            {f"v{i}": ([1, 3], [8.0, 2.0]) for i in range(6)}
+        )
+        # deadline 3 lets every node take the cheap slow type
+        result = dfg_assign_repeat(dfg, table, 3)
+        assert result.cost == pytest.approx(12.0)
+        schedule = min_resource_schedule(dfg, table, result.assignment, 3)
+        schedule.validate(dfg, table, result.assignment)
+        # all 6 run concurrently -> six instances of the slow type
+        assert schedule.configuration.counts[1] == 6
+
+    def test_single_node_graph(self):
+        dfg = DFG()
+        dfg.add_node("only")
+        table = TimeCostTable.from_rows({"only": ([2, 4], [9.0, 1.0])})
+        result = synthesize(dfg, table, 4)
+        result.verify(dfg, table)
+        assert result.cost == pytest.approx(1.0)
+        assert result.configuration.total_units() == 1
+
+    def test_deep_chain(self):
+        """200-node chain: exercises recursion-free implementations."""
+        dfg = DFG()
+        prev = None
+        rows = {}
+        for i in range(200):
+            n = f"v{i}"
+            dfg.add_node(n)
+            rows[n] = ([1, 2], [3.0, 1.0])
+            if prev:
+                dfg.add_edge(prev, n, 0)
+            prev = n
+        table = TimeCostTable.from_rows(rows)
+        deadline = 300  # 100 nodes can be slow
+        from repro.assign import path_assign
+
+        result = path_assign(dfg, table, deadline)
+        # optimal: 100 slow (cost 1) + 100 fast (cost 3)
+        assert result.cost == pytest.approx(100 * 1.0 + 100 * 3.0)
+        # the tree DP agrees on the same chain
+        assert tree_assign(dfg, table, deadline).cost == pytest.approx(
+            result.cost
+        )
+
+    def test_wide_flat_graph(self):
+        """1 root feeding 50 leaves: expansion is the identity
+        (out-tree), schedule width is resource-driven."""
+        dfg = DFG()
+        dfg.add_node("root")
+        rows = {"root": ([1, 2], [4.0, 1.0])}
+        for i in range(50):
+            n = f"leaf{i}"
+            dfg.add_edge("root", n, 0)
+            rows[n] = ([1, 2], [4.0, 1.0])
+        table = TimeCostTable.from_rows(rows)
+        result = synthesize(dfg, table, 4)
+        result.verify(dfg, table)
+
+    def test_zero_slack_everywhere(self, wide_dag):
+        """At the exact floor every node on a critical path is pinned
+        to its fastest type; scheduling still succeeds."""
+        table = TimeCostTable.from_rows(
+            {n: ([1, 4], [6.0, 1.0]) for n in wide_dag.nodes()}
+        )
+        floor = min_completion_time(wide_dag, table)
+        result = synthesize(wide_dag, table, floor)
+        result.verify(wide_dag, table)
+        assert result.schedule.makespan(table) == floor
+
+
+class TestConsistencyUnderTies:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tied_costs_still_optimal(self, seed):
+        """Many equal-cost options: the DPs must still match brute
+        force (tie-breaking must not lose optimality)."""
+        import numpy as np
+
+        from repro.suite.synthetic import random_tree
+
+        gen = np.random.default_rng(seed)
+        tree = random_tree(7, seed=seed)
+        rows = {}
+        for n in tree.nodes():
+            t = sorted(int(x) for x in gen.integers(1, 4, size=3))
+            c = float(gen.integers(1, 3))
+            rows[n] = (t, [c, c, c])  # identical costs, varied times
+        table = TimeCostTable.from_rows(rows)
+        floor = min_completion_time(tree, table)
+        for deadline in (floor, floor + 2):
+            got = tree_assign(tree, table, deadline)
+            want = brute_force_assign(tree, table, deadline)
+            assert got.cost == pytest.approx(want.cost)

@@ -1,0 +1,96 @@
+"""Cross-algorithm consistency on shared instances.
+
+Complements the hypothesis properties with heavier, deterministic
+sweeps across the whole algorithm stack on one instance family.
+"""
+
+import pytest
+
+from repro.assign import (
+    brute_force_assign,
+    dfg_assign_once,
+    dfg_assign_repeat,
+    exact_assign,
+    greedy_assign,
+    min_completion_time,
+    path_assign,
+    tree_assign,
+)
+from repro.fu.random_tables import random_table
+from repro.suite.synthetic import random_dag, random_path, random_tree
+from repro.synthesis import synthesize
+
+
+class TestAlgorithmSandwich:
+    """exact == brute force <= {once, repeat} <= greedy-ish bounds."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_full_stack_on_random_dags(self, seed):
+        dfg = random_dag(10, edge_prob=0.3, seed=200 + seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 3, floor + 8):
+            bf = brute_force_assign(dfg, table, deadline)
+            ex = exact_assign(dfg, table, deadline)
+            on = dfg_assign_once(dfg, table, deadline)
+            re = dfg_assign_repeat(dfg, table, deadline)
+            gr = greedy_assign(dfg, table, deadline)
+            assert ex.cost == pytest.approx(bf.cost)
+            for r in (on, re, gr):
+                r.verify(dfg, table)
+                assert r.cost >= ex.cost - 1e-9
+            assert re.cost <= on.cost + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_specialized_solvers_agree_on_paths(self, seed):
+        dfg = random_path(7, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 5):
+            costs = {
+                "path": path_assign(dfg, table, deadline).cost,
+                "tree": tree_assign(dfg, table, deadline).cost,
+                "exact": exact_assign(dfg, table, deadline).cost,
+                "once": dfg_assign_once(dfg, table, deadline).cost,
+                "repeat": dfg_assign_repeat(dfg, table, deadline).cost,
+            }
+            assert len({round(c, 6) for c in costs.values()}) == 1, costs
+
+    @pytest.mark.parametrize("out_tree", [True, False])
+    def test_specialized_solvers_agree_on_trees(self, out_tree):
+        for seed in range(4):
+            dfg = random_tree(9, seed=seed, out_tree=out_tree)
+            table = random_table(dfg, num_types=3, seed=seed)
+            floor = min_completion_time(dfg, table)
+            for deadline in (floor, floor + 6):
+                costs = {
+                    "tree": tree_assign(dfg, table, deadline).cost,
+                    "exact": exact_assign(dfg, table, deadline).cost,
+                    "once": dfg_assign_once(dfg, table, deadline).cost,
+                    "repeat": dfg_assign_repeat(dfg, table, deadline).cost,
+                }
+                assert len({round(c, 6) for c in costs.values()}) == 1, costs
+
+
+class TestSynthesisAcrossAlgorithms:
+    @pytest.mark.parametrize(
+        "algorithm", ["greedy", "once", "repeat", "exact"]
+    )
+    def test_every_algorithm_schedules_cleanly(self, algorithm):
+        dfg = random_dag(12, edge_prob=0.25, seed=42)
+        table = random_table(dfg, num_types=3, seed=42)
+        deadline = min_completion_time(dfg, table) + 4
+        result = synthesize(dfg, table, deadline, algorithm=algorithm)
+        result.verify(dfg, table)
+
+    def test_cheaper_assignments_never_invalidate_scheduling(self):
+        """Phase 2 must succeed regardless of which phase-1 algorithm
+        produced the assignment — including the cost-extremes."""
+        dfg = random_dag(14, edge_prob=0.3, seed=77)
+        table = random_table(dfg, num_types=3, seed=77)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 10, floor + 40):
+            for algorithm in ("greedy", "repeat"):
+                result = synthesize(dfg, table, deadline, algorithm=algorithm)
+                result.verify(dfg, table)
+                assert result.schedule.makespan(table) <= deadline

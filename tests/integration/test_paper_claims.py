@@ -1,0 +1,201 @@
+"""Integration tests asserting the paper's reproduced claims.
+
+Each test names the claim in the paper it checks.  These are the
+"shape" guarantees of the reproduction: not the garbled absolute
+numbers, but who wins, where, and why.
+"""
+
+import pytest
+
+from repro.assign import (
+    dfg_assign_once,
+    dfg_assign_repeat,
+    exact_assign,
+    greedy_assign,
+    min_completion_time,
+    tree_assign,
+)
+from repro.fu.random_tables import random_table
+from repro.report.experiments import (
+    DEFAULT_SEED,
+    average_reduction,
+    run_table1,
+    run_table2,
+)
+from repro.sched import lower_bound_configuration, min_resource_schedule
+from repro.suite.registry import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1(seed=DEFAULT_SEED, count=4)
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2(seed=DEFAULT_SEED, count=4)
+
+
+class TestTable1Claims:
+    def test_tree_benchmarks_heuristics_hit_optimum(self, table1_rows):
+        """'When the given DFG is a tree, DFG_Assign_Once and
+        DFG_Assign_Repeat both give the optimal solution.'"""
+        for row in table1_rows:
+            assert row.tree_cost is not None
+            assert row.once_cost == pytest.approx(row.tree_cost)
+            assert row.repeat_cost == pytest.approx(row.tree_cost)
+
+    def test_optimal_never_above_greedy(self, table1_rows):
+        for row in table1_rows:
+            assert row.tree_cost <= row.greedy_cost + 1e-9
+
+    def test_positive_average_reduction(self, table1_rows):
+        """The experiments show a real gap between greedy and the DP."""
+        assert average_reduction(table1_rows, "repeat") > 0.0
+
+    def test_tree_assign_certified_optimal(self):
+        """Cross-check Tree_Assign against branch-and-bound on the
+        4-stage lattice (the paper had only the ILP for this)."""
+        dfg = get_benchmark("lattice4").dag()
+        table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 3, floor + 9):
+            dp = tree_assign(dfg, table, deadline)
+            bb = exact_assign(dfg, table, deadline)
+            assert dp.cost == pytest.approx(bb.cost)
+
+
+class TestTable2Claims:
+    def test_heuristics_never_lose_to_greedy(self, table2_rows):
+        for row in table2_rows:
+            assert row.once_cost <= row.greedy_cost + 1e-9
+            assert row.repeat_cost <= row.greedy_cost + 1e-9
+
+    def test_repeat_never_worse_than_once(self, table2_rows):
+        for row in table2_rows:
+            assert row.repeat_cost <= row.once_cost + 1e-9
+
+    def test_repeat_strictly_wins_somewhere_on_elliptic(self):
+        """'In elliptic filter, the number of duplicated nodes is
+        relatively big, so DFG_Assign_Repeat gives better results than
+        DFG_Assign_Once.'  (Checked at the seed of record.)"""
+        dfg = get_benchmark("elliptic").dag()
+        table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+        floor = min_completion_time(dfg, table)
+        step = max(1, round(0.15 * floor))
+        wins = 0
+        for deadline in [floor + i * step for i in range(6)]:
+            once = dfg_assign_once(dfg, table, deadline)
+            repeat = dfg_assign_repeat(dfg, table, deadline)
+            if repeat.cost < once.cost - 1e-9:
+                wins += 1
+        assert wins >= 1
+
+    def test_small_duplication_benchmarks_similar(self):
+        """'In differential equation solver and RLS-laguerre lattice
+        filter, the number of duplicated nodes is small, so the two
+        algorithms give the similar results.'"""
+        for name in ("diffeq", "rls_laguerre"):
+            dfg = get_benchmark(name).dag()
+            table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+            floor = min_completion_time(dfg, table)
+            gaps = []
+            for deadline in (floor, floor + 2, floor + 5):
+                once = dfg_assign_once(dfg, table, deadline)
+                repeat = dfg_assign_repeat(dfg, table, deadline)
+                gaps.append((once.cost - repeat.cost) / once.cost)
+            assert max(gaps) < 0.05  # within 5%: "similar results"
+
+
+class TestHeadlineClaims:
+    def test_average_reductions_positive_and_ordered(
+        self, table1_rows, table2_rows
+    ):
+        """'On average, DFG_Assign_Once gives a reduction of ...% and
+        DFG_Assign_Repeat gives a reduction of ...% on system cost
+        compared with the greedy algorithm' — both positive, Repeat at
+        least Once, and in a plausible double-digit-adjacent range."""
+        rows = table1_rows + table2_rows
+        once = average_reduction(rows, "once")
+        repeat = average_reduction(rows, "repeat")
+        assert 0.0 < once < 0.6
+        assert 0.0 < repeat < 0.6
+        assert repeat >= once - 1e-12
+
+    def test_repeat_recommended(self, table2_rows):
+        """'DFG_Assign_Repeat is recommended ... it performs best.'"""
+        assert average_reduction(table2_rows, "repeat") >= average_reduction(
+            table2_rows, "once"
+        )
+
+
+class TestSchedulingClaims:
+    @pytest.mark.parametrize(
+        "name", ["lattice4", "volterra", "diffeq", "elliptic", "rls_laguerre"]
+    )
+    def test_min_resource_schedule_meets_every_deadline(self, name):
+        """Phase 2 always produces a feasible configuration+schedule
+        (the paper's 'generate a schedule and a feasible configuration
+        that uses as little resource as possible')."""
+        dfg = get_benchmark(name).dag()
+        table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 4):
+            assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+            schedule = min_resource_schedule(dfg, table, assignment, deadline)
+            schedule.validate(dfg, table, assignment)
+            assert schedule.makespan(table) <= deadline
+            lb = lower_bound_configuration(dfg, table, assignment, deadline)
+            assert lb.dominates(schedule.configuration)
+
+    def test_relaxing_deadline_shrinks_configuration(self):
+        """Figure 3's point: the same workload needs fewer FUs when the
+        schedule has more slack."""
+        dfg = get_benchmark("lattice8").dag()
+        table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+        floor = min_completion_time(dfg, table)
+        assignment = tree_assign(dfg, table, floor).assignment
+        tight = min_resource_schedule(dfg, table, assignment, floor)
+        loose = min_resource_schedule(dfg, table, assignment, floor * 3)
+        assert (
+            loose.configuration.total_units()
+            < tight.configuration.total_units()
+        )
+
+
+class TestMotivationalExample:
+    def test_optimal_beats_naive_assignment(self):
+        """Figures 1–2: the DP assignment is substantially cheaper than
+        a naive one under the same deadline."""
+        from repro.suite.paper_example import (
+            PAPER_EXAMPLE_DEADLINE,
+            paper_example_dfg,
+            paper_example_table,
+        )
+
+        dfg = paper_example_dfg()
+        table = paper_example_table()
+        optimal = tree_assign(dfg, table, PAPER_EXAMPLE_DEADLINE)
+        greedy = greedy_assign(dfg, table, PAPER_EXAMPLE_DEADLINE)
+        exact = exact_assign(dfg, table, PAPER_EXAMPLE_DEADLINE)
+        assert optimal.cost == pytest.approx(exact.cost)
+        assert optimal.cost <= greedy.cost
+
+    def test_example_schedule_configurations_differ(self):
+        """Figure 3: a naive binding uses more FUs than Min_R."""
+        from repro.suite.paper_example import (
+            PAPER_EXAMPLE_DEADLINE,
+            paper_example_dfg,
+            paper_example_table,
+        )
+        from repro.sched import Configuration
+
+        dfg = paper_example_dfg()
+        table = paper_example_table()
+        result = tree_assign(dfg, table, PAPER_EXAMPLE_DEADLINE)
+        sched = min_resource_schedule(
+            dfg, table, result.assignment, PAPER_EXAMPLE_DEADLINE
+        )
+        # one FU per node would also be a legal configuration; Min_R uses
+        # strictly fewer units than that trivial binding
+        assert sched.configuration.total_units() < len(dfg)

@@ -1,0 +1,148 @@
+"""Hypothesis strategies for DFGs and time/cost tables."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+
+
+@st.composite
+def dags(draw, max_nodes: int = 8, max_parents: int = 3):
+    """Random small DAGs (possibly disconnected, possibly edgeless)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    dfg = DFG(name="hyp_dag")
+    ops = ["mul", "add", "sub"]
+    for i in range(n):
+        dfg.add_node(f"v{i}", op=draw(st.sampled_from(ops)))
+    for j in range(1, n):
+        k = draw(st.integers(min_value=0, max_value=min(j, max_parents)))
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=j - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        for p in parents:
+            dfg.add_edge(f"v{p}", f"v{j}", 0)
+    return dfg
+
+
+@st.composite
+def trees(draw, max_nodes: int = 8, out_tree: bool = True):
+    """Random out-trees (in-degree <= 1) or in-trees."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    dfg = DFG(name="hyp_tree")
+    dfg.add_node("v0", op="add")
+    for i in range(1, n):
+        anchor = draw(st.integers(min_value=0, max_value=i - 1))
+        dfg.add_node(f"v{i}", op="add")
+        if out_tree:
+            dfg.add_edge(f"v{anchor}", f"v{i}", 0)
+        else:
+            dfg.add_edge(f"v{i}", f"v{anchor}", 0)
+    return dfg
+
+
+@st.composite
+def chains(draw, max_nodes: int = 8):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    dfg = DFG(name="hyp_chain")
+    for i in range(n):
+        dfg.add_node(f"v{i}", op="add")
+        if i:
+            dfg.add_edge(f"v{i - 1}", f"v{i}", 0)
+    return dfg
+
+
+@st.composite
+def tables_for(draw, dfg: DFG, max_types: int = 3, max_time: int = 6):
+    """Arbitrary (not necessarily monotone) tables covering ``dfg``.
+
+    Times are positive; costs are small non-negative integers as
+    floats, so exact cost comparisons in properties are safe.
+    """
+    m = draw(st.integers(min_value=1, max_value=max_types))
+    table = TimeCostTable(m)
+    for node in dfg.nodes():
+        times = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max_time),
+                min_size=m,
+                max_size=m,
+            )
+        )
+        costs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=20),
+                min_size=m,
+                max_size=m,
+            )
+        )
+        table.set_row(node, times, [float(c) for c in costs])
+    return table
+
+
+@st.composite
+def sp_dags(draw, max_depth: int = 3):
+    """Random two-terminal series-parallel DAGs via recursive builder."""
+    dfg = DFG(name="hyp_sp")
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return f"n{counter[0]}"
+
+    def build(src, dst, depth):
+        kind = draw(st.sampled_from(["leaf", "series", "parallel"])) if depth else "leaf"
+        if kind == "leaf":
+            mid = fresh()
+            dfg.add_node(mid, op="add")
+            dfg.add_edge(src, mid, 0)
+            dfg.add_edge(mid, dst, 0)
+        elif kind == "series":
+            mid = fresh()
+            dfg.add_node(mid, op="add")
+            build(src, mid, depth - 1)
+            build(mid, dst, depth - 1)
+        else:
+            branches = draw(st.integers(min_value=2, max_value=3))
+            for _ in range(branches):
+                build(src, dst, depth - 1)
+
+    dfg.add_node("S", op="add")
+    dfg.add_node("T", op="add")
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    build("S", "T", depth)
+    return dfg
+
+
+@st.composite
+def sp_with_table(draw, max_depth: int = 2):
+    dfg = draw(sp_dags(max_depth=max_depth))
+    table = draw(tables_for(dfg, max_types=2))
+    return dfg, table
+
+
+@st.composite
+def dag_with_table(draw, max_nodes: int = 7):
+    dfg = draw(dags(max_nodes=max_nodes))
+    table = draw(tables_for(dfg))
+    return dfg, table
+
+
+@st.composite
+def tree_with_table(draw, max_nodes: int = 8, out_tree: bool = True):
+    dfg = draw(trees(max_nodes=max_nodes, out_tree=out_tree))
+    table = draw(tables_for(dfg))
+    return dfg, table
+
+
+@st.composite
+def chain_with_table(draw, max_nodes: int = 8):
+    dfg = draw(chains(max_nodes=max_nodes))
+    table = draw(tables_for(dfg))
+    return dfg, table

@@ -1,0 +1,85 @@
+"""Property-based tests on graph invariants (expansion, paths, IO)."""
+
+from hypothesis import given, settings
+
+from repro.assign.dfg_expand import dfg_expand
+from repro.graph.classify import duplication_count, is_out_forest
+from repro.graph.io import from_json, to_json
+from repro.graph.paths import (
+    count_root_leaf_paths,
+    enumerate_root_leaf_paths,
+    longest_path_time,
+)
+
+from .strategies import dags, dag_with_table
+
+SETTINGS = dict(max_examples=80, deadline=None)
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_expansion_is_out_forest(dfg):
+    assert is_out_forest(dfg_expand(dfg).tree)
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_expansion_size_formula(dfg):
+    """|expanded| = |V| + Σ (root→v paths − 1), predicted statically."""
+    tree = dfg_expand(dfg)
+    assert len(tree) == len(dfg) + duplication_count(dfg)
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_expansion_preserves_path_multiset(dfg):
+    tree = dfg_expand(dfg)
+    original = sorted(
+        tuple(p) for p in enumerate_root_leaf_paths(dfg)
+    )
+    expanded = sorted(
+        tuple(tree.origin[n] for n in p)
+        for p in enumerate_root_leaf_paths(tree.tree)
+    )
+    assert original == expanded
+
+
+@given(dag_with_table())
+@settings(**SETTINGS)
+def test_expansion_preserves_longest_path(data):
+    """Any per-original times give the same completion on both graphs."""
+    dfg, table = data
+    tree = dfg_expand(dfg)
+    times = {n: table.min_time(n) for n in dfg.nodes()}
+    tree_times = {n: times[tree.origin[n]] for n in tree.tree.nodes()}
+    assert longest_path_time(dfg, times) == longest_path_time(
+        tree.tree, tree_times
+    )
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_path_count_invariant_under_expansion(dfg):
+    tree = dfg_expand(dfg)
+    assert count_root_leaf_paths(dfg) == count_root_leaf_paths(tree.tree)
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_transpose_involution(dfg):
+    assert dfg.transpose().transpose() == dfg
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_transpose_preserves_longest_path(dfg):
+    times = {n: 1 + (hash(n) % 3) for n in dfg.nodes()}
+    assert longest_path_time(dfg, times) == longest_path_time(
+        dfg.transpose(), times
+    )
+
+
+@given(dags())
+@settings(**SETTINGS)
+def test_json_roundtrip(dfg):
+    assert from_json(to_json(dfg)) == dfg

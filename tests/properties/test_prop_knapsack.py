@@ -1,0 +1,55 @@
+"""Property-based tests for the knapsack reduction (NP-completeness §4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.knapsack import KnapsackInstance, solve_knapsack_via_hap
+
+
+def knapsack_dp(values, weights, capacity):
+    best = [0.0] * (capacity + 1)
+    for v, w in zip(values, weights):
+        for c in range(capacity, w - 1, -1):
+            best[c] = max(best[c], best[c - w] + v)
+    return best[capacity]
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    values = tuple(
+        float(v)
+        for v in draw(
+            st.lists(
+                st.integers(min_value=0, max_value=40), min_size=n, max_size=n
+            )
+        )
+    )
+    weights = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=12), min_size=n, max_size=n
+            )
+        )
+    )
+    capacity = draw(st.integers(min_value=0, max_value=30))
+    return KnapsackInstance(values=values, weights=weights, capacity=capacity)
+
+
+@given(instances())
+@settings(max_examples=120, deadline=None)
+def test_reduction_matches_classical_dp(inst):
+    got, _ = solve_knapsack_via_hap(inst)
+    assert got == pytest.approx(
+        knapsack_dp(inst.values, inst.weights, inst.capacity)
+    )
+
+
+@given(instances())
+@settings(max_examples=120, deadline=None)
+def test_returned_packing_is_legal_and_achieves_value(inst):
+    value, taken = solve_knapsack_via_hap(inst)
+    assert sum(inst.weights[i] for i in taken) <= inst.capacity
+    assert sum(inst.values[i] for i in taken) == pytest.approx(value)
+    assert taken == sorted(set(taken))

@@ -1,0 +1,76 @@
+"""Unit tests for the ablation and scaling studies."""
+
+import pytest
+
+from repro.report.ablations import (
+    fix_order_ablation,
+    lower_bound_ablation,
+    tree_choice_ablation,
+)
+from repro.report.scaling import optimality_gap_sweep, runtime_sweep
+
+
+class TestTreeChoice:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return tree_choice_ablation("elliptic", seed=24)
+
+    def test_smaller_policy_matches_one_direction(self, results):
+        for r in results:
+            assert r.smaller_cost in (
+                pytest.approx(r.forward_cost),
+                pytest.approx(r.transposed_cost),
+            )
+
+    def test_all_feasible_costs_positive(self, results):
+        for r in results:
+            assert r.forward_cost > 0 and r.transposed_cost > 0
+
+    def test_best_property(self, results):
+        for r in results:
+            assert r.best == min(r.forward_cost, r.transposed_cost)
+
+
+class TestFixOrder:
+    def test_policies_all_feasible(self):
+        for r in fix_order_ablation("elliptic", seed=24):
+            assert r.most_copied_first > 0
+            assert r.fewest_copied_first > 0
+            assert r.insertion_order > 0
+
+    def test_tree_benchmark_is_order_insensitive(self):
+        # no duplicated nodes -> all orders identical
+        for r in fix_order_ablation("lattice4", seed=24):
+            assert r.most_copied_first == pytest.approx(r.fewest_copied_first)
+            assert r.most_copied_first == pytest.approx(r.insertion_order)
+
+
+class TestLowerBound:
+    def test_gap_non_negative(self):
+        for r in lower_bound_ablation("elliptic", seed=24):
+            assert r.gap >= 0
+
+    def test_from_zero_never_below_bound(self):
+        for r in lower_bound_ablation("diffeq", seed=24):
+            assert r.from_zero_units >= r.bound_units
+
+
+class TestScaling:
+    def test_runtime_sweep_records(self):
+        records = runtime_sweep(sizes=(10, 20), seed=1)
+        assert len(records) == 2
+        for rec in records:
+            assert rec.seconds["once"] >= 0
+            assert {"greedy", "once", "repeat"} <= set(rec.seconds)
+
+    def test_optimality_gaps_non_negative(self):
+        records = optimality_gap_sweep(trials=4, nodes=9, seed=5)
+        for rec in records:
+            for which in ("greedy", "once", "repeat"):
+                assert rec.gap(which) >= -1e-9
+
+    def test_heuristics_usually_beat_greedy(self):
+        records = optimality_gap_sweep(trials=6, nodes=10, seed=9)
+        avg_greedy = sum(r.gap("greedy") for r in records) / len(records)
+        avg_repeat = sum(r.gap("repeat") for r in records) / len(records)
+        assert avg_repeat <= avg_greedy + 1e-9

@@ -1,0 +1,86 @@
+"""Unit tests for the experiment harness (Tables 1–2 machinery)."""
+
+import pytest
+
+from repro.report.experiments import (
+    ExperimentRow,
+    average_reduction,
+    deadline_sweep,
+    render_rows,
+    run_benchmark_rows,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def diffeq_rows():
+    return run_benchmark_rows("diffeq", seed=24, count=3)
+
+
+class TestDeadlineSweep:
+    def test_starts_at_floor(self):
+        from repro.assign.assignment import min_completion_time
+        from repro.fu.random_tables import random_table
+        from repro.suite.registry import get_benchmark
+
+        dfg = get_benchmark("diffeq").dag()
+        table = random_table(dfg, seed=24)
+        sweep = deadline_sweep(dfg, table, count=4)
+        assert sweep[0] == min_completion_time(dfg, table)
+        assert len(sweep) == 4
+        assert sweep == sorted(sweep)
+        assert len(set(sweep)) == 4  # strictly increasing
+
+
+class TestRows:
+    def test_row_count(self, diffeq_rows):
+        assert len(diffeq_rows) == 3
+
+    def test_costs_ordered(self, diffeq_rows):
+        for r in diffeq_rows:
+            assert r.once_cost <= r.greedy_cost + 1e-9
+            assert r.repeat_cost <= r.once_cost + 1e-9
+
+    def test_reductions_consistent(self, diffeq_rows):
+        for r in diffeq_rows:
+            assert r.once_reduction == pytest.approx(
+                (r.greedy_cost - r.once_cost) / r.greedy_cost
+            )
+            assert 0.0 <= r.repeat_reduction < 1.0
+
+    def test_tree_column_present_for_forest_benchmark(self, diffeq_rows):
+        # diffeq is an in-forest, so the optimal tree cost is reported
+        assert all(r.tree_cost is not None for r in diffeq_rows)
+
+    def test_tree_column_absent_for_true_dag(self):
+        rows = run_benchmark_rows("elliptic", seed=24, count=2)
+        assert all(r.tree_cost is None for r in rows)
+
+    def test_configuration_labelled(self, diffeq_rows):
+        assert all("F" in r.configuration for r in diffeq_rows)
+
+    def test_with_exact_column(self):
+        rows = run_benchmark_rows("diffeq", seed=24, count=2, with_exact=True)
+        for r in rows:
+            assert r.exact_cost is not None
+            assert r.exact_cost <= r.repeat_cost + 1e-9
+
+
+class TestAggregation:
+    def test_average_reduction(self, diffeq_rows):
+        avg = average_reduction(diffeq_rows, "once")
+        assert avg == pytest.approx(
+            sum(r.once_reduction for r in diffeq_rows) / len(diffeq_rows)
+        )
+
+    def test_average_reduction_bad_args(self, diffeq_rows):
+        with pytest.raises(ReproError):
+            average_reduction(diffeq_rows, "nope")
+        with pytest.raises(ReproError):
+            average_reduction([], "once")
+
+    def test_render(self, diffeq_rows):
+        out = render_rows(diffeq_rows, title="t")
+        assert "diffeq" in out
+        assert "avg reduction" in out
+        assert "%" in out

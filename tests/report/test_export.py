@@ -1,0 +1,121 @@
+"""Unit tests for experiment-row exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.report.experiments import ExperimentRow
+from repro.report.export import rows_to_csv, rows_to_json, rows_to_markdown
+
+
+@pytest.fixture
+def rows():
+    return [
+        ExperimentRow(
+            benchmark="diffeq",
+            deadline=10,
+            greedy_cost=120.0,
+            tree_cost=100.0,
+            once_cost=100.0,
+            repeat_cost=100.0,
+            exact_cost=None,
+            configuration="1F1 2F2",
+        ),
+        ExperimentRow(
+            benchmark="elliptic",
+            deadline=30,
+            greedy_cost=400.0,
+            tree_cost=None,
+            once_cost=360.0,
+            repeat_cost=350.0,
+            exact_cost=349.0,
+            configuration="2F1 1F3",
+        ),
+    ]
+
+
+class TestCsv:
+    def test_roundtrip(self, rows):
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["benchmark"] == "diffeq"
+        assert float(parsed[1]["repeat_cost"]) == 350.0
+
+    def test_optional_columns_blank(self, rows):
+        parsed = list(csv.DictReader(io.StringIO(rows_to_csv(rows))))
+        assert parsed[0]["exact_cost"] == ""
+        assert parsed[1]["tree_cost"] == ""
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_csv([])
+
+
+class TestJson:
+    def test_parseable_and_typed(self, rows):
+        data = json.loads(rows_to_json(rows))
+        assert data[0]["tree_cost"] == 100.0
+        assert data[1]["tree_cost"] is None
+        assert data[1]["exact_cost"] == 349.0
+
+    def test_reductions_included(self, rows):
+        data = json.loads(rows_to_json(rows))
+        assert data[0]["once_reduction"] == pytest.approx(20 / 120, abs=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_json([])
+
+
+class TestLatex:
+    def test_structure(self, rows):
+        from repro.report.export import rows_to_latex
+
+        tex = rows_to_latex(rows, caption="Table 2 reproduction")
+        assert tex.startswith(r"\begin{table}")
+        assert tex.rstrip().endswith(r"\end{table}")
+        for marker in (r"\toprule", r"\midrule", r"\bottomrule", r"\caption"):
+            assert marker in tex
+
+    def test_underscores_escaped(self, rows):
+        from repro.report.export import rows_to_latex
+
+        tex = rows_to_latex(
+            [rows[1]]
+        )  # elliptic has no underscore; craft one via configuration
+        assert "\\_" not in tex or "_" not in tex.replace("\\_", "")
+
+    def test_row_count(self, rows):
+        from repro.report.export import rows_to_latex
+
+        tex = rows_to_latex(rows)
+        assert tex.count(r"\\") == len(rows) + 1  # + header row
+
+    def test_empty_rejected(self):
+        from repro.report.export import rows_to_latex
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            rows_to_latex([])
+
+
+class TestMarkdown:
+    def test_table_shape(self, rows):
+        md = rows_to_markdown(rows, title="Table 2")
+        lines = md.splitlines()
+        assert lines[0] == "**Table 2**"
+        header = [l for l in lines if l.startswith("| benchmark")][0]
+        assert header.count("|") == 10
+        assert md.count("| diffeq |") == 1
+
+    def test_missing_tree_cost_dash(self, rows):
+        md = rows_to_markdown(rows)
+        assert "| - |" in md
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_markdown([])

@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.assign.assignment import Assignment
+from repro.errors import ScheduleError
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+from repro.report.gantt import render_gantt
+from repro.sched.schedule import Configuration, Schedule, ScheduledOp
+
+
+@pytest.fixture
+def instance():
+    dfg = DFG.from_edges([("a", "b")])
+    table = TimeCostTable.from_rows(
+        {"a": ([2, 1], [1.0, 2.0]), "b": ([1, 3], [1.0, 2.0])}
+    )
+    assignment = Assignment.of({"a": 0, "b": 1})
+    schedule = Schedule(
+        ops={"a": ScheduledOp(0, 0, 0), "b": ScheduledOp(2, 1, 0)},
+        configuration=Configuration.of([1, 2]),
+        deadline=10,
+    )
+    return dfg, table, assignment, schedule
+
+
+class TestRender:
+    def test_rows_per_instance(self, instance):
+        dfg, table, assignment, schedule = instance
+        out = render_gantt(schedule, table, assignment)
+        lines = out.splitlines()
+        # header + rule + 3 instances (1 of F1, 2 of F2)
+        assert len(lines) == 5
+        assert any(l.startswith("F1#0") for l in lines)
+        assert any(l.startswith("F2#1") for l in lines)
+
+    def test_occupancy_marked(self, instance):
+        dfg, table, assignment, schedule = instance
+        out = render_gantt(schedule, table, assignment)
+        f1_row = next(l for l in out.splitlines() if l.startswith("F1#0"))
+        assert f1_row.count("a") == 2  # two steps of node a
+        f2_row = next(l for l in out.splitlines() if l.startswith("F2#0"))
+        assert f2_row.count("b") == 3
+
+    def test_idle_instance_all_dots(self, instance):
+        dfg, table, assignment, schedule = instance
+        out = render_gantt(schedule, table, assignment)
+        idle = next(l for l in out.splitlines() if l.startswith("F2#1"))
+        assert "b" not in idle and "·" in idle
+
+    def test_long_names_truncated(self):
+        dfg = DFG()
+        dfg.add_node("very_long_node_name")
+        table = TimeCostTable.from_rows({"very_long_node_name": ([2], [1.0])})
+        assignment = Assignment.of({"very_long_node_name": 0})
+        schedule = Schedule(
+            ops={"very_long_node_name": ScheduledOp(0, 0, 0)},
+            configuration=Configuration.of([1]),
+            deadline=5,
+        )
+        out = render_gantt(schedule, table, assignment, cell_width=4)
+        assert "…" in out
+
+    def test_custom_names(self, instance):
+        dfg, table, assignment, schedule = instance
+        out = render_gantt(schedule, table, assignment, names=["ALU", "MUL"])
+        assert "ALU#0" in out and "MUL#0" in out
+
+    def test_bad_names_length(self, instance):
+        dfg, table, assignment, schedule = instance
+        with pytest.raises(ScheduleError):
+            render_gantt(schedule, table, assignment, names=["only_one"])
+
+    def test_bad_cell_width(self, instance):
+        dfg, table, assignment, schedule = instance
+        with pytest.raises(ScheduleError):
+            render_gantt(schedule, table, assignment, cell_width=1)
+
+    def test_real_synthesis_renders(self):
+        from repro import min_completion_time, synthesize
+        from repro.fu.random_tables import random_table
+        from repro.suite.registry import get_benchmark
+
+        dag = get_benchmark("lattice4").dag()
+        t = random_table(dag, seed=24)
+        result = synthesize(dag, t, min_completion_time(dag, t) + 3)
+        out = render_gantt(result.schedule, t, result.assignment)
+        # every node appears somewhere in the chart
+        for node in dag.nodes():
+            assert str(node)[:3] in out

@@ -1,0 +1,33 @@
+"""Unit tests for the artifact regeneration orchestrator."""
+
+import pytest
+
+from repro.report.make_all import ARTIFACTS, make_all
+
+
+class TestMakeAll:
+    def test_artifact_registry_names(self):
+        assert {"table1", "table2", "headline", "robustness"} <= set(ARTIFACTS)
+
+    def test_subset_written_to_disk(self, tmp_path, capsys):
+        written = make_all(str(tmp_path), only=["headline", "benchmark_profiles"])
+        assert set(written) == {"headline", "benchmark_profiles"}
+        for path in written.values():
+            text = open(path).read()
+            assert text.strip()
+        out = capsys.readouterr().out
+        assert "headline.txt" in out
+
+    def test_headline_artifact_content(self, tmp_path):
+        written = make_all(str(tmp_path), only=["headline"])
+        text = open(written["headline"]).read()
+        assert "DFG_Assign_Once" in text and "%" in text
+
+    def test_unknown_artifact(self, tmp_path):
+        with pytest.raises(KeyError):
+            make_all(str(tmp_path), only=["nope"])
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        make_all(str(target), only=["benchmark_profiles"])
+        assert (target / "benchmark_profiles.txt").exists()

@@ -1,0 +1,54 @@
+"""Unit tests for the robustness study."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.report.robustness import RobustnessSummary, robustness_study
+
+
+class TestSummary:
+    @pytest.fixture
+    def summary(self):
+        return RobustnessSummary(
+            seeds=[1, 2, 3],
+            once_reductions=[0.05, 0.06, 0.04],
+            repeat_reductions=[0.06, 0.06, 0.05],
+        )
+
+    def test_means(self, summary):
+        assert summary.once_mean == pytest.approx(0.05)
+        assert summary.repeat_mean == pytest.approx(0.0566666, abs=1e-4)
+
+    def test_claim_rates(self, summary):
+        rates = summary.claim_rates()
+        assert rates == {
+            "once_positive": 1.0,
+            "repeat_positive": 1.0,
+            "repeat_ge_once": 1.0,
+        }
+
+    def test_claim_rates_partial(self):
+        s = RobustnessSummary(
+            seeds=[1, 2],
+            once_reductions=[0.05, -0.01],
+            repeat_reductions=[0.04, 0.02],
+        )
+        rates = s.claim_rates()
+        assert rates["once_positive"] == 0.5
+        assert rates["repeat_ge_once"] == 0.5
+
+    def test_describe(self, summary):
+        text = summary.describe()
+        assert "3 seeds" in text
+        assert "±" in text and "%" in text
+
+
+class TestStudy:
+    def test_runs_over_seeds(self):
+        summary = robustness_study(seeds=(5, 6), count=2)
+        assert summary.seeds == [5, 6]
+        assert len(summary.once_reductions) == 2
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ReproError):
+            robustness_study(seeds=())

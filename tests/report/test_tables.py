@@ -1,0 +1,49 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.report.tables import format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.177) == "17.7%"
+
+    def test_zero(self):
+        assert format_percent(0.0) == "0.0%"
+
+    def test_digits(self):
+        assert format_percent(0.12345, digits=2) == "12.35%"
+
+    def test_negative(self):
+        assert format_percent(-0.05) == "-5.0%"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["name", "value"], [["alpha", 1], ["b", 22]], title="demo"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_floats_two_decimals(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["v"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

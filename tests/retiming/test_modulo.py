@@ -1,0 +1,143 @@
+"""Unit tests for iterative modulo scheduling."""
+
+import pytest
+
+from repro.assign.assignment import Assignment
+from repro.errors import ScheduleError
+from repro.fu.random_tables import random_table
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+from repro.retiming.modulo import modulo_schedule, rec_mii, res_mii
+from repro.sched.schedule import Configuration
+
+
+@pytest.fixture
+def ring():
+    dfg = DFG(name="ring")
+    for n in "abc":
+        dfg.add_node(n, op="add")
+    dfg.add_edge("a", "b", 0)
+    dfg.add_edge("b", "c", 0)
+    dfg.add_edge("c", "a", 2)
+    return dfg
+
+
+@pytest.fixture
+def ring_table():
+    return TimeCostTable.from_rows({n: ([2], [1.0]) for n in "abc"})
+
+
+@pytest.fixture
+def uniform(ring):
+    return Assignment.uniform(ring, 0)
+
+
+class TestBounds:
+    def test_res_mii_work_over_units(self, ring, ring_table, uniform):
+        assert res_mii(ring, ring_table, uniform, Configuration.of([1])) == 6
+        assert res_mii(ring, ring_table, uniform, Configuration.of([2])) == 3
+        assert res_mii(ring, ring_table, uniform, Configuration.of([6])) == 1
+
+    def test_res_mii_missing_type(self, ring, ring_table, uniform):
+        with pytest.raises(ScheduleError):
+            res_mii(ring, ring_table, uniform, Configuration.of([0]))
+
+    def test_rec_mii_cycle_ratio(self, ring, ring_table, uniform):
+        # cycle time 6 over 2 delays -> ceil(3)
+        assert rec_mii(ring, ring_table, uniform) == 3
+
+    def test_rec_mii_acyclic_is_one(self, diamond):
+        table = TimeCostTable.from_rows(
+            {n: ([3], [1.0]) for n in diamond.nodes()}
+        )
+        assert rec_mii(diamond, table, Assignment.uniform(diamond, 0)) == 1
+
+    def test_rec_mii_tight_loop(self):
+        dfg = DFG()
+        dfg.add_node("x")
+        dfg.add_edge("x", "x", 1)
+        table = TimeCostTable.from_rows({"x": ([5], [1.0])})
+        assert rec_mii(dfg, table, Assignment.uniform(dfg, 0)) == 5
+
+
+class TestModuloSchedule:
+    def test_achieves_floor_on_ring(self, ring, ring_table, uniform):
+        ms = modulo_schedule(ring, ring_table, uniform, Configuration.of([2]))
+        assert ms.ii == 3  # == max(ResMII, RecMII): optimal
+        ms.validate(ring, ring_table, uniform)
+
+    def test_single_unit_serializes(self, ring, ring_table, uniform):
+        ms = modulo_schedule(ring, ring_table, uniform, Configuration.of([1]))
+        assert ms.ii == 6
+        ms.validate(ring, ring_table, uniform)
+
+    def test_more_units_never_higher_ii(self, ring, ring_table, uniform):
+        iis = [
+            modulo_schedule(
+                ring, ring_table, uniform, Configuration.of([k])
+            ).ii
+            for k in (1, 2, 3)
+        ]
+        assert iis == sorted(iis, reverse=True)
+
+    def test_ii_beats_static_schedule_throughput(self):
+        """Software pipelining's raison d'être: II ≤ the static
+        schedule length (usually strictly less on cyclic graphs)."""
+        from repro.sched.min_resource import list_schedule
+        from repro.suite.extras import iir_biquad_cascade
+
+        dfg = iir_biquad_cascade(1)
+        table = random_table(dfg, num_types=2, seed=0)
+        assignment = Assignment.cheapest(dfg, table)
+        cfg = Configuration.of([2, 2])
+        static = list_schedule(dfg.dag(), table, assignment, cfg)
+        ms = modulo_schedule(dfg, table, assignment, cfg)
+        assert ms.ii <= static.makespan(table)
+
+    def test_acyclic_graph_pipelines_to_res_mii(self, diamond):
+        table = TimeCostTable.from_rows(
+            {n: ([2], [1.0]) for n in diamond.nodes()}
+        )
+        assignment = Assignment.uniform(diamond, 0)
+        cfg = Configuration.of([2])
+        ms = modulo_schedule(diamond, table, assignment, cfg)
+        assert ms.ii == res_mii(diamond, table, assignment, cfg) == 4
+        ms.validate(diamond, table, assignment)
+
+    def test_max_ii_exceeded(self, ring, ring_table, uniform):
+        with pytest.raises(ScheduleError, match="max_ii|raise"):
+            modulo_schedule(
+                ring, ring_table, uniform, Configuration.of([1]), max_ii=2
+            )
+
+    def test_validate_catches_conflicts(self, ring, ring_table, uniform):
+        from repro.retiming.modulo import ModuloSchedule
+
+        bad = ModuloSchedule(
+            starts={"a": 0, "b": 0, "c": 0},  # everything at once
+            ii=2,
+            configuration=Configuration.of([1]),
+        )
+        with pytest.raises(ScheduleError):
+            bad.validate(ring, ring_table, uniform)
+
+    @pytest.mark.parametrize("sections", [1, 2])
+    def test_biquad_cascades(self, sections):
+        from repro.suite.extras import iir_biquad_cascade
+        from repro.retiming.modulo import rec_mii as _rec, res_mii as _res
+
+        dfg = iir_biquad_cascade(sections)
+        table = random_table(dfg, num_types=2, seed=sections)
+        assignment = Assignment.cheapest(dfg, table)
+        cfg = Configuration.of([3, 3])
+        ms = modulo_schedule(dfg, table, assignment, cfg)
+        ms.validate(dfg, table, assignment)
+        floor = max(
+            _res(dfg, table, assignment, cfg), _rec(dfg, table, assignment)
+        )
+        assert ms.ii >= floor
+
+    def test_stage_count(self, ring, ring_table, uniform):
+        ms = modulo_schedule(ring, ring_table, uniform, Configuration.of([2]))
+        times = uniform.execution_times(ring, ring_table)
+        assert ms.stage_count(times) >= 1

@@ -1,0 +1,119 @@
+"""Unit tests for retiming."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dfg import DFG
+from repro.retiming.retime import (
+    apply_retiming,
+    cycle_period,
+    feasible_retiming,
+    min_cycle_period,
+)
+
+
+@pytest.fixture
+def correlator():
+    """The classic Leiserson–Saxe correlator-like cyclic graph."""
+    dfg = DFG(name="correlator")
+    # ring: h -> a1 -> a2 -> a3 -> h with delays on the way back
+    dfg.add_node("h", op="mul")
+    for i in (1, 2, 3):
+        dfg.add_node(f"a{i}", op="add")
+    dfg.add_edge("h", "a1", 0)
+    dfg.add_edge("a1", "a2", 0)
+    dfg.add_edge("a2", "a3", 0)
+    dfg.add_edge("a3", "h", 3)
+    return dfg
+
+
+TIMES = {"h": 3, "a1": 1, "a2": 1, "a3": 1}
+
+
+class TestCyclePeriod:
+    def test_initial_period(self, correlator):
+        assert cycle_period(correlator, TIMES) == 6  # h+a1+a2+a3
+
+    def test_acyclic_graph(self, diamond):
+        unit = {n: 1 for n in diamond.nodes()}
+        assert cycle_period(diamond, unit) == 3
+
+
+class TestApplyRetiming:
+    def test_identity(self, correlator):
+        r0 = {n: 0 for n in correlator.nodes()}
+        assert apply_retiming(correlator, r0) == correlator
+
+    def test_moves_delays(self, correlator):
+        # push one register from a3->h across h onto h->a1
+        r = {"h": 0, "a1": 1, "a2": 1, "a3": 1}
+        out = apply_retiming(correlator, r)
+        delays = {(u, v): d for u, v, d in out.edges()}
+        assert delays[("h", "a1")] == 1
+        assert delays[("a1", "a2")] == 0
+        assert delays[("a2", "a3")] == 0
+        assert delays[("a3", "h")] == 2
+        # the critical zero-delay path shrank from 6 to max(h, a1+a2+a3)
+        assert cycle_period(out, TIMES) == 3
+
+    def test_illegal_retiming_rejected(self, correlator):
+        with pytest.raises(GraphError):
+            apply_retiming(correlator, {"h": 0, "a1": 1, "a2": 0, "a3": 0})
+
+    def test_total_delays_preserved_on_cycles(self, correlator):
+        r = feasible_retiming(correlator, TIMES, 5)
+        assert r is not None
+        out = apply_retiming(correlator, r)
+        # delay count around any cycle is retiming-invariant
+        assert out.total_delays() == correlator.total_delays()
+
+
+class TestFeasibleRetiming:
+    def test_achieves_target(self, correlator):
+        for target in (4, 5, 6):
+            r = feasible_retiming(correlator, TIMES, target)
+            assert r is not None
+            retimed = apply_retiming(correlator, r)
+            assert cycle_period(retimed, TIMES) <= target
+
+    def test_impossible_target(self, correlator):
+        # the mul alone takes 3; a period of 2 is impossible
+        assert feasible_retiming(correlator, TIMES, 2) is None
+
+    def test_bound_by_cycle_ratio(self, correlator):
+        # total time 6 over 3 delays -> no period below 2 regardless
+        assert feasible_retiming(correlator, TIMES, 1) is None
+
+    def test_missing_times(self, correlator):
+        with pytest.raises(GraphError):
+            feasible_retiming(correlator, {"h": 1}, 5)
+
+
+class TestMinCyclePeriod:
+    def test_correlator_reaches_three(self, correlator):
+        period, r = min_cycle_period(correlator, TIMES)
+        assert period == 3  # limited by the multiplier itself
+        retimed = apply_retiming(correlator, r)
+        assert cycle_period(retimed, TIMES) == 3
+
+    def test_acyclic_graph_pipelines_to_max_node_time(self, diamond):
+        """With no cycles there is no delay-conservation constraint:
+        retiming may insert pipeline registers (software pipelining of
+        the loop body) all the way down to the largest node time."""
+        unit = {n: 1 for n in diamond.nodes()}
+        period, r = min_cycle_period(diamond, unit)
+        assert period == 1
+        retimed = apply_retiming(diamond, r)
+        assert cycle_period(retimed, unit) == 1
+
+    def test_enables_tighter_synthesis_deadlines(self, correlator):
+        """Retiming extends the feasible deadline range of phase 1."""
+        from repro.assign.assignment import min_completion_time
+        from repro.fu.random_tables import random_table
+
+        table = random_table(correlator, num_types=3, seed=0)
+        times = table.min_times(correlator.nodes())
+        period, r = min_cycle_period(correlator, times)
+        before = min_completion_time(correlator.dag(), table)
+        after = min_completion_time(apply_retiming(correlator, r).dag(), table)
+        assert after <= before

@@ -1,0 +1,91 @@
+"""Unit tests for loop unfolding."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dfg import DFG
+from repro.retiming.unfold import unfold, unfolded_name
+
+
+@pytest.fixture
+def loop():
+    """A two-node loop: a -> b (0 delays), b -> a (2 delays)."""
+    return DFG.from_edges([("a", "b", 0), ("b", "a", 2)], name="loop")
+
+
+class TestStructure:
+    def test_node_count_multiplies(self, loop):
+        assert len(unfold(loop, 3)) == 6
+
+    def test_edge_count_multiplies(self, loop):
+        assert unfold(loop, 3).num_edges() == 6
+
+    def test_total_delays_preserved(self, loop):
+        for f in (1, 2, 3, 4, 7):
+            assert unfold(loop, f).total_delays() == loop.total_delays()
+
+    def test_factor_one_is_renaming(self, loop):
+        u = unfold(loop, 1)
+        assert len(u) == len(loop)
+        assert {(str(a), str(b), d) for a, b, d in u.edges()} == {
+            ("a@0", "b@0", 0),
+            ("b@0", "a@0", 2),
+        }
+
+    def test_bad_factor(self, loop):
+        with pytest.raises(GraphError):
+            unfold(loop, 0)
+
+    def test_ops_and_origin_preserved(self, loop):
+        loop.set_attr("a", "op", "mul")
+        u = unfold(loop, 2)
+        assert u.op("a@0") == "mul" and u.op("a@1") == "mul"
+        assert u.attr("a@1", "origin") == "a"
+
+
+class TestDelaySemantics:
+    def test_delay_routing(self, loop):
+        u = unfold(loop, 2)
+        delays = {(str(a), str(b)): d for a, b, d in u.edges()}
+        # b@0 -> a@(0+2 mod 2 = 0) with floor(2/2)=1 delay
+        assert delays[("b@0", "a@0")] == 1
+        assert delays[("b@1", "a@1")] == 1
+        # zero-delay edges stay within the same copy
+        assert delays[("a@0", "b@0")] == 0
+        assert delays[("a@1", "b@1")] == 0
+
+    def test_unfolding_exposes_parallelism(self):
+        """Unfolding a 1-delay self-recurrence by 2 keeps the two copies
+        dependent, but a 2-delay recurrence splits into two chains."""
+        two_delay = DFG.from_edges([("x", "x", 2)])
+        u = unfold(two_delay, 2)
+        dag = u.dag()
+        assert dag.num_edges() == 0  # both copies independent
+
+        one_delay = DFG.from_edges([("x", "x", 1)])
+        u1 = unfold(one_delay, 2)
+        dag1 = u1.dag()
+        assert dag1.num_edges() == 1  # x@0 -> x@1 inside an iteration
+
+    def test_unfolded_dag_longest_path_grows(self):
+        one_delay = DFG.from_edges([("x", "x", 1)])
+        times = {unfolded_name("x", i): 2 for i in range(4)}
+        from repro.graph.paths import longest_path_time
+
+        u = unfold(one_delay, 4)
+        assert longest_path_time(u.dag(), times) == 8
+
+    def test_unfolded_graph_feeds_synthesis(self):
+        """End-to-end: unfold a cyclic filter, then synthesize its DAG."""
+        from repro.fu.random_tables import random_table
+        from repro.suite.extras import iir_biquad_cascade
+        from repro.synthesis import synthesize
+        from repro.assign.assignment import min_completion_time
+
+        cyclic = iir_biquad_cascade(1)
+        u = unfold(cyclic, 2)
+        dag = u.dag()
+        table = random_table(dag, num_types=3, seed=0)
+        deadline = min_completion_time(dag, table) + 5
+        result = synthesize(dag, table, deadline)
+        result.verify(dag, table)

@@ -1,0 +1,86 @@
+"""Unit tests for ASAP/ALAP scheduling."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.dfg import DFG
+from repro.sched.asap_alap import alap_starts, asap_starts, mobility
+
+UNIT = {"a": 1, "b": 1, "c": 1, "d": 1}
+
+
+class TestASAP:
+    def test_roots_start_at_zero(self, diamond):
+        starts = asap_starts(diamond, UNIT)
+        assert starts["a"] == 0
+
+    def test_respects_durations(self, diamond):
+        times = {"a": 2, "b": 3, "c": 1, "d": 1}
+        starts = asap_starts(diamond, times)
+        assert starts["b"] == 2 and starts["c"] == 2
+        assert starts["d"] == 5  # after b (2+3)
+
+    def test_matches_longest_path(self, diamond):
+        from repro.graph.paths import longest_path_time
+
+        times = {"a": 2, "b": 5, "c": 1, "d": 3}
+        starts = asap_starts(diamond, times)
+        makespan = max(starts[n] + times[n] for n in diamond.nodes())
+        assert makespan == longest_path_time(diamond, times)
+
+    def test_missing_times(self, diamond):
+        with pytest.raises(ScheduleError):
+            asap_starts(diamond, {"a": 1})
+
+    def test_negative_times(self, diamond):
+        bad = dict(UNIT)
+        bad["b"] = -1
+        with pytest.raises(ScheduleError):
+            asap_starts(diamond, bad)
+
+
+class TestALAP:
+    def test_leaves_end_at_deadline(self, diamond):
+        starts = alap_starts(diamond, UNIT, 10)
+        assert starts["d"] + UNIT["d"] == 10
+
+    def test_exact_deadline_equals_asap(self, diamond):
+        """With zero slack, ALAP and ASAP coincide on critical nodes."""
+        asap = asap_starts(diamond, UNIT)
+        alap = alap_starts(diamond, UNIT, 3)  # 3 == critical path
+        assert asap == alap
+
+    def test_infeasible_deadline(self, diamond):
+        with pytest.raises(ScheduleError):
+            alap_starts(diamond, UNIT, 2)
+
+    def test_negative_deadline(self, diamond):
+        with pytest.raises(ScheduleError):
+            alap_starts(diamond, UNIT, -1)
+
+    def test_precedence_holds(self, diamond):
+        times = {"a": 2, "b": 3, "c": 1, "d": 2}
+        starts = alap_starts(diamond, times, 12)
+        for u, v, _ in diamond.edges():
+            assert starts[v] >= starts[u] + times[u]
+
+
+class TestMobility:
+    def test_non_negative(self, diamond):
+        mob = mobility(diamond, UNIT, 6)
+        assert all(m >= 0 for m in mob.values())
+
+    def test_critical_nodes_have_zero_at_floor(self, diamond):
+        mob = mobility(diamond, UNIT, 3)
+        assert all(m == 0 for m in mob.values())
+
+    def test_slack_grows_with_deadline(self, diamond):
+        m1 = mobility(diamond, UNIT, 4)
+        m2 = mobility(diamond, UNIT, 8)
+        assert all(m2[n] >= m1[n] for n in diamond.nodes())
+
+    def test_off_critical_node_has_slack(self, diamond):
+        times = {"a": 1, "b": 5, "c": 1, "d": 1}
+        mob = mobility(diamond, times, 7)
+        assert mob["b"] == 0  # critical
+        assert mob["c"] == 4  # can slide within b's window

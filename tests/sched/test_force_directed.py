@@ -1,0 +1,95 @@
+"""Unit tests for force-directed scheduling (Paulin–Knight)."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.dfg_assign import dfg_assign_repeat
+from repro.errors import ScheduleError
+from repro.fu.random_tables import random_table
+from repro.sched.force_directed import force_directed_schedule
+from repro.sched.lower_bound import lower_bound_configuration
+from repro.sched.min_resource import min_resource_schedule
+from repro.suite.registry import get_benchmark
+from repro.suite.synthetic import random_dag
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_within_deadline(self, seed):
+        dfg = random_dag(10, edge_prob=0.3, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 4):
+            assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+            sched = force_directed_schedule(dfg, table, assignment, deadline)
+            sched.validate(dfg, table, assignment)
+            assert sched.makespan(table) <= deadline
+
+    def test_respects_lower_bound(self):
+        dfg = random_dag(12, edge_prob=0.3, seed=3)
+        table = random_table(dfg, num_types=3, seed=3)
+        deadline = min_completion_time(dfg, table) + 3
+        assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+        lb = lower_bound_configuration(dfg, table, assignment, deadline)
+        sched = force_directed_schedule(dfg, table, assignment, deadline)
+        assert lb.dominates(sched.configuration)
+
+    def test_infeasible_deadline(self, chain3):
+        table = random_table(chain3, seed=0)
+        assignment = Assignment.cheapest(chain3, table)
+        with pytest.raises(ScheduleError):
+            force_directed_schedule(chain3, table, assignment, 1)
+
+    def test_zero_mobility_instance(self, chain3):
+        """At the exact critical-path deadline every frame is a point."""
+        table = random_table(chain3, seed=1)
+        assignment = Assignment.fastest(chain3, table)
+        deadline = assignment.completion_time(chain3, table)
+        sched = force_directed_schedule(chain3, table, assignment, deadline)
+        sched.validate(chain3, table, assignment)
+        assert sched.makespan(table) == deadline
+
+
+class TestBalancing:
+    def test_spreads_independent_work(self):
+        """FDS's whole point: independent identical ops spread across
+        the window instead of piling up, shrinking the configuration."""
+        from repro.graph.dfg import DFG
+        from repro.fu.table import TimeCostTable
+
+        w = 4
+        dfg = DFG()
+        for i in range(w):
+            dfg.add_node(f"v{i}")
+        table = TimeCostTable.from_rows({f"v{i}": ([1], [1.0]) for i in range(w)})
+        assignment = Assignment.of({f"v{i}": 0 for i in range(w)})
+        sched = force_directed_schedule(dfg, table, assignment, w)
+        sched.validate(dfg, table, assignment)
+        # with w steps for w unit ops, perfect balance needs 1 instance
+        assert sched.configuration.counts[0] == 1
+
+    @pytest.mark.parametrize("name", ["lattice4", "diffeq", "elliptic"])
+    def test_comparable_to_min_resource_on_benchmarks(self, name):
+        """FDS should land in the same resource ballpark as Min_R —
+        within 2x on the benchmark suite (they optimize the same thing
+        with different strategies)."""
+        dfg = get_benchmark(name).dag()
+        table = random_table(dfg, num_types=3, seed=24)
+        deadline = min_completion_time(dfg, table) + 4
+        assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+        fds = force_directed_schedule(dfg, table, assignment, deadline)
+        minr = min_resource_schedule(dfg, table, assignment, deadline)
+        fds.validate(dfg, table, assignment)
+        assert (
+            fds.configuration.total_units()
+            <= 2 * minr.configuration.total_units()
+        )
+
+    def test_deterministic(self):
+        dfg = random_dag(9, edge_prob=0.3, seed=6)
+        table = random_table(dfg, num_types=3, seed=6)
+        deadline = min_completion_time(dfg, table) + 3
+        assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+        s1 = force_directed_schedule(dfg, table, assignment, deadline)
+        s2 = force_directed_schedule(dfg, table, assignment, deadline)
+        assert s1.ops == s2.ops

@@ -1,0 +1,153 @@
+"""Unit tests for Min_R_Scheduling and the fixed-configuration scheduler."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.dfg_assign import dfg_assign_repeat
+from repro.errors import ScheduleError
+from repro.fu.random_tables import random_table
+from repro.graph.dfg import DFG
+from repro.sched.lower_bound import lower_bound_configuration
+from repro.sched.min_resource import list_schedule, min_resource_schedule
+from repro.sched.schedule import Configuration
+from repro.suite.synthetic import random_dag
+
+
+class TestMinResource:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_and_within_deadline(self, seed):
+        dfg = random_dag(11, edge_prob=0.3, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        for deadline in (floor, floor + 3, floor + 10):
+            assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+            sched = min_resource_schedule(dfg, table, assignment, deadline)
+            sched.validate(dfg, table, assignment)
+            assert sched.makespan(table) <= deadline
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_configuration_at_least_lower_bound(self, seed):
+        dfg = random_dag(11, edge_prob=0.3, seed=seed)
+        table = random_table(dfg, num_types=3, seed=seed)
+        floor = min_completion_time(dfg, table)
+        assignment = dfg_assign_repeat(dfg, table, floor + 2).assignment
+        lb = lower_bound_configuration(dfg, table, assignment, floor + 2)
+        sched = min_resource_schedule(dfg, table, assignment, floor + 2)
+        assert lb.dominates(sched.configuration)
+
+    def test_chain_uses_single_units(self, chain3):
+        table = random_table(chain3, seed=0)
+        assignment = Assignment.fastest(chain3, table)
+        deadline = assignment.completion_time(chain3, table)
+        sched = min_resource_schedule(chain3, table, assignment, deadline)
+        assert all(c <= 1 for c in sched.configuration.counts)
+
+    def test_relaxed_deadline_never_more_resource_than_tight(self):
+        """More slack lets the scheduler serialize onto fewer units."""
+        dfg = random_dag(12, edge_prob=0.25, seed=3)
+        table = random_table(dfg, num_types=3, seed=3)
+        floor = min_completion_time(dfg, table)
+        assignment = dfg_assign_repeat(dfg, table, floor).assignment
+        tight = min_resource_schedule(dfg, table, assignment, floor)
+        loose = min_resource_schedule(
+            dfg, table, assignment, floor + 20
+        )
+        assert (
+            loose.configuration.total_units()
+            <= tight.configuration.total_units()
+        )
+
+    def test_initial_configuration_respected(self, chain3):
+        table = random_table(chain3, seed=1)
+        assignment = Assignment.fastest(chain3, table)
+        deadline = assignment.completion_time(chain3, table) + 5
+        big = Configuration.of([4, 4, 4])
+        sched = min_resource_schedule(
+            chain3, table, assignment, deadline, initial=big
+        )
+        # provided instances are kept (the algorithm only ever grows)
+        assert sched.configuration.counts == (4, 4, 4)
+
+    def test_initial_size_mismatch(self, chain3):
+        table = random_table(chain3, seed=1)
+        assignment = Assignment.fastest(chain3, table)
+        with pytest.raises(ScheduleError):
+            min_resource_schedule(
+                chain3,
+                table,
+                assignment,
+                20,
+                initial=Configuration.of([1]),
+            )
+
+    def test_infeasible_deadline(self, chain3):
+        table = random_table(chain3, seed=2)
+        assignment = Assignment.cheapest(chain3, table)
+        with pytest.raises(ScheduleError):
+            min_resource_schedule(chain3, table, assignment, 1)
+
+    def test_parallel_forced_growth(self):
+        """Independent nodes at a tight deadline force one unit each."""
+        dfg = DFG()
+        for i in range(4):
+            dfg.add_node(f"v{i}")
+        from repro.fu.table import TimeCostTable
+
+        table = TimeCostTable.from_rows(
+            {f"v{i}": ([3], [1.0]) for i in range(4)}
+        )
+        assignment = Assignment.of({f"v{i}": 0 for i in range(4)})
+        sched = min_resource_schedule(
+            dfg, table, assignment, 3, initial=Configuration.of([0])
+        )
+        sched.validate(dfg, table, assignment)
+        assert sched.configuration.counts[0] == 4
+
+    def test_deterministic(self):
+        dfg = random_dag(10, edge_prob=0.3, seed=5)
+        table = random_table(dfg, num_types=3, seed=5)
+        floor = min_completion_time(dfg, table)
+        assignment = dfg_assign_repeat(dfg, table, floor + 3).assignment
+        s1 = min_resource_schedule(dfg, table, assignment, floor + 3)
+        s2 = min_resource_schedule(dfg, table, assignment, floor + 3)
+        assert s1.ops == s2.ops
+
+
+class TestListSchedule:
+    def test_valid_on_min_resource_configuration(self):
+        dfg = random_dag(10, edge_prob=0.3, seed=6)
+        table = random_table(dfg, num_types=3, seed=6)
+        floor = min_completion_time(dfg, table)
+        assignment = dfg_assign_repeat(dfg, table, floor + 4).assignment
+        cfg = min_resource_schedule(
+            dfg, table, assignment, floor + 4
+        ).configuration
+        sched = list_schedule(dfg, table, assignment, cfg)
+        sched.validate(dfg, table, assignment)
+
+    def test_single_unit_serializes(self, chain3):
+        table = random_table(chain3, seed=7)
+        assignment = Assignment.uniform(chain3, 0)
+        total = sum(assignment.execution_times(chain3, table).values())
+        sched = list_schedule(
+            chain3, table, assignment, Configuration.of([1, 0, 0])
+        )
+        assert sched.makespan(table) == total
+
+    def test_missing_type_raises(self, chain3):
+        table = random_table(chain3, seed=8)
+        assignment = Assignment.uniform(chain3, 1)
+        with pytest.raises(ScheduleError, match="no unit"):
+            list_schedule(chain3, table, assignment, Configuration.of([5, 0, 5]))
+
+    def test_more_units_never_slower(self):
+        dfg = random_dag(12, edge_prob=0.35, seed=9)
+        table = random_table(dfg, num_types=1, seed=9)
+        assignment = Assignment.uniform(dfg, 0)
+        mk = [
+            list_schedule(
+                dfg, table, assignment, Configuration.of([k])
+            ).makespan(table)
+            for k in (1, 2, 4, 8)
+        ]
+        assert all(a >= b for a, b in zip(mk, mk[1:]))

@@ -1,0 +1,144 @@
+"""Unit tests for register allocation (lifetime analysis + left-edge)."""
+
+import pytest
+
+from repro.assign.assignment import Assignment
+from repro.errors import ScheduleError
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+from repro.sched.registers import (
+    Lifetime,
+    allocate_registers,
+    value_lifetimes,
+)
+from repro.sched.schedule import Configuration, Schedule, ScheduledOp
+
+
+def make_instance(edges, times, starts, deadline=20):
+    """Single-FU-type instance with explicit starts."""
+    dfg = DFG.from_edges(edges)
+    table = TimeCostTable.from_rows(
+        {n: ([times[n]], [1.0]) for n in dfg.nodes()}
+    )
+    assignment = Assignment.of({n: 0 for n in dfg.nodes()})
+    ops = {n: ScheduledOp(start=starts[n], fu_type=0, fu_index=i)
+           for i, n in enumerate(dfg.nodes())}
+    schedule = Schedule(
+        ops=ops,
+        configuration=Configuration.of([len(starts)]),
+        deadline=deadline,
+    )
+    schedule.validate(dfg, table, assignment)
+    return dfg, table, assignment, schedule
+
+
+class TestLifetime:
+    def test_overlap(self):
+        a = Lifetime("a", 0, 5)
+        b = Lifetime("b", 4, 6)
+        c = Lifetime("c", 5, 7)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # [0,5) and [5,7) touch but don't overlap
+
+    def test_bad_interval(self):
+        with pytest.raises(ScheduleError):
+            Lifetime("a", 5, 4)
+
+
+class TestValueLifetimes:
+    def test_birth_at_completion_death_at_last_consumer(self):
+        dfg, table, assignment, schedule = make_instance(
+            edges=[("a", "b"), ("a", "c")],
+            times={"a": 2, "b": 1, "c": 1},
+            starts={"a": 0, "b": 2, "c": 7},
+        )
+        lt = value_lifetimes(dfg, table, assignment, schedule)
+        assert lt["a"].birth == 2
+        assert lt["a"].death == 7  # last consumer (c) starts at 7
+
+    def test_sink_dies_at_birth(self):
+        dfg, table, assignment, schedule = make_instance(
+            edges=[("a", "b")],
+            times={"a": 1, "b": 1},
+            starts={"a": 0, "b": 1},
+        )
+        lt = value_lifetimes(dfg, table, assignment, schedule)
+        assert lt["b"].birth == lt["b"].death == 2
+
+    def test_delayed_consumer_extends_to_makespan(self):
+        dfg = DFG.from_edges([("a", "b", 1)])  # inter-iteration edge
+        dfg.add_node("c")
+        table = TimeCostTable.from_rows(
+            {"a": ([1], [1.0]), "b": ([1], [1.0]), "c": ([5], [1.0])}
+        )
+        assignment = Assignment.of({"a": 0, "b": 0, "c": 0})
+        schedule = Schedule(
+            ops={
+                "a": ScheduledOp(0, 0, 0),
+                "b": ScheduledOp(0, 0, 1),
+                "c": ScheduledOp(0, 0, 2),
+            },
+            configuration=Configuration.of([3]),
+            deadline=10,
+        )
+        lt = value_lifetimes(dfg, table, assignment, schedule)
+        # a's value must survive into the next iteration: to the makespan
+        assert lt["a"].death == schedule.makespan(table) == 5
+
+
+class TestAllocate:
+    def test_serial_chain_uses_one_register(self):
+        dfg, table, assignment, schedule = make_instance(
+            edges=[("a", "b"), ("b", "c")],
+            times={"a": 1, "b": 1, "c": 1},
+            starts={"a": 0, "b": 3, "c": 6},
+        )
+        alloc = allocate_registers(dfg, table, assignment, schedule)
+        assert alloc.num_registers == 1
+
+    def test_parallel_values_need_separate_registers(self):
+        # two producers alive simultaneously, one late consumer each
+        dfg, table, assignment, schedule = make_instance(
+            edges=[("a", "c"), ("b", "c")],
+            times={"a": 1, "b": 1, "c": 1},
+            starts={"a": 0, "b": 0, "c": 5},
+        )
+        alloc = allocate_registers(dfg, table, assignment, schedule)
+        assert alloc.num_registers == 2
+
+    def test_register_reuse_after_death(self):
+        # a dies before b is born -> same register
+        dfg, table, assignment, schedule = make_instance(
+            edges=[("a", "x"), ("b", "y")],
+            times={"a": 1, "b": 1, "x": 1, "y": 1},
+            starts={"a": 0, "x": 2, "b": 4, "y": 6},
+        )
+        alloc = allocate_registers(dfg, table, assignment, schedule)
+        assert alloc.num_registers == 1
+
+    def test_count_equals_peak_overlap(self):
+        dfg, table, assignment, schedule = make_instance(
+            edges=[("a", "d"), ("b", "d"), ("c", "d")],
+            times={"a": 1, "b": 1, "c": 1, "d": 1},
+            starts={"a": 0, "b": 0, "c": 0, "d": 8},
+        )
+        alloc = allocate_registers(dfg, table, assignment, schedule)
+        assert alloc.num_registers == 3
+
+    def test_verify_is_clean_on_real_synthesis(self):
+        from repro.fu.random_tables import random_table
+        from repro.assign.assignment import min_completion_time
+        from repro.suite.registry import get_benchmark
+        from repro.synthesis import synthesize
+
+        for name in ("diffeq", "elliptic"):
+            dag = get_benchmark(name).dag()
+            t = random_table(dag, num_types=3, seed=24)
+            deadline = min_completion_time(dag, t) + 5
+            result = synthesize(dag, t, deadline)
+            alloc = allocate_registers(dag, t, result.assignment, result.schedule)
+            alloc.verify()
+            assert alloc.num_registers >= 0
+            # every allocated node has a lifetime
+            for node in alloc.registers:
+                assert node in alloc.lifetimes

@@ -1,0 +1,176 @@
+"""Unit tests for Schedule / Configuration objects and validation."""
+
+import pytest
+
+from repro.assign.assignment import Assignment
+from repro.errors import ScheduleError
+from repro.fu.library import default_library
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+from repro.sched.schedule import Configuration, Schedule, ScheduledOp
+
+
+@pytest.fixture
+def table():
+    return TimeCostTable.from_rows(
+        {
+            "a": ([2, 3], [5.0, 2.0]),
+            "b": ([1, 2], [4.0, 1.0]),
+            "c": ([1, 3], [6.0, 3.0]),
+        }
+    )
+
+
+@pytest.fixture
+def graph():
+    return DFG.from_edges([("a", "b"), ("a", "c")])
+
+
+@pytest.fixture
+def assignment():
+    return Assignment.of({"a": 0, "b": 0, "c": 1})
+
+
+def make_schedule(ops, counts=(1, 1), deadline=10):
+    return Schedule(
+        ops=ops, configuration=Configuration.of(counts), deadline=deadline
+    )
+
+
+class TestConfiguration:
+    def test_label(self):
+        assert Configuration.of([2, 0, 1]).label() == "2F1 1F3"
+
+    def test_label_custom_names(self):
+        assert Configuration.of([1, 1]).label(["ALU", "MUL"]) == "1ALU 1MUL"
+
+    def test_empty_label(self):
+        assert Configuration.of([0, 0]).label() == "(empty)"
+
+    def test_total_units(self):
+        assert Configuration.of([2, 3]).total_units() == 5
+
+    def test_price(self):
+        lib = default_library(2)
+        cfg = Configuration.of([1, 2])
+        assert cfg.price(lib) == pytest.approx(
+            lib[0].price + 2 * lib[1].price
+        )
+
+    def test_price_size_mismatch(self):
+        with pytest.raises(ScheduleError):
+            Configuration.of([1]).price(default_library(2))
+
+    def test_dominates(self):
+        assert Configuration.of([1, 2]).dominates(Configuration.of([2, 2]))
+        assert not Configuration.of([3, 0]).dominates(Configuration.of([2, 2]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ScheduleError):
+            Configuration.of([-1])
+
+
+class TestScheduledOp:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ScheduleError):
+            ScheduledOp(start=-1, fu_type=0, fu_index=0)
+
+
+class TestValidation:
+    def test_valid_schedule(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 0, 0),
+            "b": ScheduledOp(2, 0, 0),
+            "c": ScheduledOp(2, 1, 0),
+        }
+        sched = make_schedule(ops)
+        sched.validate(graph, table, assignment)  # must not raise
+        assert sched.makespan(table) == 5  # c: start 2 + t 3
+
+    def test_missing_node(self, graph, table, assignment):
+        sched = make_schedule({"a": ScheduledOp(0, 0, 0)})
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            sched.validate(graph, table, assignment)
+
+    def test_unknown_node(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 0, 0),
+            "b": ScheduledOp(2, 0, 0),
+            "c": ScheduledOp(2, 1, 0),
+            "zzz": ScheduledOp(0, 0, 0),
+        }
+        with pytest.raises(ScheduleError, match="unknown"):
+            make_schedule(ops).validate(graph, table, assignment)
+
+    def test_type_mismatch(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 1, 0),  # assigned type 0, scheduled on 1
+            "b": ScheduledOp(3, 0, 0),
+            "c": ScheduledOp(3, 1, 0),
+        }
+        with pytest.raises(ScheduleError, match="assigned"):
+            make_schedule(ops).validate(graph, table, assignment)
+
+    def test_precedence_violation(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 0, 0),
+            "b": ScheduledOp(1, 0, 0),  # a runs until 2
+            "c": ScheduledOp(2, 1, 0),
+        }
+        with pytest.raises(ScheduleError, match="precedence"):
+            make_schedule(ops).validate(graph, table, assignment)
+
+    def test_deadline_violation(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 0, 0),
+            "b": ScheduledOp(9, 0, 0),
+            "c": ScheduledOp(2, 1, 0),
+        }
+        with pytest.raises(ScheduleError, match="deadline"):
+            make_schedule(ops, deadline=9).validate(graph, table, assignment)
+
+    def test_fu_index_out_of_configuration(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 0, 1),  # only 1 unit of type 0
+            "b": ScheduledOp(2, 0, 0),
+            "c": ScheduledOp(2, 1, 0),
+        }
+        with pytest.raises(ScheduleError, match="exceeds"):
+            make_schedule(ops).validate(graph, table, assignment)
+
+    def test_instance_overlap(self, table):
+        graph = DFG.from_edges([("a", "c")])
+        graph.add_node("b")
+        assignment = Assignment.of({"a": 0, "b": 0, "c": 1})
+        ops = {
+            "a": ScheduledOp(0, 0, 0),  # occupies [0,2) on F1#0
+            "b": ScheduledOp(1, 0, 0),  # overlaps on the same instance
+            "c": ScheduledOp(2, 1, 0),
+        }
+        with pytest.raises(ScheduleError, match="overlaps"):
+            make_schedule(ops).validate(graph, table, assignment)
+
+    def test_delayed_edges_do_not_constrain(self, table):
+        graph = DFG.from_edges([("a", "b", 1)])  # inter-iteration only
+        graph.add_node("c")
+        assignment = Assignment.of({"a": 0, "b": 0, "c": 1})
+        ops = {
+            "a": ScheduledOp(5, 0, 0),
+            "b": ScheduledOp(0, 0, 0),  # before a: fine, different iteration
+            "c": ScheduledOp(0, 1, 0),
+        }
+        make_schedule(ops).validate(graph, table, assignment)
+
+
+class TestUsageProfile:
+    def test_counts_occupancy(self, graph, table, assignment):
+        ops = {
+            "a": ScheduledOp(0, 0, 0),
+            "b": ScheduledOp(2, 0, 0),
+            "c": ScheduledOp(2, 1, 0),
+        }
+        sched = make_schedule(ops, counts=(1, 1), deadline=6)
+        profile = sched.usage_profile(table)
+        assert profile[0][:3] == [1, 1, 1]  # a then b on type 0
+        assert profile[1][2:5] == [1, 1, 1]  # c on type 1
+        assert max(profile[0]) <= 1 and max(profile[1]) <= 1

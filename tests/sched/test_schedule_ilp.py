@@ -1,0 +1,101 @@
+"""Unit tests for the time-indexed scheduling ILP model."""
+
+import pytest
+
+from repro.assign.assignment import Assignment, min_completion_time
+from repro.assign.dfg_assign import dfg_assign_repeat
+from repro.errors import ScheduleError
+from repro.fu.random_tables import random_table
+from repro.sched.force_directed import force_directed_schedule
+from repro.sched.ilp_model import build_schedule_ilp, check_schedule_solution
+from repro.sched.min_resource import min_resource_schedule
+from repro.suite.registry import get_benchmark
+from repro.suite.synthetic import random_dag
+
+
+@pytest.fixture
+def instance():
+    dfg = random_dag(9, edge_prob=0.3, seed=4)
+    table = random_table(dfg, num_types=3, seed=4)
+    deadline = min_completion_time(dfg, table) + 3
+    assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+    return dfg, table, assignment, deadline
+
+
+class TestModelShape:
+    def test_one_y_per_frame_slot(self, instance):
+        dfg, table, assignment, deadline = instance
+        model = build_schedule_ilp(dfg, table, assignment, deadline)
+        expected = sum(hi - lo + 1 for lo, hi in model.frames.values())
+        assert len(model.binaries) == expected
+        assert len(model.integers) == table.num_types
+
+    def test_objective_counts_fus(self, instance):
+        dfg, table, assignment, deadline = instance
+        model = build_schedule_ilp(dfg, table, assignment, deadline)
+        assert set(model.objective) == set(model.integers)
+        assert all(w == 1.0 for w in model.objective.values())
+
+    def test_custom_weights(self, instance):
+        dfg, table, assignment, deadline = instance
+        model = build_schedule_ilp(
+            dfg, table, assignment, deadline, weights=[3.0, 2.0, 1.0]
+        )
+        assert model.objective["N_0"] == 3.0
+
+    def test_weight_length_mismatch(self, instance):
+        dfg, table, assignment, deadline = instance
+        with pytest.raises(ScheduleError):
+            build_schedule_ilp(dfg, table, assignment, deadline, weights=[1.0])
+
+    def test_infeasible_deadline(self, instance):
+        dfg, table, assignment, _ = instance
+        with pytest.raises(ScheduleError):
+            build_schedule_ilp(dfg, table, assignment, 0)
+
+
+class TestCheckSolution:
+    def test_min_resource_schedule_is_feasible_point(self, instance):
+        dfg, table, assignment, deadline = instance
+        model = build_schedule_ilp(dfg, table, assignment, deadline)
+        schedule = min_resource_schedule(dfg, table, assignment, deadline)
+        objective = check_schedule_solution(
+            model, dfg, table, assignment, schedule
+        )
+        assert objective == pytest.approx(
+            schedule.configuration.total_units()
+        )
+
+    def test_force_directed_schedule_is_feasible_point(self, instance):
+        dfg, table, assignment, deadline = instance
+        model = build_schedule_ilp(dfg, table, assignment, deadline)
+        schedule = force_directed_schedule(dfg, table, assignment, deadline)
+        check_schedule_solution(model, dfg, table, assignment, schedule)
+
+    def test_oversized_configuration_still_feasible(self, instance):
+        """Extra FUs never violate the model (only cost more)."""
+        from repro.sched.schedule import Configuration
+
+        dfg, table, assignment, deadline = instance
+        model = build_schedule_ilp(dfg, table, assignment, deadline)
+        schedule = min_resource_schedule(
+            dfg,
+            table,
+            assignment,
+            deadline,
+            initial=Configuration.of([5] * table.num_types),
+        )
+        objective = check_schedule_solution(
+            model, dfg, table, assignment, schedule
+        )
+        assert objective >= 15.0
+
+    def test_benchmark_scale(self):
+        dfg = get_benchmark("elliptic").dag()
+        table = random_table(dfg, num_types=3, seed=24)
+        deadline = min_completion_time(dfg, table) + 5
+        assignment = dfg_assign_repeat(dfg, table, deadline).assignment
+        model = build_schedule_ilp(dfg, table, assignment, deadline)
+        schedule = min_resource_schedule(dfg, table, assignment, deadline)
+        check_schedule_solution(model, dfg, table, assignment, schedule)
+        assert model.num_constraints() > 0

@@ -1,0 +1,152 @@
+"""Unit tests for the functional simulator."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.fu.random_tables import random_table
+from repro.graph.dfg import DFG
+from repro.sim.functional import simulate, simulate_schedule
+
+
+class TestReferenceSimulation:
+    def test_add_chain_accumulates(self):
+        dfg = DFG.from_edges([("a", "b"), ("b", "c")])
+        trace = simulate(dfg, 1, inputs={"a": [5.0]})
+        assert trace["a"] == [5.0]
+        assert trace["b"] == [5.0]
+        assert trace["c"] == [5.0]
+
+    def test_mul_semantics(self):
+        dfg = DFG.from_edges(
+            [("x", "p"), ("y", "p")], ops={"x": "add", "y": "add", "p": "mul"}
+        )
+        trace = simulate(dfg, 1, inputs={"x": [3.0], "y": [4.0]})
+        assert trace["p"] == [12.0]
+
+    def test_sub_semantics(self):
+        dfg = DFG.from_edges(
+            [("x", "d"), ("y", "d")], ops={"x": "add", "y": "add", "d": "sub"}
+        )
+        trace = simulate(dfg, 1, inputs={"x": [10.0], "y": [3.0]})
+        assert trace["d"] == [7.0]
+
+    def test_cmp_semantics(self):
+        dfg = DFG.from_edges(
+            [("x", "c"), ("y", "c")], ops={"x": "add", "y": "add", "c": "cmp"}
+        )
+        trace = simulate(dfg, 2, inputs={"x": [1.0, 5.0], "y": [2.0, 2.0]})
+        assert trace["c"] == [1.0, 0.0]
+
+    def test_delayed_edge_reads_previous_iteration(self):
+        # y[n] = x[n] + y[n-1]: a running sum
+        dfg = DFG(name="acc")
+        dfg.add_node("y", op="add")
+        dfg.add_edge("y", "y", 1)
+        trace = simulate(dfg, 4, inputs={"y": [1.0, 2.0, 3.0, 4.0]})
+        assert trace["y"] == [1.0, 3.0, 6.0, 10.0]
+
+    def test_initial_register_value(self):
+        dfg = DFG(name="acc")
+        dfg.add_node("y", op="add")
+        dfg.add_edge("y", "y", 1)
+        trace = simulate(dfg, 2, inputs={"y": [0.0, 0.0]}, initial=100.0)
+        assert trace["y"][0] == 100.0
+
+    def test_two_delay_edge(self):
+        dfg = DFG(name="acc2")
+        dfg.add_node("y", op="add")
+        dfg.add_edge("y", "y", 2)
+        trace = simulate(dfg, 4, inputs={"y": [1.0, 1.0, 1.0, 1.0]})
+        assert trace["y"] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_short_input_stream_pads_zero(self):
+        dfg = DFG()
+        dfg.add_node("a", op="add")
+        trace = simulate(dfg, 3, inputs={"a": [7.0]})
+        assert trace["a"] == [7.0, 0.0, 0.0]
+
+    def test_zero_iterations(self):
+        dfg = DFG()
+        dfg.add_node("a")
+        assert simulate(dfg, 0) == {"a": []}
+
+    def test_negative_iterations(self):
+        dfg = DFG()
+        dfg.add_node("a")
+        with pytest.raises(ScheduleError):
+            simulate(dfg, -1)
+
+
+class TestScheduleSimulation:
+    def _synthesized(self, name, seed=24, extra=4):
+        from repro.assign.assignment import min_completion_time
+        from repro.suite.registry import get_benchmark
+        from repro.synthesis import synthesize
+
+        dfg = get_benchmark(name)
+        dag = dfg.dag()
+        table = random_table(dag, num_types=3, seed=seed)
+        deadline = min_completion_time(dag, table) + extra
+        result = synthesize(dfg, table, deadline)
+        return dfg, table, result
+
+    @pytest.mark.parametrize("name", ["lattice4", "diffeq", "elliptic"])
+    def test_schedule_computes_reference_values(self, name):
+        """The semantic core: replaying the synthesized schedule yields
+        exactly the reference evaluation's numbers."""
+        dfg, table, result = self._synthesized(name)
+        inputs = {
+            n: [float(i + 1) for i in range(3)] for n in dfg.dag().roots()
+        }
+        ref = simulate(dfg, 3, inputs=inputs)
+        got = simulate_schedule(
+            dfg, table, result.assignment, result.schedule, 3, inputs=inputs
+        )
+        assert got == ref
+
+    def test_cyclic_benchmark_with_state(self):
+        dfg, table, result = self._synthesized("biquad2")
+        inputs = {n: [1.0, 0.0, 0.0, 0.0] for n in dfg.dag().roots()}
+        ref = simulate(dfg, 4, inputs=inputs)
+        got = simulate_schedule(
+            dfg, table, result.assignment, result.schedule, 4, inputs=inputs
+        )
+        assert got == ref
+
+    def test_rejects_forwarding_too_early(self):
+        """A hand-built schedule that starts a consumer before its
+        producer completes must be rejected by the scoreboard (it also
+        fails structural validation, which fires first)."""
+        from repro.assign.assignment import Assignment
+        from repro.fu.table import TimeCostTable
+        from repro.sched.schedule import Configuration, Schedule, ScheduledOp
+
+        dfg = DFG.from_edges([("a", "b")])
+        table = TimeCostTable.from_rows(
+            {"a": ([3], [1.0]), "b": ([1], [1.0])}
+        )
+        assignment = Assignment.of({"a": 0, "b": 0})
+        bad = Schedule(
+            ops={"a": ScheduledOp(0, 0, 0), "b": ScheduledOp(1, 0, 1)},
+            configuration=Configuration.of([2]),
+            deadline=10,
+        )
+        with pytest.raises(ScheduleError):
+            simulate_schedule(dfg, table, assignment, bad, 1)
+
+    def test_force_directed_schedule_same_semantics(self):
+        from repro.assign.assignment import min_completion_time
+        from repro.assign.dfg_assign import dfg_assign_repeat
+        from repro.sched.force_directed import force_directed_schedule
+        from repro.suite.registry import get_benchmark
+
+        dfg = get_benchmark("diffeq")
+        dag = dfg.dag()
+        table = random_table(dag, num_types=3, seed=1)
+        deadline = min_completion_time(dag, table) + 3
+        assignment = dfg_assign_repeat(dag, table, deadline).assignment
+        schedule = force_directed_schedule(dag, table, assignment, deadline)
+        inputs = {n: [2.0, -1.0] for n in dag.roots()}
+        assert simulate_schedule(
+            dfg, table, assignment, schedule, 2, inputs=inputs
+        ) == simulate(dfg, 2, inputs=inputs)

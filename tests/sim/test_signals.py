@@ -1,0 +1,113 @@
+"""Unit tests for signal generators and stream metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.signals import (
+    impulse,
+    mse,
+    sine,
+    snr_db,
+    step,
+    streams_equal,
+    white_noise,
+)
+
+
+class TestGenerators:
+    def test_impulse(self):
+        assert impulse(4) == [1.0, 0.0, 0.0, 0.0]
+        assert impulse(3, amplitude=2.5)[0] == 2.5
+        assert impulse(0) == []
+
+    def test_step(self):
+        assert step(3, amplitude=2.0) == [2.0, 2.0, 2.0]
+
+    def test_sine_period(self):
+        s = sine(8, period=8.0)
+        assert s[0] == pytest.approx(0.0)
+        assert s[2] == pytest.approx(1.0)
+        assert s[6] == pytest.approx(-1.0)
+
+    def test_sine_bad_period(self):
+        with pytest.raises(ReproError):
+            sine(4, period=0)
+
+    def test_white_noise_bounded_and_seeded(self):
+        a = white_noise(100, amplitude=3.0, seed=1)
+        b = white_noise(100, amplitude=3.0, seed=1)
+        assert a == b
+        assert all(-3.0 <= x <= 3.0 for x in a)
+        assert white_noise(100, seed=2) != a
+
+    def test_negative_length(self):
+        with pytest.raises(ReproError):
+            impulse(-1)
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        assert mse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mse_value(self):
+        assert mse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(12.5)
+
+    def test_mse_length_mismatch(self):
+        with pytest.raises(ReproError):
+            mse([1.0], [1.0, 2.0])
+
+    def test_mse_empty(self):
+        assert mse([], []) == 0.0
+
+    def test_snr_infinite_on_match(self):
+        assert snr_db([1.0, 2.0], [1.0, 2.0]) == float("inf")
+
+    def test_snr_value(self):
+        # power 1, error power 0.01 -> 20 dB
+        ref = [1.0] * 10
+        test = [1.1] * 10
+        assert snr_db(ref, test) == pytest.approx(20.0, abs=1e-6)
+
+    def test_snr_undefined_zero_reference(self):
+        with pytest.raises(ReproError):
+            snr_db([0.0, 0.0], [1.0, 1.0])
+
+    def test_streams_equal(self):
+        assert streams_equal([1.0], [1.0 + 1e-12])
+        assert not streams_equal([1.0], [1.1])
+        assert not streams_equal([1.0], [1.0, 2.0])
+
+
+class TestWithSimulator:
+    def test_sine_through_accumulator(self):
+        """Running sum of a sine over a full period returns ~0."""
+        from repro.graph.dfg import DFG
+        from repro.sim.functional import simulate
+
+        dfg = DFG()
+        dfg.add_node("y", op="add")
+        dfg.add_edge("y", "y", 1)
+        xs = sine(16, period=16.0)
+        trace = simulate(dfg, 16, inputs={"y": xs})
+        assert trace["y"][-1] == pytest.approx(sum(xs))
+        assert abs(trace["y"][-1]) < 1e-9
+
+    def test_schedule_replay_has_infinite_snr(self):
+        from repro import min_completion_time, synthesize
+        from repro.fu.random_tables import random_table
+        from repro.sim.functional import simulate, simulate_schedule
+        from repro.suite.registry import get_benchmark
+
+        dfg = get_benchmark("fir8")
+        dag = dfg.dag()
+        table = random_table(dag, seed=1)
+        result = synthesize(dfg, table, min_completion_time(dag, table) + 3)
+        inputs = {n: white_noise(5, seed=3) for n in dag.roots()}
+        ref = simulate(dfg, 5, inputs=inputs)
+        got = simulate_schedule(
+            dfg, table, result.assignment, result.schedule, 5, inputs=inputs
+        )
+        out = dag.leaves()[0]
+        assert snr_db(ref[out], got[out]) == float("inf")

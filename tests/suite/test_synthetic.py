@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic DFG generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.classify import is_out_forest, is_simple_path
+from repro.suite.synthetic import layered_dag, random_dag, random_path, random_tree
+
+
+class TestRandomPath:
+    def test_is_simple_path(self):
+        for n in (1, 2, 10):
+            assert is_simple_path(random_path(n, seed=0))
+
+    def test_deterministic(self):
+        g1, g2 = random_path(6, seed=3), random_path(6, seed=3)
+        assert g1 == g2
+
+    def test_bad_size(self):
+        with pytest.raises(GraphError):
+            random_path(0)
+
+
+class TestRandomTree:
+    def test_out_tree_shape(self):
+        for seed in range(5):
+            assert is_out_forest(random_tree(12, seed=seed, out_tree=True))
+
+    def test_in_tree_shape(self):
+        from repro.graph.classify import is_in_forest
+
+        for seed in range(5):
+            assert is_in_forest(random_tree(12, seed=seed, out_tree=False))
+
+    def test_connected(self):
+        g = random_tree(20, seed=1)
+        assert len(g.roots()) == 1
+
+    def test_node_count(self):
+        assert len(random_tree(15, seed=0)) == 15
+
+
+class TestRandomDag:
+    def test_acyclic(self):
+        for seed in range(5):
+            assert not random_dag(15, seed=seed).has_cycle()
+
+    def test_max_parents_cap(self):
+        g = random_dag(20, edge_prob=0.9, seed=0, max_parents=2)
+        assert all(g.in_degree(n) <= 2 for n in g.nodes())
+
+    def test_edge_prob_zero(self):
+        g = random_dag(10, edge_prob=0.0, seed=0)
+        assert g.num_edges() == 0
+
+    def test_bad_prob(self):
+        with pytest.raises(GraphError):
+            random_dag(5, edge_prob=1.5)
+
+    def test_deterministic(self):
+        assert random_dag(10, seed=7) == random_dag(10, seed=7)
+
+
+class TestLayeredDag:
+    def test_size(self):
+        g = layered_dag(4, 3, seed=0)
+        assert len(g) == 12
+
+    def test_edges_only_between_adjacent_layers(self):
+        g = layered_dag(5, 4, seed=1)
+        for u, v, _ in g.edges():
+            lu = int(str(u)[1:].split("n")[0])
+            lv = int(str(v)[1:].split("n")[0])
+            assert lv == lu + 1
+
+    def test_acyclic(self):
+        assert not layered_dag(6, 5, seed=2).has_cycle()
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            layered_dag(0, 3)

@@ -1,0 +1,141 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["show", "diffeq"],
+            ["assign", "diffeq", "-L", "12"],
+            ["synth", "diffeq"],
+            ["sweep", "diffeq"],
+            ["table1"],
+            ["table2"],
+            ["headline"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "diffeq" in out and "elliptic" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "elliptic"]) == 0
+        out = capsys.readouterr().out
+        assert "34 nodes" in out
+        assert "add" in out
+
+    def test_show_dot(self, capsys):
+        assert main(["show", "diffeq", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_show_unknown_benchmark(self, capsys):
+        assert main(["show", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_assign(self, capsys):
+        assert main(["assign", "diffeq", "-L", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "system cost" in out
+        assert "deadline    : 12" in out
+
+    def test_assign_default_deadline(self, capsys):
+        assert main(["assign", "lattice4"]) == 0
+        assert "system cost" in capsys.readouterr().out
+
+    def test_assign_explicit_algorithm(self, capsys):
+        assert main(["assign", "diffeq", "-a", "greedy"]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_assign_infeasible(self, capsys):
+        assert main(["assign", "diffeq", "-L", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_synth(self, capsys):
+        assert main(["synth", "diffeq", "-L", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "configuration" in out
+        assert "schedule:" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "diffeq", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "diffeq" in out and "repeat%" in out
+
+    def test_headline(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "DFG_Assign_Once" in out and "%" in out
+
+    def test_pareto_tree(self, capsys):
+        assert main(["pareto", "lattice4", "--horizon", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "exact (tree DP)" in out
+        assert "min cost" in out
+
+    def test_pareto_dag(self, capsys):
+        assert main(["pareto", "rls_laguerre", "--horizon", "20"]) == 0
+        assert "heuristic" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "elliptic"]) == 0
+        assert "34 nodes" in capsys.readouterr().out
+
+    def test_lp(self, capsys):
+        assert main(["lp", "diffeq", "-L", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Minimize" in out and "Binaries" in out and out.strip().endswith("End")
+
+    @pytest.mark.parametrize("fmt,marker", [
+        ("csv", "benchmark,deadline"),
+        ("json", '"benchmark"'),
+        ("markdown", "| benchmark |"),
+    ])
+    def test_export_formats(self, capsys, fmt, marker):
+        assert main(["export", "diffeq", "--format", fmt, "--count", "2"]) == 0
+        assert marker in capsys.readouterr().out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "diffeq", "-L", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "reference simulation" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "fir8", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "impulse response" in out
+        assert "matches the reference simulation" in out
+
+    def test_run_exchange_file(self, capsys, tmp_path):
+        from repro.fu.random_tables import random_table
+        from repro.suite.io_formats import dump
+        from repro.suite.registry import get_benchmark
+
+        dfg = get_benchmark("diffeq")
+        path = str(tmp_path / "g.dfg")
+        dump(path, dfg, random_table(dfg.dag(), seed=0))
+        assert main(["run", path]) == 0
+        out = capsys.readouterr().out
+        assert "system cost" in out
+
+    def test_run_file_without_rows_uses_seeded_table(self, capsys, tmp_path):
+        from repro.suite.io_formats import dump
+        from repro.suite.registry import get_benchmark
+
+        path = str(tmp_path / "g.dfg")
+        dump(path, get_benchmark("diffeq"))
+        assert main(["run", path, "--seed", "3"]) == 0
+        assert "seeded random table" in capsys.readouterr().out

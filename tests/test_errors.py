@@ -1,0 +1,59 @@
+"""Unit tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.errors import (
+    CyclicDependencyError,
+    GraphError,
+    InfeasibleError,
+    NotAPathError,
+    NotATreeError,
+    ReproError,
+    ScheduleError,
+    TableError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            CyclicDependencyError,
+            NotAPathError,
+            NotATreeError,
+            TableError,
+            InfeasibleError,
+            ScheduleError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_graph_family(self):
+        for exc in (CyclicDependencyError, NotAPathError, NotATreeError):
+            assert issubclass(exc, GraphError)
+
+    def test_single_catch_covers_library(self):
+        """One except clause catches anything the library raises."""
+        from repro.graph.dfg import DFG
+
+        with pytest.raises(ReproError):
+            DFG().op("missing")
+
+
+class TestInfeasibleError:
+    def test_carries_min_feasible(self):
+        exc = InfeasibleError("too tight", min_feasible=42)
+        assert exc.min_feasible == 42
+        assert "too tight" in str(exc)
+
+    def test_min_feasible_optional(self):
+        assert InfeasibleError("no bound").min_feasible is None
+
+    def test_propagates_from_algorithms(self, chain3, chain3_table):
+        from repro.assign.path_assign import path_assign
+
+        with pytest.raises(InfeasibleError) as info:
+            path_assign(chain3, chain3_table, 0)
+        assert info.value.min_feasible is not None

@@ -1,0 +1,60 @@
+"""Unit tests for the cross-validation certifier."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.fu.random_tables import random_table
+from repro.suite.registry import get_benchmark
+from repro.suite.synthetic import random_dag, random_path, random_tree
+from repro.verify import Certificate, certify
+
+
+class TestCertify:
+    def test_small_dag_full_portfolio(self):
+        dfg = random_dag(8, edge_prob=0.3, seed=0)
+        table = random_table(dfg, num_types=3, seed=0)
+        deadline = min_completion_time(dfg, table) + 3
+        cert = certify(dfg, table, deadline)
+        assert "exact" in cert.costs
+        assert any("brute force" in c for c in cert.checks)
+
+    def test_path_includes_path_dp(self):
+        dfg = random_path(6, seed=1)
+        table = random_table(dfg, num_types=3, seed=1)
+        deadline = min_completion_time(dfg, table) + 4
+        cert = certify(dfg, table, deadline)
+        assert "path" in cert.costs and "tree" in cert.costs
+
+    def test_tree_includes_tree_dp(self):
+        dfg = random_tree(9, seed=2)
+        table = random_table(dfg, num_types=3, seed=2)
+        deadline = min_completion_time(dfg, table) + 4
+        cert = certify(dfg, table, deadline)
+        assert "tree" in cert.costs
+        assert any("optimal on the tree" in c for c in cert.checks)
+
+    def test_large_dag_skips_exact_gracefully(self):
+        dfg = get_benchmark("elliptic").dag()
+        table = random_table(dfg, num_types=3, seed=24)
+        deadline = min_completion_time(dfg, table) + 8
+        cert = certify(dfg, table, deadline)
+        # either exact finished or the skip is recorded — never a crash
+        assert ("exact" in cert.costs) or any(
+            "skipped" in c for c in cert.checks
+        )
+
+    @pytest.mark.parametrize("name", ["lattice4", "diffeq"])
+    def test_benchmarks_certify(self, name):
+        dfg = get_benchmark(name).dag()
+        table = random_table(dfg, num_types=3, seed=24)
+        deadline = min_completion_time(dfg, table) + 4
+        cert = certify(dfg, table, deadline)
+        assert cert.deadline == deadline
+        assert any("scheduler" in c for c in cert.checks)
+
+    def test_describe_readable(self):
+        dfg = random_path(4, seed=3)
+        table = random_table(dfg, num_types=2, seed=3)
+        deadline = min_completion_time(dfg, table) + 2
+        text = certify(dfg, table, deadline).describe()
+        assert "deadline" in text and "[ok]" in text and "cost" in text
