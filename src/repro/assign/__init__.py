@@ -23,6 +23,7 @@ from .dfg_expand import ExpandedTree, dfg_expand
 from .downgrade import downgrade_assign
 from .frontier import dfg_frontier, frontier_knees, tree_frontier
 from .ilp_model import ILPModel, build_ilp, check_solution, to_lp_format
+from .incremental import DPStats, IncrementalTreeDP
 from .exact import brute_force_assign, exact_assign
 from .greedy import greedy_assign
 from .knapsack import KnapsackInstance, hap_from_knapsack, solve_knapsack_via_hap
@@ -40,9 +41,12 @@ from .series_parallel import (
     is_two_terminal_sp,
     sp_assign,
 )
-from .tree_assign import tree_assign, tree_cost_curve
+from .tree_assign import tree_assign, tree_cost_curve, tree_dp
 
 __all__ = [
+    "DPStats",
+    "IncrementalTreeDP",
+    "tree_dp",
     "marginal_cost_of_time",
     "MarginalCost",
     "node_sensitivity",

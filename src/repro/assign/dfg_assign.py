@@ -34,6 +34,7 @@ from ..graph.dfg import DFG, Node
 from ..graph.paths import longest_path_time
 from .assignment import Assignment
 from .dfg_expand import ExpandedTree, dfg_expand
+from .incremental import DPStats, IncrementalTreeDP
 from .result import AssignResult
 from .tree_assign import tree_assign
 
@@ -168,6 +169,35 @@ def dfg_assign_once(
     return _finish(dfg, table, assignment, deadline, "dfg_assign_once")
 
 
+def _repeat_rounds(
+    engine: IncrementalTreeDP,
+    table: TimeCostTable,
+    deadline: int,
+    expansion: ExpandedTree,
+    order: List[Node],
+) -> Tuple[Dict[Node, int], Dict[Node, int]]:
+    """The Repeat pin loop on the incremental engine.
+
+    Runs the initial DP plus one refresh per pin; each refresh only
+    recomputes the pinned copies' root-paths (everything else is a
+    curve-cache hit), and each deadline query is an O(n) traceback.
+    Returns ``(tree_mapping, pinned)``.  The engine may outlive this
+    call (`dfg_frontier` shares one across a whole deadline sweep and
+    the cache carries over, since ``with_fixed`` version tokens are
+    content-stable).
+    """
+    work_table = table
+    engine.refresh(work_table)
+    tree_mapping = engine.traceback_at(deadline)
+    pinned: Dict[Node, int] = {}
+    for v in order:
+        pinned[v] = _min_time_choice(expansion, work_table, tree_mapping, v)
+        work_table = work_table.with_fixed(v, pinned[v])
+        engine.refresh(work_table)
+        tree_mapping = engine.traceback_at(deadline)
+    return tree_mapping, pinned
+
+
 def dfg_assign_repeat(
     dfg: DFG,
     table: TimeCostTable,
@@ -175,6 +205,8 @@ def dfg_assign_repeat(
     expansion: Optional[ExpandedTree] = None,
     node_limit: int = 200_000,
     fix_order: Optional[List[Node]] = None,
+    incremental: bool = True,
+    stats: Optional[DPStats] = None,
 ) -> AssignResult:
     """Iterative-pinning heuristic for general DAGs (paper Fig. 12).
 
@@ -188,7 +220,12 @@ def dfg_assign_repeat(
     our benchmarks) show it wins on graphs with many duplications.
 
     ``fix_order`` overrides the pinning order for ablation studies
-    (default: most-copied first).
+    (default: most-copied first).  ``incremental=True`` (the default)
+    runs the re-optimizations on :class:`IncrementalTreeDP`, which
+    recomputes only the pinned copies' root-paths per round; the result
+    is identical to the reference path (``incremental=False``), which
+    re-runs the full `Tree_Assign` DP every round.  ``stats``
+    optionally collects the engine's :class:`DPStats`.
     """
     require_acyclic(dfg)
     table.validate_for(dfg)
@@ -201,24 +238,31 @@ def dfg_assign_repeat(
         if v not in known:
             raise GraphError(f"fix_order names unknown node {v!r}")
 
-    work_table = table
-    tree_result = tree_assign(
-        expansion.tree, work_table, deadline, node_key=expansion.origin_of
-    )
-    pinned: Dict[Node, int] = {}
-    for v in order:
-        pinned[v] = _min_time_choice(
-            expansion, work_table, dict(tree_result.assignment.items()), v
+    if incremental:
+        engine = IncrementalTreeDP(
+            expansion.tree, deadline, node_key=expansion.origin_of, stats=stats
         )
-        work_table = work_table.with_fixed(v, pinned[v])
+        tree_mapping, pinned = _repeat_rounds(
+            engine, table, deadline, expansion, order
+        )
+    else:
+        work_table = table
         tree_result = tree_assign(
             expansion.tree, work_table, deadline, node_key=expansion.origin_of
         )
+        pinned = {}
+        for v in order:
+            pinned[v] = _min_time_choice(
+                expansion, work_table, dict(tree_result.assignment.items()), v
+            )
+            work_table = work_table.with_fixed(v, pinned[v])
+            tree_result = tree_assign(
+                expansion.tree, work_table, deadline, node_key=expansion.origin_of
+            )
+        tree_mapping = dict(tree_result.assignment.items())
 
     # Costs/times of pinned nodes are identical in ``work_table`` and
     # ``table`` (the pin copied the chosen entry), so resolving against
     # the original table is exact.
-    assignment = _resolve(
-        dfg, table, expansion, dict(tree_result.assignment.items()), pinned
-    )
+    assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
     return _finish(dfg, table, assignment, deadline, "dfg_assign_repeat")

@@ -20,7 +20,7 @@ live in C):
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,14 +52,21 @@ def infeasible_curve(deadline: int) -> np.ndarray:
     return np.full(deadline + 1, np.inf, dtype=np.float64)
 
 
-def combine_children(curves: Sequence[np.ndarray]) -> np.ndarray:
+def combine_children(
+    curves: Sequence[np.ndarray], deadline: Optional[int] = None
+) -> np.ndarray:
     """Sum of child curves (parallel composition under a shared budget).
 
-    With zero children this is the zero curve, which the caller must
-    supply explicitly (we cannot infer the deadline from nothing).
+    With zero children this is the zero curve, which requires an
+    explicit ``deadline`` (the length cannot be inferred from nothing):
+    callers that may legitimately combine an empty family — a forest
+    with no roots, i.e. an empty DFG — pass it; omitting it keeps the
+    historical contract of raising on an empty sequence.
     """
     if not curves:
-        raise TableError("combine_children needs at least one curve")
+        if deadline is None:
+            raise TableError("combine_children needs at least one curve")
+        return zero_curve(deadline)
     lengths = {len(c) for c in curves}
     if len(lengths) != 1:
         raise TableError(f"curves of differing deadlines: {sorted(lengths)}")

@@ -15,31 +15,57 @@ API — the designer's view the paper's tables sample at six points:
 A frontier is a list of ``(deadline, cost)`` knees: deadlines where the
 minimum cost strictly improves, starting at the minimum feasible
 completion time.
+
+The heuristic sweep is *incremental* by default: one
+:class:`~repro.assign.incremental.IncrementalTreeDP` is shared across
+every deadline, so each point costs one O(n) traceback plus a refresh
+per pin round — and because pin choices rarely change between adjacent
+deadlines, those refreshes are almost entirely curve-cache hits.  The
+reference per-deadline re-run survives as ``incremental=False`` (the
+equivalence is pinned by tests and ``benchmarks/bench_incremental.py``).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import InfeasibleError
+from ..errors import InfeasibleError, NotATreeError
 from ..fu.table import TimeCostTable
 from ..graph.classify import is_in_forest, is_out_forest
 from ..graph.dfg import DFG
 from .assignment import min_completion_time
-from .dfg_assign import choose_expansion, dfg_assign_repeat
+from .dfg_assign import _finish, _repeat_rounds, _resolve, choose_expansion, dfg_assign_repeat
 from .exact import exact_assign
+from .incremental import DPStats, IncrementalTreeDP
 from .tree_assign import tree_cost_curve
 
 __all__ = ["tree_frontier", "dfg_frontier", "frontier_knees"]
 
+#: Relative improvement below which two costs count as the same knee.
+#: Relative (not absolute): frontiers over large cost scales — energy
+#: tables in the thousands and beyond — would otherwise record spurious
+#: knees from float round-off, while an absolute epsilon larger than the
+#: cost quantum would miss real ones on tiny scales.  The ``max(1, |c|)``
+#: floor keeps near-zero costs on an absolute footing.
+KNEE_RTOL = 1e-9
+
 
 def frontier_knees(points: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
-    """Collapse a (deadline, cost) series to its strictly-improving knees."""
+    """Collapse a (deadline, cost) series to its strictly-improving knees.
+
+    "Strictly improving" is judged to relative tolerance
+    :data:`KNEE_RTOL`, so the scale of the cost axis does not change
+    which knees are recorded.
+    """
     knees: List[Tuple[int, float]] = []
     for deadline, cost in points:
-        if not knees or cost < knees[-1][1] - 1e-12:
+        if not knees:
+            knees.append((deadline, cost))
+            continue
+        prev = knees[-1][1]
+        if cost < prev - KNEE_RTOL * max(1.0, abs(prev)):
             knees.append((deadline, cost))
     return knees
 
@@ -50,10 +76,12 @@ def tree_frontier(
     """Exact Pareto frontier of a tree/forest up to ``max_deadline``.
 
     One DP pass (O(n · max_deadline · M)) yields every point.  Raises
+    :class:`NotATreeError` for general DAGs (matching `tree_assign`'s
+    contract — use :func:`dfg_frontier` there) and
     :class:`InfeasibleError` when even ``max_deadline`` is infeasible.
     """
-    if not (is_out_forest(tree) or is_in_forest(tree)):
-        raise InfeasibleError(
+    if len(tree) and not (is_out_forest(tree) or is_in_forest(tree)):
+        raise NotATreeError(
             f"{tree.name!r} is not a tree/forest; use dfg_frontier"
         )
     curve = tree_cost_curve(tree, table, max_deadline)
@@ -73,6 +101,8 @@ def dfg_frontier(
     table: TimeCostTable,
     max_deadline: int,
     exact: bool = False,
+    incremental: bool = True,
+    stats: Optional[DPStats] = None,
 ) -> List[Tuple[int, float]]:
     """Pareto frontier of a general DAG up to ``max_deadline``.
 
@@ -80,6 +110,14 @@ def dfg_frontier(
     expansion across the sweep); ``exact=True`` certifies each point
     with branch-and-bound (small graphs only).  The heuristic frontier
     upper-bounds the true one and is itself monotone by construction.
+
+    With ``incremental=True`` (the default) the whole sweep shares one
+    :class:`IncrementalTreeDP` built at ``max_deadline``: curves are
+    prefix-identical across deadlines, so every point's initial tree
+    assignment is a single traceback, and the per-pin refreshes hit the
+    curve cache whenever adjacent deadlines pin the same choices.  The
+    knees are identical to ``incremental=False`` (the per-deadline
+    reference loop); ``stats`` optionally collects engine counters.
     """
     floor = min_completion_time(dfg, table)
     if max_deadline < floor:
@@ -87,16 +125,40 @@ def dfg_frontier(
             f"max_deadline {max_deadline} below minimum completion {floor}",
             min_feasible=floor,
         )
-    expansion = None if exact else choose_expansion(dfg)
     points: List[Tuple[int, float]] = []
     best = np.inf
-    for deadline in range(floor, max_deadline + 1):
-        if exact:
+    if exact:
+        for deadline in range(floor, max_deadline + 1):
             cost = exact_assign(dfg, table, deadline).cost
-        else:
-            cost = dfg_assign_repeat(
-                dfg, table, deadline, expansion=expansion
-            ).cost
-        best = min(best, cost)  # enforce monotonicity of the frontier
+            best = min(best, cost)  # enforce monotonicity of the frontier
+            points.append((deadline, float(best)))
+        return frontier_knees(points)
+
+    expansion = choose_expansion(dfg)
+    if incremental:
+        order = expansion.duplicated_originals()
+        engine = IncrementalTreeDP(
+            expansion.tree,
+            max_deadline,
+            node_key=expansion.origin_of,
+            stats=stats,
+        )
+        for deadline in range(floor, max_deadline + 1):
+            tree_mapping, pinned = _repeat_rounds(
+                engine, table, deadline, expansion, order
+            )
+            assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
+            result = _finish(
+                dfg, table, assignment, deadline, "dfg_assign_repeat"
+            )
+            best = min(best, result.cost)
+            points.append((deadline, float(best)))
+        return frontier_knees(points)
+
+    for deadline in range(floor, max_deadline + 1):
+        cost = dfg_assign_repeat(
+            dfg, table, deadline, expansion=expansion, incremental=False
+        ).cost
+        best = min(best, cost)
         points.append((deadline, float(best)))
     return frontier_knees(points)

@@ -30,9 +30,10 @@ from ..graph.dag import reverse_topological_order
 from ..graph.dfg import DFG, Node
 from .assignment import Assignment
 from .dpkernel import NO_CHOICE, combine_children, node_step, zero_curve
+from .incremental import IncrementalTreeDP
 from .result import AssignResult
 
-__all__ = ["tree_assign", "tree_cost_curve"]
+__all__ = ["tree_assign", "tree_cost_curve", "tree_dp"]
 
 #: Maps a tree node to the key under which its table row is stored.
 #: Expanded trees pass ``origin_of``; plain trees use the identity.
@@ -40,8 +41,13 @@ NodeKey = Callable[[Node], Node]
 
 
 def _normalize(dfg: DFG) -> DFG:
-    """Return ``dfg`` as an out-forest, transposing in-forests."""
-    if is_out_forest(dfg):
+    """Return ``dfg`` as an out-forest, transposing in-forests.
+
+    The empty graph is a (trivial) forest: zero roots, zero curves to
+    combine — both DP entry points handle it explicitly, returning the
+    zero curve / the empty assignment.
+    """
+    if len(dfg) == 0 or is_out_forest(dfg):
         return dfg
     if is_in_forest(dfg):
         return dfg.transpose()
@@ -91,7 +97,31 @@ def tree_cost_curve(
     for n in tree.nodes():
         table.times(key(n))  # validates coverage eagerly
     curves, _ = _curves(tree, table, deadline, key)
-    return combine_children([curves[r] for r in tree.roots()])
+    return combine_children([curves[r] for r in tree.roots()], deadline=deadline)
+
+
+def tree_dp(
+    tree: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    node_key: Optional[NodeKey] = None,
+) -> IncrementalTreeDP:
+    """One DP pass that answers *every* deadline ``j ≤ deadline``.
+
+    Returns a refreshed :class:`IncrementalTreeDP` whose
+    :meth:`~IncrementalTreeDP.traceback_at`/:meth:`~IncrementalTreeDP.result_at`
+    reproduce ``tree_assign(tree, table, j)`` for any ``j`` in O(n),
+    because cost curves are prefix-identical across deadlines.  Deadline
+    sweeps (`tree_frontier`, `dfg_frontier`) build on this instead of
+    re-running the full O(n·L·M) DP per point.
+    """
+    key = node_key or (lambda n: n)
+    tree = _normalize(tree)
+    for n in tree.nodes():
+        table.times(key(n))  # validates coverage eagerly
+    if deadline < 0:
+        raise InfeasibleError(f"deadline must be >= 0, got {deadline}")
+    return IncrementalTreeDP(tree, deadline, node_key=key).refresh(table)
 
 
 def tree_assign(
@@ -125,7 +155,7 @@ def tree_assign(
     curves, choices = _curves(tree, table, deadline, key)
 
     roots = tree.roots()
-    total = combine_children([curves[r] for r in roots])
+    total = combine_children([curves[r] for r in roots], deadline=deadline)
     if not np.isfinite(total[deadline]):
         from ..graph.paths import longest_path_time
 

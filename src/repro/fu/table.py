@@ -15,6 +15,7 @@ their row with a single-choice row (:meth:`TimeCostTable.with_fixed`).
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,7 +23,20 @@ import numpy as np
 from ..errors import TableError
 from ..graph.dfg import DFG, Node
 
-__all__ = ["TimeCostTable"]
+__all__ = ["TimeCostTable", "RowVersion"]
+
+#: Opaque structural version of one table row (hashable, comparable for
+#: equality).  Either a fresh integer (minted by :meth:`TimeCostTable.set_row`)
+#: or a ``("fixed", base, fu_type)`` tuple derived by
+#: :meth:`TimeCostTable.with_fixed` — derived tokens are *content-stable*:
+#: pinning the same base row to the same type always yields the same token,
+#: no matter when or on which table copy it happens.  The incremental DP
+#: engine keys its curve cache on these tokens.
+RowVersion = Hashable
+
+#: Global mint for fresh row versions; never reused, so two rows share a
+#: token only when one was copied (structurally unchanged) from the other.
+_ROW_VERSIONS = itertools.count()
 
 
 class TimeCostTable:
@@ -34,7 +48,7 @@ class TimeCostTable:
         Number of FU types ``M``; every row has exactly this length.
     """
 
-    __slots__ = ("_num_types", "_times", "_costs")
+    __slots__ = ("_num_types", "_times", "_costs", "_versions")
 
     def __init__(self, num_types: int):
         if num_types < 1:
@@ -42,6 +56,7 @@ class TimeCostTable:
         self._num_types = int(num_types)
         self._times: Dict[Node, np.ndarray] = {}
         self._costs: Dict[Node, np.ndarray] = {}
+        self._versions: Dict[Node, RowVersion] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -76,6 +91,7 @@ class TimeCostTable:
         self._times[node].setflags(write=False)
         self._costs[node] = c
         self._costs[node].setflags(write=False)
+        self._versions[node] = next(_ROW_VERSIONS)
 
     @classmethod
     def from_rows(
@@ -137,6 +153,22 @@ class TimeCostTable:
             raise TableError(f"type index {fu_type} out of range [0,{self._num_types})")
         return float(row[fu_type])
 
+    def row_version(self, node: Node) -> RowVersion:
+        """Structural version token of the row for ``node``.
+
+        Two equal tokens guarantee structurally identical rows: the
+        token survives :meth:`copy` unchanged, is re-minted by
+        :meth:`set_row`, and is *derived deterministically* by
+        :meth:`with_fixed` — pinning the same base row to the same type
+        yields the same token on every call.  Cache keys built from
+        these tokens therefore remain valid across independently derived
+        table copies (the property the incremental DP engine relies on).
+        """
+        try:
+            return self._versions[node]
+        except KeyError as exc:
+            raise TableError(f"no table row for node {node!r}") from exc
+
     def min_time(self, node: Node) -> int:
         """Fastest execution time available for ``node``."""
         return int(self.times(node).min())
@@ -178,7 +210,11 @@ class TimeCostTable:
         t = self.time(node, fu_type)
         c = self.cost(node, fu_type)
         out = self.copy()
+        base = self._versions[node]
         out.set_row(node, [t] * self._num_types, [c] * self._num_types)
+        # Structural token: pinning the same base row to the same type is
+        # the same row, whenever and on whichever copy it happens.
+        out._versions[node] = ("fixed", base, int(fu_type))
         return out
 
     def with_row(
@@ -193,6 +229,7 @@ class TimeCostTable:
         out = TimeCostTable(self._num_types)
         out._times = dict(self._times)
         out._costs = dict(self._costs)
+        out._versions = dict(self._versions)
         return out
 
     # ------------------------------------------------------------------

@@ -23,7 +23,14 @@ from .experiments import (
 )
 from .export import rows_to_csv, rows_to_json, rows_to_latex, rows_to_markdown
 from .gantt import render_gantt
-from .profiles import BenchmarkProfile, profile_benchmarks, render_profiles
+from .profiles import (
+    BenchmarkProfile,
+    IncrementalProfile,
+    profile_benchmarks,
+    profile_incremental,
+    render_incremental,
+    render_profiles,
+)
 from .robustness import RobustnessSummary, robustness_study
 from .scaling import (
     OptimalityRecord,
@@ -40,6 +47,9 @@ __all__ = [
     "BenchmarkProfile",
     "profile_benchmarks",
     "render_profiles",
+    "IncrementalProfile",
+    "profile_incremental",
+    "render_incremental",
     "rows_to_csv",
     "rows_to_json",
     "rows_to_markdown",

@@ -5,8 +5,10 @@ import pytest
 from repro.assign.assignment import min_completion_time
 from repro.assign.frontier import dfg_frontier, frontier_knees, tree_frontier
 from repro.assign.tree_assign import tree_assign
-from repro.errors import InfeasibleError
+from repro.errors import InfeasibleError, NotATreeError
 from repro.fu.random_tables import random_table
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
 from repro.suite.registry import get_benchmark
 
 
@@ -20,6 +22,21 @@ class TestKnees:
 
     def test_single(self):
         assert frontier_knees([(3, 7.0)]) == [(3, 7.0)]
+
+    def test_float_noise_at_large_scale_is_not_a_knee(self):
+        # Energy-scale costs: a drop of 1e-7 at scale 1e7 is float
+        # round-off, not an improvement.  The absolute 1e-12 tolerance
+        # this function used to apply recorded it as a spurious knee.
+        points = [(1, 1.0e7), (2, 1.0e7 - 1e-7), (3, 0.9e7)]
+        assert frontier_knees(points) == [(1, 1.0e7), (3, 0.9e7)]
+
+    def test_real_improvements_at_large_scale_are_kept(self):
+        points = [(1, 5_000_000.0), (2, 4_999_999.0), (3, 4_000_000.0)]
+        assert frontier_knees(points) == points
+
+    def test_small_scale_behaviour_unchanged(self):
+        points = [(1, 3.0), (2, 2.5), (3, 2.5), (4, 1.0)]
+        assert frontier_knees(points) == [(1, 3.0), (2, 2.5), (4, 1.0)]
 
 
 class TestTreeFrontier:
@@ -61,10 +78,16 @@ class TestTreeFrontier:
             tree_frontier(dfg, table, 1)
 
     def test_rejects_general_dag(self):
+        # Regression: used to raise InfeasibleError, conflating "not a
+        # tree" with "no feasible assignment"; the documented contract
+        # (matching tree_assign) is NotATreeError.
         dfg = get_benchmark("elliptic").dag()
         table = random_table(dfg, num_types=3, seed=0)
-        with pytest.raises(InfeasibleError, match="dfg_frontier"):
+        with pytest.raises(NotATreeError, match="dfg_frontier"):
             tree_frontier(dfg, table, 100)
+
+    def test_empty_forest_is_the_zero_frontier(self):
+        assert tree_frontier(DFG(name="empty"), TimeCostTable(2), 7) == [(0, 0.0)]
 
 
 class TestDfgFrontier:
@@ -90,6 +113,12 @@ class TestDfgFrontier:
             h = min(c for d, c in heur.items() if d <= deadline)
             o = min(c for d, c in opt.items() if d <= deadline)
             assert o <= h + 1e-9
+
+    def test_swept_matches_reference(self, setup):
+        dfg, table = setup
+        floor = min_completion_time(dfg, table)
+        ref = dfg_frontier(dfg, table, floor + 15, incremental=False)
+        assert dfg_frontier(dfg, table, floor + 15) == ref
 
     def test_below_floor_raises(self, setup):
         dfg, table = setup

@@ -51,6 +51,24 @@ class TestShapes:
         with pytest.raises(NotATreeError):
             tree_assign(wide_dag, table, 100)
 
+    def test_empty_forest_assigns_nothing(self):
+        # Regression: used to crash in combine_children ("needs at
+        # least one curve") instead of returning the empty assignment.
+        from repro.fu.table import TimeCostTable
+        from repro.graph.dfg import DFG
+
+        result = tree_assign(DFG(name="empty"), TimeCostTable(3), 10)
+        assert len(result.assignment) == 0
+        assert result.cost == 0.0
+        assert result.completion_time == 0
+
+    def test_empty_forest_zero_curve(self):
+        from repro.fu.table import TimeCostTable
+        from repro.graph.dfg import DFG
+
+        curve = tree_cost_curve(DFG(name="empty"), TimeCostTable(3), 6)
+        np.testing.assert_array_equal(curve, np.zeros(7))
+
 
 class TestOptimality:
     @pytest.mark.parametrize("seed", range(10))

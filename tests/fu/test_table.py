@@ -126,6 +126,39 @@ class TestDerivation:
         assert "c" not in table
 
 
+class TestRowVersions:
+    def test_copy_preserves_versions(self, table):
+        c = table.copy()
+        assert c.row_version("a") == table.row_version("a")
+
+    def test_set_row_remints(self, table):
+        before = table.row_version("a")
+        table.set_row("a", [1, 2, 3], [9.0, 5.0, 1.0])
+        assert table.row_version("a") != before
+
+    def test_with_fixed_tokens_are_content_stable(self, table):
+        # Deriving the same pin twice — even via an intermediate copy —
+        # yields the same token; the incremental DP engine's cross-sweep
+        # cache hits depend on this.
+        once = table.with_fixed("a", 1)
+        again = table.copy().with_fixed("a", 1)
+        assert once.row_version("a") == again.row_version("a")
+        assert once.row_version("b") == table.row_version("b")
+
+    def test_with_fixed_tokens_differ_by_type(self, table):
+        assert (
+            table.with_fixed("a", 0).row_version("a")
+            != table.with_fixed("a", 1).row_version("a")
+        )
+
+    def test_distinct_rows_have_distinct_versions(self, table):
+        assert table.row_version("a") != table.row_version("b")
+
+    def test_missing_row_raises(self, table):
+        with pytest.raises(TableError, match="no table row"):
+            table.row_version("nope")
+
+
 class TestValidation:
     def test_validate_for_ok(self, table):
         dfg = DFG.from_edges([("a", "b")])
