@@ -36,8 +36,10 @@ from .errors import (
     CyclicDependencyError,
     GraphError,
     InfeasibleError,
+    LintError,
     NotAPathError,
     NotATreeError,
+    ReportError,
     ReproError,
     ScheduleError,
     TableError,
@@ -77,5 +79,7 @@ __all__ = [
     "TableError",
     "InfeasibleError",
     "ScheduleError",
+    "ReportError",
+    "LintError",
     "__version__",
 ]

@@ -12,7 +12,7 @@ quality is judged by two numbers (Section 3 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping
+from typing import Dict, ItemsView, Iterator, Mapping, Optional
 
 from ..errors import TableError
 from ..fu.table import TimeCostTable
@@ -64,10 +64,10 @@ class Assignment:
     def __iter__(self) -> Iterator[Node]:
         return iter(self.mapping)
 
-    def get(self, node: Node, default: int | None = None):
+    def get(self, node: Node, default: Optional[int] = None) -> Optional[int]:
         return self.mapping.get(node, default)
 
-    def items(self):
+    def items(self) -> ItemsView[Node, int]:
         return self.mapping.items()
 
     def merged_with(self, other: Mapping[Node, int]) -> "Assignment":

@@ -39,7 +39,7 @@ class KnapsackInstance:
     weights: Tuple[int, ...]
     capacity: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.values) != len(self.weights):
             raise TableError("values and weights must have equal length")
         if any(w < 0 for w in self.weights):

@@ -21,7 +21,7 @@ which is precisely the paper's point.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -66,7 +66,9 @@ def max_cost(dfg: DFG, table: TimeCostTable, assignment: Assignment) -> float:
     )
 
 
-def _minmax_node_step(child: np.ndarray, times, costs):
+def _minmax_node_step(
+    child: np.ndarray, times: np.ndarray, costs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     """`node_step` with the max combiner."""
     t = np.asarray(times, dtype=np.int64)
     c = np.asarray(costs, dtype=np.float64)

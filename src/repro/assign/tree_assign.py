@@ -19,7 +19,7 @@ costs, and feasibility are unchanged.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -62,7 +62,7 @@ def _curves(
     table: TimeCostTable,
     deadline: int,
     key: NodeKey,
-):
+) -> Tuple[Dict[Node, np.ndarray], Dict[Node, np.ndarray]]:
     """Bottom-up DP pass: per-node cost curves and traceback choices."""
     curves: Dict[Node, np.ndarray] = {}
     choices: Dict[Node, np.ndarray] = {}

@@ -8,6 +8,7 @@ Subcommands::
     repro-hls synth elliptic -L 40      # both phases
     repro-hls table1 / table2           # regenerate the paper tables
     repro-hls headline                  # the average-reduction summary
+    repro-hls lint src/repro            # static-analysis gate (lintkit)
 
 Every command accepts ``--seed`` for the randomized time/cost tables,
 defaulting to the seed of record used in EXPERIMENTS.md.
@@ -156,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("-L", "--deadline", type=int, default=None)
     p_sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p_sim.add_argument("--iterations", type=int, default=4)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the lintkit static-analysis rules "
+        "(see `repro-hls lint --help`)",
+        add_help=False,
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.lintkit (paths, --select, ...)",
+    )
     return parser
 
 
@@ -314,6 +327,12 @@ def _cmd_sweep(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # forwarded wholesale: lintkit owns its own argparse surface and
+        # the 0/1/2 exit-code convention
+        from .lintkit.cli import main as lint_main
+
+        return lint_main(args.lint_args)
     try:
         if args.command == "list":
             for name in benchmark_names():

@@ -3,6 +3,16 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch everything originating in this package with a single ``except``
 clause while still being able to discriminate the failure mode.
+
+**Policy — builtins are for programmer errors only.**  Library code
+must never signal a *library failure mode* (bad input graph, malformed
+table, infeasible constraint, broken file, ...) with a builtin
+exception: a ``ValueError`` escapes every ``except ReproError`` handler
+a caller wrote in good faith.  Builtins stay legal exactly where they
+mean "the *programmer* broke the contract": ``NotImplementedError`` on
+abstract methods, ``AssertionError`` from internal invariant asserts,
+and control-flow exceptions (``StopIteration`` & co.).  This policy is
+machine-enforced by lint rule **RL001** (``repro.lintkit``).
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ __all__ = [
     "TableError",
     "InfeasibleError",
     "ScheduleError",
+    "ReportError",
+    "LintError",
 ]
 
 
@@ -63,3 +75,11 @@ class InfeasibleError(ReproError):
 
 class ScheduleError(ReproError):
     """A schedule violates precedence, resource, or deadline constraints."""
+
+
+class ReportError(ReproError):
+    """A reporting/export request is malformed (unknown artifact, ...)."""
+
+
+class LintError(ReproError):
+    """A :mod:`repro.lintkit` usage error (bad path, unknown rule, ...)."""

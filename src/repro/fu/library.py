@@ -48,7 +48,7 @@ class FUType:
     failure_rate: float = 1e-4
     price: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.speed <= 0:
             raise TableError(f"FU type {self.name!r}: speed must be > 0")
         if self.failure_rate < 0 or self.energy_per_step < 0 or self.price < 0:
@@ -67,7 +67,7 @@ class FULibrary:
 
     types: Tuple[FUType, ...] = field(default_factory=tuple)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.types:
             raise TableError("FU library must contain at least one type")
         names = [t.name for t in self.types]

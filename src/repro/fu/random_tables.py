@@ -14,7 +14,7 @@ bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 import numpy as np
 
@@ -72,7 +72,7 @@ def random_table(
     dfg: DFG,
     num_types: int = 3,
     seed: Optional[int] = 2004,
-    **kwargs,
+    **kwargs: Any,
 ) -> TimeCostTable:
     """Random monotone table covering every node of ``dfg``.
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
+from ..errors import GraphError
 from .classify import duplication_count, is_in_forest, is_out_forest, is_simple_path
-from .dag import depth_map, require_acyclic
+from .dag import depth_map, require_acyclic, topological_order
 from .dfg import DFG, Node
 from .paths import count_root_leaf_paths
 
@@ -33,10 +34,19 @@ def parallelism_profile(dfg: DFG, times: Mapping[Node, int]) -> List[int]:
     The profile's maximum is the graph's peak intrinsic parallelism —
     a quick upper bound intuition for configuration sizes before any
     scheduling runs.
-    """
-    from ..sched.asap_alap import asap_starts
 
-    starts = asap_starts(dfg, times)
+    The earliest-start placement is computed here with a plain
+    longest-path pass rather than via :mod:`repro.sched` — the graph
+    layer must not depend on the scheduler (lint rule RL004).
+    """
+    missing = [n for n in dfg.nodes() if n not in times]
+    if missing:
+        raise GraphError(f"missing times for {missing[:5]!r}")
+    starts: Dict[Node, int] = {}
+    for n in topological_order(dfg):
+        starts[n] = max(
+            (starts[p] + times[p] for p in dfg.parents(n)), default=0
+        )
     horizon = max((starts[n] + times[n] for n in dfg.nodes()), default=0)
     profile = [0] * horizon
     for n in dfg.nodes():

@@ -21,7 +21,7 @@ attribute (which original node a duplicated copy stands for).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
@@ -60,7 +60,7 @@ class DFG:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_node(self, node: Node, op: str = "op", **attrs) -> None:
+    def add_node(self, node: Node, op: str = "op", **attrs: Any) -> None:
         """Add ``node`` with operation label ``op``.
 
         Re-adding an existing node updates its attributes (networkx
@@ -147,13 +147,13 @@ class DFG:
         except KeyError as exc:
             raise GraphError(f"unknown node {node!r}") from exc
 
-    def attr(self, node: Node, key: str, default=None):
+    def attr(self, node: Node, key: str, default: Any = None) -> Any:
         """Arbitrary node attribute access (used for expansion provenance)."""
         if node not in self._g:
             raise GraphError(f"unknown node {node!r}")
         return self._g.nodes[node].get(key, default)
 
-    def set_attr(self, node: Node, key: str, value) -> None:
+    def set_attr(self, node: Node, key: str, value: Any) -> None:
         if node not in self._g:
             raise GraphError(f"unknown node {node!r}")
         self._g.nodes[node][key] = value
@@ -261,5 +261,5 @@ class DFG:
             return False
         return sorted(self.edges(), key=repr) == sorted(other.edges(), key=repr)
 
-    def __hash__(self):  # DFGs are mutable; identity hash like nx graphs.
+    def __hash__(self) -> int:  # DFGs are mutable; identity hash like nx graphs.
         return id(self)

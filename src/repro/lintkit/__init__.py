@@ -1,0 +1,59 @@
+"""lintkit — AST-based invariant linter for the :mod:`repro` package.
+
+A self-contained static-analysis subsystem: every module under
+``src/repro`` is parsed with :mod:`ast` and checked against a registry
+of repo-specific rules, each grounded in a bug class this codebase has
+actually hit (see ``docs/static-analysis.md`` for the catalog):
+
+* **RL001** exception taxonomy — library ``raise`` sites must construct
+  a :class:`~repro.errors.ReproError` subclass (or re-raise);
+* **RL002** float equality — no ``==``/``!=`` against float literals or
+  cost expressions in the numeric layers;
+* **RL003** public-API sync — ``__all__`` entries resolve and package
+  re-exports are listed;
+* **RL004** import layering — the package DAG
+  ``graph → fu → assign → sched/retiming → sim/suite → report/cli/verify``
+  admits no upward or cyclic imports;
+* **RL005** side-effect hygiene — no stdout writes and no
+  assert-as-validation in library modules.
+
+Findings can be suppressed inline (``# lint: ignore[RL002]``) or via a
+committed ``lintkit-baseline.toml``.  Run as ``python -m repro.lintkit
+[paths]`` or ``repro-hls lint [paths]``; exit codes are 0 (clean),
+1 (findings), 2 (usage error).
+"""
+
+from .api import LintReport, lint_paths
+from .baseline import Baseline, BaselineEntry, format_baseline, load_baseline
+from .engine import (
+    ModuleInfo,
+    Project,
+    discover,
+    module_from_path,
+    module_from_source,
+    run_rules,
+)
+from .findings import Finding, render_json, render_text
+from .registry import Rule, all_rules, register, resolve_rules
+
+__all__ = [
+    "LintReport",
+    "lint_paths",
+    "Finding",
+    "render_text",
+    "render_json",
+    "ModuleInfo",
+    "Project",
+    "discover",
+    "module_from_path",
+    "module_from_source",
+    "run_rules",
+    "Rule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "format_baseline",
+]

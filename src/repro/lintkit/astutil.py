@@ -1,0 +1,109 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "call_name",
+    "dotted_tail",
+    "resolve_import",
+    "iter_body_statements",
+    "all_literal_strings",
+]
+
+
+def dotted_tail(node: ast.expr) -> Optional[str]:
+    """Last segment of a ``Name``/``Attribute`` chain (``a.b.C`` → ``C``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def call_name(node: ast.expr) -> Optional[str]:
+    """Callee's final name for a ``Call`` node, else ``None``."""
+    if isinstance(node, ast.Call):
+        return dotted_tail(node.func)
+    return None
+
+
+def resolve_import(
+    importer: str, is_package: bool, node: ast.stmt
+) -> List[str]:
+    """Absolute dotted targets of an ``import``/``from-import`` statement.
+
+    ``importer`` is the dotted name of the module containing ``node``;
+    relative levels are resolved against it.  For ``from M import x`` the
+    target reported is ``M`` — name-level resolution (is ``x`` a
+    submodule or an attribute?) is intentionally not attempted, because
+    layering only cares about which *module* is touched.
+    """
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if not isinstance(node, ast.ImportFrom):
+        return []
+    level = node.level or 0
+    if level == 0:
+        return [node.module] if node.module else []
+    parts = importer.split(".")
+    base = parts if is_package else parts[:-1]
+    # level 1 = the current package, each extra level climbs one parent
+    cut = len(base) - (level - 1)
+    if cut < 0:
+        return []
+    base = base[:cut]
+    prefix = ".".join(base)
+    if node.module:
+        return [f"{prefix}.{node.module}" if prefix else node.module]
+    # ``from . import a, b`` — each alias is a submodule of the package
+    out = []
+    for alias in node.names:
+        out.append(f"{prefix}.{alias.name}" if prefix else alias.name)
+    return out
+
+
+def iter_body_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module-level statements, descending into ``if``/``try`` blocks.
+
+    Function and class bodies are *not* entered: a name bound there is
+    not a module-level binding.
+    """
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack = stmt.body + stmt.orelse + stack
+        elif isinstance(stmt, ast.Try):
+            handlers: List[ast.stmt] = []
+            for h in stmt.handlers:
+                handlers.extend(h.body)
+            stack = stmt.body + handlers + stmt.orelse + stmt.finalbody + stack
+
+
+def all_literal_strings(node: ast.expr) -> Tuple[Set[str], bool]:
+    """String constants inside a (possibly concatenated) list/tuple literal.
+
+    Returns ``(strings, exact)`` — ``exact`` is False when the
+    expression has non-literal parts, in which case callers should not
+    report missing names they cannot prove.
+    """
+    strings: Set[str] = set()
+    exact = True
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                strings.add(elt.value)
+            else:
+                exact = False
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left, lexact = all_literal_strings(node.left)
+        right, rexact = all_literal_strings(node.right)
+        strings = left | right
+        exact = lexact and rexact
+    else:
+        exact = False
+    return strings, exact

@@ -1,0 +1,145 @@
+"""Baseline suppression file: ``lintkit-baseline.toml``.
+
+A baseline entry grandfathers one existing finding with a written
+justification, so the linter can be adopted on a tree with known,
+accepted violations while still failing on anything *new*.  Entries
+are matched by ``(rule, module, snippet)`` — the stripped source line,
+not the line number — so unrelated edits that shift code around do not
+invalidate them, while editing the offending line itself does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+
+try:  # stdlib on 3.11+
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - version-dependent
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        _toml = None  # type: ignore[assignment]
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "format_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str  #: rule code, e.g. ``RL005``
+    module: str  #: dotted module name the finding lives in
+    snippet: str  #: stripped source line of the offending statement
+    reason: str = ""  #: why this violation is accepted
+
+    def key(self) -> Tuple[str, str, str]:
+        """Match key (line-number independent)."""
+        return (self.rule, self.module, self.snippet)
+
+    def describe(self) -> str:
+        """One-line label for 'unused entry' reports."""
+        return f"{self.rule} {self.module}: {self.snippet!r}"
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings loaded from TOML."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: str = ""
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+        """Split findings into (kept, suppressed_count, unused_entries)."""
+        keys = {e.key(): e for e in self.entries}
+        used: Set[Tuple[str, str, str]] = set()
+        kept: List[Finding] = []
+        suppressed = 0
+        for f in findings:
+            key = (f.code, f.module, f.snippet)
+            if key in keys:
+                used.add(key)
+                suppressed += 1
+            else:
+                kept.append(f)
+        unused = [e for e in self.entries if e.key() not in used]
+        return kept, suppressed, unused
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Parse a ``lintkit-baseline.toml`` file."""
+    p = Path(path)
+    if _toml is None:  # pragma: no cover - version-dependent
+        raise LintError(
+            "baseline support needs Python 3.11+ (tomllib) or the "
+            "'tomli' package"
+        )
+    try:
+        data = _toml.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {p}: {exc}") from exc
+    except _toml.TOMLDecodeError as exc:
+        raise LintError(f"malformed baseline {p}: {exc}") from exc
+    entries: List[BaselineEntry] = []
+    for i, raw in enumerate(data.get("suppress", [])):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]).upper(),
+                    module=str(raw["module"]),
+                    snippet=str(raw["snippet"]).strip(),
+                    reason=str(raw.get("reason", "")),
+                )
+            )
+        except KeyError as exc:
+            raise LintError(
+                f"baseline {p}: entry #{i + 1} lacks required key {exc}"
+            ) from exc
+    return Baseline(entries=entries, path=str(p))
+
+
+def _toml_string(value: str) -> str:
+    """Quote a string for TOML (basic string with escapes)."""
+    escaped = (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+    return f'"{escaped}"'
+
+
+def format_baseline(
+    findings: Sequence[Finding], *, reason: str = "TODO: justify"
+) -> str:
+    """Serialize findings as a baseline file (``--update-baseline``).
+
+    :mod:`tomllib` is read-only, so the writer is hand-rolled; entries
+    are deduplicated on their match key and sorted for stable diffs.
+    """
+    lines = [
+        "# lintkit baseline — grandfathered findings with justification.",
+        "# Regenerate with: python -m repro.lintkit --update-baseline",
+        "version = 1",
+    ]
+    seen: Set[Tuple[str, str, str]] = set()
+    for f in sorted(findings, key=Finding.sort_key):
+        key = (f.code, f.module, f.snippet)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines += [
+            "",
+            "[[suppress]]",
+            f"rule = {_toml_string(f.code)}",
+            f"module = {_toml_string(f.module)}",
+            f"snippet = {_toml_string(f.snippet)}",
+            f"reason = {_toml_string(reason)}",
+        ]
+    return "\n".join(lines) + "\n"

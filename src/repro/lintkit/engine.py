@@ -1,0 +1,223 @@
+"""Module discovery, parsing, inline suppressions, and the rule runner.
+
+The engine is import-free by design: modules are *parsed*, never
+executed, so linting a broken tree (or one with heavy import-time side
+effects) is always safe.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+from .registry import Rule
+
+__all__ = [
+    "ModuleInfo",
+    "Project",
+    "module_from_source",
+    "module_from_path",
+    "discover",
+    "run_rules",
+]
+
+#: ``# lint: ignore`` (all rules) or ``# lint: ignore[RL001, RL002]``.
+_SUPPRESS_RE = re.compile(
+    r"lint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def _extract_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number → suppressed rule codes (``None`` = all rules).
+
+    Comments are located with :mod:`tokenize`, so a ``lint: ignore``
+    inside a string literal is not mistaken for a directive.
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                out[tok.start[0]] = None
+            else:
+                parsed = {c.strip().upper() for c in codes.split(",") if c.strip()}
+                existing = out.get(tok.start[0], set())
+                if existing is None or not parsed:
+                    out[tok.start[0]] = None
+                else:
+                    out[tok.start[0]] = existing | parsed
+    except tokenize.TokenError:
+        # Tolerate files the tokenizer chokes on; ast.parse already
+        # vetted the syntax, so this is unreachable in practice.
+        pass
+    return out
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module, ready for rules to inspect."""
+
+    path: str  #: display path (as discovered or as given by the caller)
+    module: str  #: dotted module name, e.g. ``repro.assign.frontier``
+    is_package: bool  #: True for an ``__init__.py``
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    def line_at(self, lineno: int) -> str:
+        """Stripped source text of a 1-based line ('' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            module=self.module,
+            path=self.path,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            snippet=self.line_at(line),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when an inline directive silences ``finding``."""
+        codes = self.suppressions.get(finding.line, _MISSING)
+        if codes is _MISSING:
+            return False
+        return codes is None or finding.code in codes
+
+
+_MISSING: Set[str] = set()  # sentinel distinct from an explicit empty set
+
+
+def module_from_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<memory>",
+    is_package: bool = False,
+) -> ModuleInfo:
+    """Parse ``source`` into a :class:`ModuleInfo` (used heavily in tests)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    return ModuleInfo(
+        path=path,
+        module=module,
+        is_package=is_package,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=_extract_suppressions(source),
+    )
+
+
+def _dotted_name(path: Path) -> Tuple[str, bool]:
+    """Infer the dotted module name by walking ``__init__.py`` ancestors."""
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    parts: List[str] = [] if is_package else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not parts:
+        parts = [path.stem]
+    return ".".join(reversed(parts)), is_package
+
+
+def module_from_path(path: Path, display: Optional[str] = None) -> ModuleInfo:
+    """Load and parse one file from disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    module, is_package = _dotted_name(path)
+    info = module_from_source(
+        source, module=module, path=display or str(path), is_package=is_package
+    )
+    return info
+
+
+def discover(paths: Sequence[str]) -> List[ModuleInfo]:
+    """Collect every ``*.py`` under ``paths`` (files or directories)."""
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+    seen: Set[Path] = set()
+    modules: List[ModuleInfo] = []
+    for f in files:
+        key = f.resolve()
+        if key in seen:
+            continue
+        seen.add(key)
+        modules.append(module_from_path(f, display=str(f)))
+    return modules
+
+
+@dataclass
+class Project:
+    """The whole scanned tree, for cross-module rules (RL001, RL004)."""
+
+    modules: List[ModuleInfo]
+
+    def by_name(self) -> Dict[str, ModuleInfo]:
+        """Index modules by dotted name."""
+        return {m.module: m for m in self.modules}
+
+
+def run_rules(
+    modules: Iterable[ModuleInfo],
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], int]:
+    """Run ``rules`` over ``modules``.
+
+    Returns ``(findings, inline_suppressed_count)`` — findings already
+    filtered through ``# lint: ignore`` directives, sorted.
+    """
+    project = Project(list(modules))
+    by_name = project.by_name()
+    raw: List[Finding] = []
+    for rule in rules:
+        for mod in project.modules:
+            raw.extend(rule.check_module(mod))
+        raw.extend(rule.check_project(project))
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        mod = by_name.get(finding.module)
+        if mod is not None and mod.is_suppressed(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept, suppressed

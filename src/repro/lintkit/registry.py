@@ -1,0 +1,78 @@
+"""Rule base class and the global rule registry.
+
+Rules register themselves with the :func:`register` decorator at import
+time; :mod:`repro.lintkit.rules` imports every rule module so that
+``all_rules()`` sees the complete catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from ..errors import LintError
+
+__all__ = ["Rule", "register", "all_rules", "resolve_rules"]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``rationale`` and override
+    :meth:`check_module` (per-file checks) and/or :meth:`check_project`
+    (whole-tree checks such as import layering).
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check_module(self, mod) -> Iterator:
+        """Yield findings for one module; default: none."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator:
+        """Yield findings needing the whole module set; default: none."""
+        return iter(())
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not cls.code:
+        raise LintError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
+        raise LintError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code.
+
+    The catalog is populated by :mod:`repro.lintkit.rules`, which
+    :mod:`repro.lintkit.api` imports — so importing any lintkit module
+    (the package ``__init__`` runs first) loads every rule.
+    """
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the requested subset of the catalog.
+
+    Unknown codes in either list are a usage error (:class:`LintError`),
+    so typos fail loudly instead of silently linting nothing.
+    """
+    known = set(_REGISTRY)
+    chosen = {c.upper() for c in select} if select else set(known)
+    dropped = {c.upper() for c in ignore} if ignore else set()
+    unknown = (chosen | dropped) - known
+    if unknown:
+        raise LintError(
+            f"unknown rule code(s) {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return [_REGISTRY[code]() for code in sorted(chosen - dropped)]

@@ -1,0 +1,5 @@
+"""Rule catalog — importing this package registers every rule."""
+
+from . import api_sync, exceptions, floats, hygiene, layering
+
+__all__ = ["exceptions", "floats", "api_sync", "layering", "hygiene"]

@@ -1,0 +1,158 @@
+"""RL003 — public-API sync.
+
+``__all__`` is the package's contract: every listed name must resolve
+to a module-level binding (no phantom exports), and every name a
+package ``__init__`` re-exports must be listed (no accidental,
+undocumented API).  Checked by a pure AST walk — the module is never
+imported, so a broken tree still lints.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..astutil import all_literal_strings, iter_body_statements
+from ..engine import ModuleInfo
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["PublicApiSyncRule", "module_level_names"]
+
+
+def module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (defs, classes, assigns, imports)."""
+    names: Set[str] = set()
+
+    def add_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                add_target(elt)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for stmt in iter_body_statements(tree):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                add_target(t)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            add_target(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            add_target(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    add_target(item.optional_vars)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _collect_all(
+    tree: ast.Module,
+) -> Tuple[Optional[Set[str]], bool, Optional[ast.stmt]]:
+    """``(__all__ strings, exact?, defining statement)`` for a module."""
+    strings: Optional[Set[str]] = None
+    exact = True
+    where: Optional[ast.stmt] = None
+
+    def is_all_target(stmt: ast.stmt) -> Optional[ast.expr]:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and t.id == "__all__":
+                    return stmt.value
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            t = stmt.target
+            if isinstance(t, ast.Name) and t.id == "__all__":
+                return stmt.value
+        return None
+
+    for stmt in iter_body_statements(tree):
+        value = is_all_target(stmt)
+        if value is None:
+            continue
+        found, ok = all_literal_strings(value)
+        strings = (strings or set()) | found
+        exact = exact and ok
+        if where is None:
+            where = stmt
+    return strings, exact, where
+
+
+def _star_import(tree: ast.Module) -> bool:
+    return any(
+        isinstance(s, ast.ImportFrom)
+        and any(a.name == "*" for a in s.names)
+        for s in iter_body_statements(tree)
+    )
+
+
+@register
+class PublicApiSyncRule(Rule):
+    """``__all__`` resolves, and package re-exports are listed."""
+
+    code = "RL003"
+    name = "public-api-sync"
+    rationale = (
+        "__all__ is the public contract: phantom entries break "
+        "`from pkg import name`, unlisted re-exports ship accidental API"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        exported, exact, where = _collect_all(mod.tree)
+        defined = module_level_names(mod.tree)
+        has_star = _star_import(mod.tree)
+
+        # 1. every __all__ entry must resolve to a module-level binding
+        if exported is not None and exact and not has_star:
+            for name in sorted(exported - defined):
+                yield mod.finding(
+                    self.code,
+                    where if where is not None else mod.tree,
+                    f"__all__ lists {name!r}, which is not defined or "
+                    f"imported at module level",
+                )
+
+        # 2. package __init__: every re-exported name must be listed
+        if not mod.is_package:
+            return
+        reexports: List[Tuple[str, ast.stmt]] = []
+        for stmt in iter_body_statements(mod.tree):
+            if not isinstance(stmt, ast.ImportFrom):
+                continue
+            if stmt.level == 0 and (stmt.module or "").split(".")[0] != (
+                mod.module.split(".")[0]
+            ):
+                continue  # external import, not a re-export
+            if (stmt.module or "") == "__future__":
+                continue
+            for alias in stmt.names:
+                bound = alias.asname or alias.name
+                if bound == "*" or bound.startswith("_"):
+                    continue
+                reexports.append((bound, stmt))
+        if not reexports:
+            return
+        if exported is None:
+            yield mod.finding(
+                self.code,
+                mod.tree,
+                "package __init__ re-exports names but defines no __all__",
+            )
+            return
+        for bound, stmt in reexports:
+            if bound not in exported:
+                yield mod.finding(
+                    self.code,
+                    stmt,
+                    f"re-exported name {bound!r} is not listed in __all__",
+                )

@@ -1,0 +1,116 @@
+"""RL001 — exception taxonomy.
+
+Every ``raise`` in library code must construct a subclass of
+:class:`repro.errors.ReproError` (or re-raise).  Grounded in a real
+bug class: an algorithm raising a builtin where a taxonomy class was
+expected silently escapes ``except ReproError`` handlers — the
+``NotATreeError``-vs-``InfeasibleError`` conflation PR 1 had to fix by
+hand.  Builtins stay legal for *programmer* errors only:
+``NotImplementedError`` on abstract methods and control-flow exceptions
+(``StopIteration`` & co.) are exempt by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Set
+
+from ..astutil import dotted_tail
+from ..engine import Project
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["ExceptionTaxonomyRule", "BUILTIN_EXCEPTIONS", "ALLOWED_BUILTINS"]
+
+#: Every builtin exception type name (computed, so new Pythons keep up).
+BUILTIN_EXCEPTIONS: Set[str] = {
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+}
+
+#: Builtins that remain legal in library code: abstract-method guards
+#: and pure control-flow exceptions are programmer errors, not library
+#: failure modes a caller should have to catch.
+ALLOWED_BUILTINS: Set[str] = {
+    "NotImplementedError",
+    "StopIteration",
+    "StopAsyncIteration",
+    "GeneratorExit",
+    "KeyboardInterrupt",
+    "SystemExit",
+}
+
+#: Root of the taxonomy; everything reachable from it (by base-class
+#: name, computed over the whole scanned tree) is compliant.
+_TAXONOMY_ROOT = "ReproError"
+
+
+def _class_bases(project: Project) -> Dict[str, List[str]]:
+    """Map every class name defined in the tree to its base-name list."""
+    bases: Dict[str, List[str]] = {}
+    for mod in project.modules:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ClassDef):
+                tails = [dotted_tail(b) for b in node.bases]
+                bases[node.name] = [t for t in tails if t]
+    return bases
+
+
+def taxonomy_classes(project: Project) -> Set[str]:
+    """Fixpoint of class names deriving (by name) from ``ReproError``."""
+    bases = _class_bases(project)
+    good: Set[str] = {_TAXONOMY_ROOT}
+    changed = True
+    while changed:
+        changed = False
+        for name, base_names in bases.items():
+            if name not in good and any(b in good for b in base_names):
+                good.add(name)
+                changed = True
+    return good
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    """Library ``raise`` sites must stay inside the ReproError taxonomy."""
+
+    code = "RL001"
+    name = "exception-taxonomy"
+    rationale = (
+        "builtin raises escape `except ReproError` handlers; library "
+        "failure modes must derive from the errors.py taxonomy"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        taxonomy = taxonomy_classes(project)
+        known_classes = set(_class_bases(project))
+        for mod in project.modules:
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                name = dotted_tail(target)
+                if name is None or name in taxonomy:
+                    continue
+                if name in BUILTIN_EXCEPTIONS:
+                    if name in ALLOWED_BUILTINS:
+                        continue
+                    yield mod.finding(
+                        self.code,
+                        node,
+                        f"raises builtin {name}; library failures must "
+                        f"construct a ReproError subclass (see errors.py)",
+                    )
+                elif name in known_classes:
+                    yield mod.finding(
+                        self.code,
+                        node,
+                        f"raises {name}, which does not derive from "
+                        f"ReproError; add it to the taxonomy",
+                    )
+                # anything else is assumed to be a bound variable
+                # (re-raise of a caught exception) — allowed

@@ -1,0 +1,87 @@
+"""RL002 — float equality.
+
+``==``/``!=`` against float literals or cost expressions drifts: the
+``frontier_knees`` knee bug (PR 1) came from exact comparison of
+accumulated float costs, and ``snr_db`` carried the same pattern
+(``err == 0.0``).  In the numeric layers — ``assign/``, ``sched/``,
+``retiming/``, ``sim/`` and ``graph/paths.py`` — equality on floats
+must go through :func:`math.isclose` or a relative-tolerance guard such
+as :data:`repro.assign.frontier.KNEE_RTOL`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..astutil import call_name
+from ..engine import ModuleInfo
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: Packages whose arithmetic is float-valued (costs, signals, metrics).
+SCOPED_PACKAGES: Tuple[str, ...] = (
+    "repro.assign",
+    "repro.sched",
+    "repro.retiming",
+    "repro.sim",
+)
+
+#: Single modules additionally in scope.
+SCOPED_MODULES: Tuple[str, ...] = ("repro.graph.paths",)
+
+
+def in_scope(module: str) -> bool:
+    """True when RL002 applies to ``module``."""
+    if module in SCOPED_MODULES or module in SCOPED_PACKAGES:
+        return True
+    return any(module.startswith(pkg + ".") for pkg in SCOPED_PACKAGES)
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Heuristic: does this operand carry a float value?
+
+    Float literals, signed float literals, and calls whose callee name
+    mentions ``cost`` (the repo's float-valued quantity) count.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_floatish(node.operand)
+    name = call_name(node)
+    if name is not None and "cost" in name.lower():
+        return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """No exact equality on floats in the numeric layers."""
+
+    code = "RL002"
+    name = "float-equality"
+    rationale = (
+        "exact float comparison drifts with rounding (frontier_knees "
+        "knee bug); use math.isclose or a relative-tolerance guard"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(mod.module):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_floatish(o) for o in operands):
+                yield mod.finding(
+                    self.code,
+                    node,
+                    "exact ==/!= on a float quantity; use math.isclose "
+                    "or a relative-tolerance guard (e.g. KNEE_RTOL)",
+                )

@@ -1,0 +1,133 @@
+"""RL005 — side-effect hygiene.
+
+Library modules compute; they do not talk to the terminal and they do
+not validate inputs with ``assert``:
+
+* ``print`` / ``sys.stdout.write`` in a library module corrupts the
+  output of every CLI command and pipe built on top of it — only the
+  presentation layers (``report/``, ``cli``, the lintkit CLI) may
+  write to stdout;
+* ``assert`` on a function *parameter* is validation that silently
+  vanishes under ``python -O``; real input checks must raise a
+  :class:`~repro.errors.ReproError` subclass.  Asserts on local
+  invariants (the "this cannot happen" kind) are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import ModuleInfo
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["SideEffectHygieneRule"]
+
+#: Presentation-layer modules allowed to write to stdout and exercise
+#: interactive behaviour (exact name or any submodule).
+EXEMPT_MODULES: Tuple[str, ...] = (
+    "repro.report",
+    "repro.cli",
+    "repro.__main__",
+    "repro.lintkit.cli",
+    "repro.lintkit.__main__",
+)
+
+
+def _exempt(module: str) -> bool:
+    return any(
+        module == m or module.startswith(m + ".") for m in EXEMPT_MODULES
+    )
+
+
+def _param_names(fn: ast.AST) -> Set[str]:
+    args = fn.args  # type: ignore[attr-defined]
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    names.discard("self")
+    names.discard("cls")
+    return names
+
+
+def _is_stdout_write(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "write"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "stdout"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id == "sys"
+    )
+
+
+@register
+class SideEffectHygieneRule(Rule):
+    """No stdout writes, no assert-as-validation, in library modules."""
+
+    code = "RL005"
+    name = "side-effect-hygiene"
+    rationale = (
+        "library stdout corrupts every CLI built on top; param asserts "
+        "vanish under python -O and skip the error taxonomy"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if _exempt(mod.module):
+            return
+        yield from self._check_stdout(mod)
+        yield from self._check_asserts(mod)
+
+    def _check_stdout(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield mod.finding(
+                    self.code,
+                    node,
+                    "print() in a library module; return data and let "
+                    "report/ or the CLI render it",
+                )
+            elif _is_stdout_write(node):
+                yield mod.finding(
+                    self.code,
+                    node,
+                    "sys.stdout.write() in a library module; only the "
+                    "presentation layers may write to stdout",
+                )
+
+    def _check_asserts(self, mod: ModuleInfo) -> Iterator[Finding]:
+        # innermost enclosing function's parameters are the ones an
+        # assert would be "validating"
+        stack: List[Set[str]] = []
+
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            is_fn = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_fn:
+                stack.append(_param_names(node))
+            if isinstance(node, ast.Assert) and stack:
+                used = {
+                    n.id
+                    for n in ast.walk(node.test)
+                    if isinstance(n, ast.Name)
+                }
+                validated = sorted(used & stack[-1])
+                if validated:
+                    yield mod.finding(
+                        self.code,
+                        node,
+                        f"assert validates parameter(s) "
+                        f"{', '.join(validated)}; raise a ReproError "
+                        f"subclass instead (asserts vanish under -O)",
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child)
+            if is_fn:
+                stack.pop()
+
+        yield from walk(mod.tree)

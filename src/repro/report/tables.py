@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from ..errors import ReportError
+
 __all__ = ["format_table", "format_percent"]
 
 
@@ -35,7 +37,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ReportError(
                 f"row has {len(row)} cells, expected {len(headers)}: {row}"
             )
         for i, c in enumerate(row):

@@ -14,7 +14,17 @@ import numpy as np
 
 from ..errors import ReproError
 
-__all__ = ["impulse", "step", "sine", "white_noise", "mse", "snr_db", "streams_equal"]
+__all__ = [
+    "impulse",
+    "step",
+    "sine",
+    "white_noise",
+    "mse",
+    "snr_db",
+    "streams_equal",
+    "SNR_EQUAL_RTOL",
+    "SNR_EQUAL_ATOL",
+]
 
 
 def _check_length(n: int) -> None:
@@ -64,17 +74,29 @@ def mse(a: Sequence[float], b: Sequence[float]) -> float:
     return float(np.mean((x - y) ** 2))
 
 
+#: Squared relative error below which two streams count as identical —
+#: ``(1e-12)^2``, i.e. double-rounding noise on the amplitude.  Exact
+#: ``err == 0.0`` (the pre-RL002 guard) mislabelled streams that differ
+#: only by accumulation order as "noisy", yielding huge finite SNRs.
+SNR_EQUAL_RTOL = 1e-24
+
+#: Absolute floor for the same judgement when the reference has no
+#: power to be relative to (near-zero signals).
+SNR_EQUAL_ATOL = 1e-300
+
+
 def snr_db(reference: Sequence[float], test: Sequence[float]) -> float:
     """Signal-to-noise ratio of ``test`` against ``reference`` in dB.
 
-    ``inf`` for an exact match; raises on an all-zero reference with a
-    nonzero error (SNR undefined).
+    ``inf`` when the streams agree to rounding noise (squared relative
+    error at most :data:`SNR_EQUAL_RTOL`); raises on a powerless
+    reference with a real error (SNR undefined).
     """
     err = mse(reference, test)
-    if err == 0.0:
-        return float("inf")
     power = float(np.mean(np.asarray(reference, dtype=np.float64) ** 2))
-    if power == 0.0:
+    if err <= max(SNR_EQUAL_RTOL * power, SNR_EQUAL_ATOL):
+        return float("inf")
+    if power <= SNR_EQUAL_ATOL:
         raise ReproError("SNR undefined: zero reference power, nonzero error")
     return float(10.0 * np.log10(power / err))
 

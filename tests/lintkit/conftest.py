@@ -1,0 +1,37 @@
+"""Shared helpers for the lintkit test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import module_from_source, resolve_rules, run_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(__file__).parents[2] / "src" / "repro"
+
+
+def load_fixture(name, *, module, is_package=False):
+    """Parse a fixture snippet as if it lived at ``module``."""
+    path = FIXTURES / name
+    return module_from_source(
+        path.read_text(encoding="utf-8"),
+        module=module,
+        path=str(path),
+        is_package=is_package,
+    )
+
+
+def run_rule(code, modules):
+    """Run a single rule over pre-parsed modules; return findings."""
+    findings, _ = run_rules(modules, resolve_rules([code]))
+    return findings
+
+
+@pytest.fixture
+def fixtures_dir():
+    return FIXTURES
+
+
+@pytest.fixture
+def src_repro():
+    return SRC_REPRO

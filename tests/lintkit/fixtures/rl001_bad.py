@@ -1,0 +1,20 @@
+"""RL001 fixture: builtin raises on library failure paths (3 findings)."""
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(f"no row for {key}")  # finding: builtin KeyError
+    return table[key]
+
+
+def check_deadline(deadline):
+    if deadline < 0:
+        raise ValueError("negative deadline")  # finding: builtin ValueError
+
+
+class NotAnError:
+    pass
+
+
+def explode():
+    raise NotAnError()  # finding: class outside the taxonomy

@@ -1,0 +1,36 @@
+"""RL001 fixture: every raise stays inside the ReproError taxonomy."""
+
+from repro.errors import InfeasibleError, ReproError
+
+
+class LocalError(ReproError):
+    """Locally-defined taxonomy member (recognized via base fixpoint)."""
+
+
+class DerivedError(LocalError):
+    """Second-level subclass (recognized transitively)."""
+
+
+def check_deadline(deadline):
+    if deadline < 0:
+        raise InfeasibleError("negative deadline")
+
+
+def local_failure():
+    raise DerivedError("still taxonomy")
+
+
+def abstract_method():
+    raise NotImplementedError  # allowed: programmer error by policy
+
+
+def reraise():
+    try:
+        check_deadline(-1)
+    except ReproError as exc:
+        raise  # bare re-raise is always fine
+    return exc
+
+
+def reraise_bound(exc):
+    raise exc  # bound variable, not a class reference

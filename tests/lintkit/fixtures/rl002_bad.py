@@ -1,0 +1,13 @@
+"""RL002 fixture: exact float comparisons in a numeric layer (3 findings)."""
+
+
+def has_error(err):
+    return err == 0.0  # finding: equality against a float literal
+
+
+def is_unit(scale):
+    return scale != -1.0  # finding: inequality against a signed float
+
+
+def same_cost(table, node, k):
+    return table.cost(node, k) == table.cost(node, k + 1)  # finding: cost call

@@ -1,0 +1,21 @@
+"""RL002 fixture: tolerance-based float handling passes the rule."""
+
+import math
+
+RTOL = 1e-9
+
+
+def has_error(err):
+    return not math.isclose(err, 0.0, abs_tol=1e-12)
+
+
+def same_cost(a, b):
+    return abs(a - b) <= RTOL * max(1.0, abs(a))
+
+
+def integer_compare(steps):
+    return steps == 0  # int literal: out of scope for RL002
+
+
+def ordered_compare(cost_floor, x):
+    return x <= 0.5  # ordered comparisons on floats are fine

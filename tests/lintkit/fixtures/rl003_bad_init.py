@@ -1,0 +1,12 @@
+"""RL003 fixture for a package __init__ (2 findings).
+
+``ghost`` is exported but never bound; ``helper`` is re-exported from a
+submodule but missing from ``__all__``.
+"""
+
+from .submodule import helper, listed
+
+__all__ = [
+    "listed",
+    "ghost",  # finding: not defined or imported anywhere
+]

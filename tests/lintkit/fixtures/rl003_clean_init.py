@@ -1,0 +1,14 @@
+"""RL003 fixture: __all__ and the re-exports agree."""
+
+import json  # external import: not a re-export, needs no listing
+
+from .submodule import helper, listed
+from ._private import _internal  # underscore names are never re-exports
+
+__all__ = [
+    "listed",
+    "helper",
+    "VERSION",
+]
+
+VERSION = json.dumps({"v": 1})

@@ -1,0 +1,13 @@
+"""RL004 fixture: loaded as ``repro.sched.goodmod`` — downward only."""
+
+import math
+
+from ..errors import ScheduleError
+from ..graph.dag import topological_order
+from ..fu.table import TimeCostTable
+
+
+def use(dfg, table: TimeCostTable):
+    if not isinstance(table, TimeCostTable):
+        raise ScheduleError("not a table")
+    return math.prod(1 for _ in topological_order(dfg))

@@ -1,0 +1,7 @@
+"""RL004 fixture: loaded as ``repro.fu.cycle_a``; imports its sibling."""
+
+from .cycle_b import helper_b
+
+
+def helper_a():
+    return helper_b()

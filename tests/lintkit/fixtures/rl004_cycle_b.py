@@ -1,0 +1,7 @@
+"""RL004 fixture: loaded as ``repro.fu.cycle_b``; imports cycle_a back."""
+
+from .cycle_a import helper_a
+
+
+def helper_b():
+    return helper_a()

@@ -1,0 +1,14 @@
+"""RL005 fixture: stdout chatter and assert-as-validation (3 findings)."""
+
+import sys
+
+
+def noisy_compute(x):
+    print("computing", x)  # finding: print in library code
+    sys.stdout.write("still computing\n")  # finding: stdout write
+    return x + 1
+
+
+def validate(deadline, table):
+    assert deadline >= 0, "bad deadline"  # finding: validates a parameter
+    return deadline, table

@@ -1,0 +1,28 @@
+"""RL005 fixture: quiet library code with invariant-only asserts."""
+
+import sys
+
+from repro.errors import ReproError
+
+
+def validate(deadline):
+    if deadline < 0:
+        raise ReproError("bad deadline")
+    best = None
+    for candidate in range(deadline + 1):
+        best = candidate
+    assert best is not None  # local invariant, not parameter validation
+    return best
+
+
+def log_to_stderr(message):
+    sys.stderr.write(message + "\n")  # stderr is fine; stdout is not
+
+
+class Holder:
+    def __init__(self, value):
+        self.value = value
+
+    def check(self):
+        assert self.value is not None  # `self` is exempt from the rule
+        return self.value

@@ -1,0 +1,85 @@
+"""Baseline round-trip and matching-semantics tests."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lintkit import format_baseline, load_baseline
+
+from .conftest import load_fixture, run_rule
+
+
+def _bad_findings():
+    mod = load_fixture("rl002_bad.py", module="repro.assign.fixture")
+    return run_rule("RL002", [mod])
+
+
+class TestRoundTrip:
+    def test_written_baseline_suppresses_everything(self, tmp_path):
+        findings = _bad_findings()
+        assert findings, "fixture must trigger for the round-trip to mean anything"
+        path = tmp_path / "baseline.toml"
+        path.write_text(format_baseline(findings), encoding="utf-8")
+        baseline = load_baseline(path)
+        kept, suppressed, unused = baseline.filter(findings)
+        assert kept == []
+        assert suppressed == len(findings)
+        assert unused == []
+
+    def test_entries_carry_reason_field(self, tmp_path):
+        text = format_baseline(_bad_findings(), reason="fixture-only")
+        path = tmp_path / "baseline.toml"
+        path.write_text(text, encoding="utf-8")
+        baseline = load_baseline(path)
+        assert baseline.entries
+        assert all(e.reason == "fixture-only" for e in baseline.entries)
+
+    def test_matching_is_line_number_independent(self, tmp_path):
+        """A shifted (but unedited) offending line stays suppressed."""
+        findings = _bad_findings()
+        path = tmp_path / "baseline.toml"
+        path.write_text(format_baseline(findings), encoding="utf-8")
+        baseline = load_baseline(path)
+        from dataclasses import replace
+
+        shifted = [replace(f, line=f.line + 40) for f in findings]
+        kept, suppressed, _ = baseline.filter(shifted)
+        assert kept == []
+        assert suppressed == len(findings)
+
+    def test_edited_line_invalidates_entry(self, tmp_path):
+        findings = _bad_findings()
+        path = tmp_path / "baseline.toml"
+        path.write_text(format_baseline(findings), encoding="utf-8")
+        baseline = load_baseline(path)
+        from dataclasses import replace
+
+        edited = [replace(f, snippet=f.snippet + "  # edited") for f in findings]
+        kept, suppressed, unused = baseline.filter(edited)
+        assert len(kept) == len(findings)
+        assert suppressed == 0
+        assert len(unused) == len(baseline.entries)
+
+
+class TestErrors:
+    def test_malformed_toml(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[[suppress]\n", encoding="utf-8")
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_missing_required_key(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[[suppress]]\nrule = "RL002"\nmodule = "m"\n', encoding="utf-8"
+        )
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LintError):
+            load_baseline(tmp_path / "nope.toml")
+
+    def test_empty_baseline_is_valid(self, tmp_path):
+        path = tmp_path / "empty.toml"
+        path.write_text("version = 1\n", encoding="utf-8")
+        assert load_baseline(path).entries == []

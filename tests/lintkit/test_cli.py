@@ -1,0 +1,107 @@
+"""lintkit CLI tests: exit codes, formats, baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.lintkit.cli import main
+
+
+def _make_tree(tmp_path, bad=True):
+    """A minimal on-disk `repro` package, optionally with an RL002 hit."""
+    pkg = tmp_path / "repro"
+    sub = pkg / "assign"
+    sub.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (sub / "__init__.py").write_text("")
+    body = "def f(err):\n    return err == 0.0\n" if bad else "X = 1\n"
+    (sub / "mod.py").write_text(body)
+    return str(pkg)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        assert main([_make_tree(tmp_path, bad=False)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main([_make_tree(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out
+        assert "1 finding" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert main([_make_tree(tmp_path), "--select", "RL999"]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_bad_flag_is_argparse_usage_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(["--format", "bogus"])
+        assert info.value.code == 2
+
+
+class TestFormats:
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert main([_make_tree(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert finding["code"] == "RL002"
+        assert finding["module"] == "repro.assign.mod"
+        assert finding["line"] == 2
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        assert main([_make_tree(tmp_path), "--select", "RL001"]) == 0
+        capsys.readouterr()
+
+    def test_ignore_skips_rule(self, tmp_path, capsys):
+        assert main([_make_tree(tmp_path), "--ignore", "RL002"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert code in out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_lint_is_clean(self, tmp_path, capsys):
+        tree = _make_tree(tmp_path)
+        baseline = tmp_path / "baseline.toml"
+        assert main([tree, "--update-baseline", "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main([tree, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_no_baseline_reinstates_findings(self, tmp_path, capsys):
+        tree = _make_tree(tmp_path)
+        baseline = tmp_path / "lintkit-baseline.toml"
+        assert main([tree, "--update-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # auto-discovered from the tree's parent directory…
+        assert main([tree]) == 0
+        capsys.readouterr()
+        # …but --no-baseline bypasses it
+        assert main([tree, "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_unused_entry_warns(self, tmp_path, capsys):
+        tree = _make_tree(tmp_path, bad=False)
+        baseline = tmp_path / "baseline.toml"
+        baseline.write_text(
+            "[[suppress]]\n"
+            'rule = "RL002"\n'
+            'module = "repro.assign.gone"\n'
+            'snippet = "return err == 0.0"\n'
+            'reason = "stale"\n',
+            encoding="utf-8",
+        )
+        assert main([tree, "--baseline", str(baseline)]) == 0
+        assert "unused baseline entry" in capsys.readouterr().out

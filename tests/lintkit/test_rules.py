@@ -1,0 +1,161 @@
+"""Per-rule fixture tests: each rule has a triggering and a clean fixture.
+
+These are the acceptance gates for the rule catalog — editing any
+fixture (or breaking any rule) changes an exact expected finding count.
+"""
+
+from .conftest import load_fixture, run_rule
+
+
+class TestRL001ExceptionTaxonomy:
+    def test_bad_fixture_triggers(self):
+        mod = load_fixture("rl001_bad.py", module="repro.assign.fixture")
+        findings = run_rule("RL001", [mod])
+        assert len(findings) == 3
+        assert all(f.code == "RL001" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "KeyError" in messages
+        assert "ValueError" in messages
+        assert "NotAnError" in messages
+
+    def test_clean_fixture_passes(self):
+        mod = load_fixture("rl001_clean.py", module="repro.assign.fixture")
+        assert run_rule("RL001", [mod]) == []
+
+    def test_taxonomy_crosses_modules(self):
+        """A subclass defined in one module is recognized in another."""
+        from repro.lintkit import module_from_source
+
+        defs = module_from_source(
+            "class ReproError(Exception):\n"
+            "    pass\n"
+            "class CustomError(ReproError):\n"
+            "    pass\n",
+            module="repro.errors",
+            path="errors.py",
+        )
+        user = module_from_source(
+            "from .errors import CustomError\n"
+            "def f():\n"
+            "    raise CustomError('x')\n",
+            module="repro.graph.user",
+            path="user.py",
+        )
+        assert run_rule("RL001", [defs, user]) == []
+
+
+class TestRL002FloatEquality:
+    def test_bad_fixture_triggers(self):
+        mod = load_fixture("rl002_bad.py", module="repro.assign.fixture")
+        findings = run_rule("RL002", [mod])
+        assert len(findings) == 3
+        assert all(f.code == "RL002" for f in findings)
+
+    def test_clean_fixture_passes(self):
+        mod = load_fixture("rl002_clean.py", module="repro.assign.fixture")
+        assert run_rule("RL002", [mod]) == []
+
+    def test_out_of_scope_module_exempt(self):
+        """The same offending source is fine in the report layer."""
+        mod = load_fixture("rl002_bad.py", module="repro.report.fixture")
+        assert run_rule("RL002", [mod]) == []
+
+    def test_graph_paths_in_scope(self):
+        mod = load_fixture("rl002_bad.py", module="repro.graph.paths")
+        assert len(run_rule("RL002", [mod])) == 3
+
+
+class TestRL003PublicApiSync:
+    def test_bad_init_triggers(self):
+        mod = load_fixture(
+            "rl003_bad_init.py", module="repro.badpkg", is_package=True
+        )
+        findings = run_rule("RL003", [mod])
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "'ghost'" in messages  # phantom __all__ entry
+        assert "'helper'" in messages  # unlisted re-export
+
+    def test_clean_init_passes(self):
+        mod = load_fixture(
+            "rl003_clean_init.py", module="repro.goodpkg", is_package=True
+        )
+        assert run_rule("RL003", [mod]) == []
+
+    def test_plain_module_only_checks_resolution(self):
+        """Non-__init__ modules may import without re-exporting."""
+        mod = load_fixture(
+            "rl003_clean_init.py", module="repro.goodmod", is_package=False
+        )
+        assert run_rule("RL003", [mod]) == []
+
+    def test_init_without_all_flagged(self):
+        from repro.lintkit import module_from_source
+
+        mod = module_from_source(
+            "from .submodule import helper\n",
+            module="repro.pkg",
+            path="pkg/__init__.py",
+            is_package=True,
+        )
+        findings = run_rule("RL003", [mod])
+        assert len(findings) == 1
+        assert "no __all__" in findings[0].message
+
+
+class TestRL004ImportLayering:
+    def test_upward_imports_trigger(self):
+        mod = load_fixture("rl004_bad_upward.py", module="repro.graph.badmod")
+        findings = run_rule("RL004", [mod])
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "sched" in messages
+        assert "report" in messages
+
+    def test_cycle_detected(self):
+        mods = [
+            load_fixture("rl004_cycle_a.py", module="repro.fu.cycle_a"),
+            load_fixture("rl004_cycle_b.py", module="repro.fu.cycle_b"),
+        ]
+        findings = run_rule("RL004", mods)
+        assert len(findings) == 1
+        assert "import cycle" in findings[0].message
+        assert "cycle_a" in findings[0].message
+        assert "cycle_b" in findings[0].message
+
+    def test_clean_fixture_passes(self):
+        mod = load_fixture("rl004_clean.py", module="repro.sched.goodmod")
+        assert run_rule("RL004", [mod]) == []
+
+    def test_unmapped_segment_flagged(self):
+        from repro.lintkit import module_from_source
+
+        mod = module_from_source(
+            "from repro.newpkg import thing\n",
+            module="repro.report.user",
+            path="user.py",
+        )
+        findings = run_rule("RL004", [mod])
+        assert len(findings) == 1
+        assert "not mapped to a layer" in findings[0].message
+
+
+class TestRL005SideEffectHygiene:
+    def test_bad_fixture_triggers(self):
+        mod = load_fixture("rl005_bad.py", module="repro.sim.fixture")
+        findings = run_rule("RL005", [mod])
+        assert len(findings) == 3
+        messages = " | ".join(f.message for f in findings)
+        assert "print()" in messages
+        assert "sys.stdout.write()" in messages
+        assert "deadline" in messages  # the validated parameter
+
+    def test_clean_fixture_passes(self):
+        mod = load_fixture("rl005_clean.py", module="repro.sim.fixture")
+        assert run_rule("RL005", [mod]) == []
+
+    def test_presentation_layers_exempt(self):
+        for module in ("repro.report.fixture", "repro.cli",
+                       "repro.lintkit.cli"):
+            mod = load_fixture("rl005_bad.py", module=module)
+            assert run_rule("RL005", [mod]) == []

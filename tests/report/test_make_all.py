@@ -24,7 +24,9 @@ class TestMakeAll:
         assert "DFG_Assign_Once" in text and "%" in text
 
     def test_unknown_artifact(self, tmp_path):
-        with pytest.raises(KeyError):
+        from repro.errors import ReportError
+
+        with pytest.raises(ReportError):
             make_all(str(tmp_path), only=["nope"])
 
     def test_creates_directory(self, tmp_path):

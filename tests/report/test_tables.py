@@ -41,7 +41,9 @@ class TestFormatTable:
         assert rows[1].endswith("100")
 
     def test_row_width_mismatch(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ReportError
+
+        with pytest.raises(ReportError):
             format_table(["a", "b"], [[1]])
 
     def test_empty_rows(self):

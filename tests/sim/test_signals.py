@@ -80,6 +80,36 @@ class TestMetrics:
         assert not streams_equal([1.0], [1.0, 2.0])
 
 
+class TestSnrNearZero:
+    """Regression: the exact `err == 0.0` / `power == 0.0` guards
+    (lintkit's first real RL002 catch) misjudged near-zero streams."""
+
+    def test_rounding_noise_counts_as_match(self):
+        """Streams differing only by double rounding → inf, not ~300 dB."""
+        ref = sine(64, period=8.0)
+        test = [x * (1.0 + 1e-15) for x in ref]
+        assert snr_db(ref, test) == float("inf")
+
+    def test_tiny_amplitude_exact_match(self):
+        ref = [1e-150] * 8
+        assert snr_db(ref, list(ref)) == float("inf")
+
+    def test_vanishing_error_on_powerless_reference(self):
+        """Zero reference with sub-epsilon residue is a match, not an error."""
+        assert snr_db([0.0] * 4, [1e-160] * 4) == float("inf")
+
+    def test_powerless_reference_with_real_error_still_raises(self):
+        with pytest.raises(ReproError):
+            snr_db([0.0] * 4, [1e-3] * 4)
+
+    def test_real_small_error_stays_finite(self):
+        """A genuine 1e-9 relative error must not be rounded up to inf."""
+        ref = [1.0] * 16
+        test = [1.0 + 1e-9] * 16
+        got = snr_db(ref, test)
+        assert got == pytest.approx(180.0, abs=1.0)
+
+
 class TestWithSimulator:
     def test_sine_through_accumulator(self):
         """Running sum of a sine over a full period returns ~0."""

@@ -139,3 +139,40 @@ class TestCommands:
         dump(path, get_benchmark("diffeq"))
         assert main(["run", path, "--seed", "3"]) == 0
         assert "seeded random table" in capsys.readouterr().out
+
+
+class TestLintSubcommand:
+    """`repro-hls lint` forwards to lintkit with its 0/1/2 convention."""
+
+    @staticmethod
+    def _tree(tmp_path, bad):
+        pkg = tmp_path / "repro"
+        sub = pkg / "sched"
+        sub.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (sub / "__init__.py").write_text("")
+        body = "def f(c):\n    return c == 0.5\n" if bad else "X = 1\n"
+        (sub / "mod.py").write_text(body)
+        return str(pkg)
+
+    def test_lint_clean_exits_zero(self, capsys, tmp_path):
+        assert main(["lint", self._tree(tmp_path, bad=False)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one(self, capsys, tmp_path):
+        assert main(["lint", self._tree(tmp_path, bad=True)]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out
+
+    def test_lint_json_format_forwarded(self, capsys, tmp_path):
+        import json
+
+        assert main(
+            ["lint", self._tree(tmp_path, bad=True), "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_lint_usage_error_exits_two(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+        assert "error:" in capsys.readouterr().err

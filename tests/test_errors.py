@@ -6,8 +6,10 @@ from repro.errors import (
     CyclicDependencyError,
     GraphError,
     InfeasibleError,
+    LintError,
     NotAPathError,
     NotATreeError,
+    ReportError,
     ReproError,
     ScheduleError,
     TableError,
@@ -25,6 +27,8 @@ class TestHierarchy:
             TableError,
             InfeasibleError,
             ScheduleError,
+            ReportError,
+            LintError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
