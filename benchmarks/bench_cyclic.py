@@ -43,7 +43,9 @@ def test_cyclic_throughput_study(benchmark, save_result):
             table = random_table(dfg, num_types=2, seed=sections)
             assignment = Assignment.cheapest(dfg, table)
             cfg = Configuration.of([3, 3])
-            static = list_schedule(dfg.dag(), table, assignment, cfg)
+            static = list_schedule(
+                dfg.dag(), table, assignment=assignment, configuration=cfg
+            )
             rot = rotation_schedule(dfg, table, assignment, cfg, rounds=12)
             ms = modulo_schedule(dfg, table, assignment, cfg)
             floor = max(

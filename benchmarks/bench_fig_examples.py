@@ -59,10 +59,12 @@ def test_fig3_schedule_configurations(benchmark, save_result):
         for node in dfg.nodes():
             naive_counts[assignment[node]] += 1
         naive = list_schedule(
-            dfg, table, assignment, Configuration.of(naive_counts)
+            dfg, table,
+            assignment=assignment,
+            configuration=Configuration.of(naive_counts),
         )
         smart = min_resource_schedule(
-            dfg, table, assignment, PAPER_EXAMPLE_DEADLINE
+            dfg, table, assignment=assignment, deadline=PAPER_EXAMPLE_DEADLINE
         )
         return naive, smart
 

@@ -26,8 +26,8 @@ def test_tree_frontier_speed(benchmark, name):
     dfg = get_benchmark(name).dag()
     table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
     floor = min_completion_time(dfg, table)
-    frontier = benchmark(tree_frontier, dfg, table, 3 * floor)
-    assert frontier[0][0] == floor
+    frontier = benchmark(tree_frontier, dfg, table, max_deadline=3 * floor)
+    assert frontier[0].deadline == floor
 
 
 def test_frontier_study(benchmark, save_result):
@@ -37,13 +37,13 @@ def test_frontier_study(benchmark, save_result):
             dfg = get_benchmark(name).dag()
             table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
             out[name] = ("exact", tree_frontier(
-                dfg, table, 3 * min_completion_time(dfg, table)
+                dfg, table, max_deadline=3 * min_completion_time(dfg, table)
             ))
         for name in DAGS:
             dfg = get_benchmark(name).dag()
             table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
             out[name] = ("heuristic", dfg_frontier(
-                dfg, table, 2 * min_completion_time(dfg, table)
+                dfg, table, max_deadline=2 * min_completion_time(dfg, table)
             ))
         return out
 
@@ -55,6 +55,6 @@ def test_frontier_study(benchmark, save_result):
         lines.append(
             f"{name:>14} ({kind}): {len(frontier)} knees, "
             f"cost {costs[0]:.0f} -> {costs[-1]:.0f} over deadlines "
-            f"{frontier[0][0]} -> {frontier[-1][0]}"
+            f"{frontier[0].deadline} -> {frontier[-1].deadline}"
         )
     save_result("frontiers", "\n".join(lines))

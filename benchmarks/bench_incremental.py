@@ -94,8 +94,10 @@ def check_equivalence(quick: bool) -> List[str]:
                 f"{name}@{deadline}: incremental assignment diverged"
             )
             assert inc.cost == ref.cost, f"{name}@{deadline}: cost diverged"
-        ref_frontier = dfg_frontier(dfg, table, max_deadline, incremental=False)
-        swept = dfg_frontier(dfg, table, max_deadline)
+        ref_frontier = dfg_frontier(
+            dfg, table, max_deadline=max_deadline, incremental=False
+        )
+        swept = dfg_frontier(dfg, table, max_deadline=max_deadline)
         assert swept == ref_frontier, f"{name}: swept frontier diverged"
         lines.append(
             f"{name:>14}: identical over deadlines {floor}..{max_deadline} "
@@ -114,11 +116,11 @@ def measure_speedups(quick: bool) -> Tuple[List[str], Dict[str, float]]:
         dfg, table, expansion, floor = _setup(name)
         max_deadline = floor + min(_sweep_cap(len(expansion), quick), 2 * floor)
         t0 = time.perf_counter()
-        ref = dfg_frontier(dfg, table, max_deadline, incremental=False)
+        ref = dfg_frontier(dfg, table, max_deadline=max_deadline, incremental=False)
         ref_s = time.perf_counter() - t0
         stats = DPStats()
         t0 = time.perf_counter()
-        swept = dfg_frontier(dfg, table, max_deadline, stats=stats)
+        swept = dfg_frontier(dfg, table, max_deadline=max_deadline, stats=stats)
         inc_s = time.perf_counter() - t0
         assert swept == ref, f"{name}: swept frontier diverged"
         speedups[name] = ref_s / inc_s
@@ -138,14 +140,32 @@ def _save(lines: List[str]) -> None:
     (RESULTS_DIR / "bench_incremental.txt").write_text("\n".join(lines) + "\n")
 
 
-def _run(quick: bool) -> List[str]:
-    eq_lines = check_equivalence(quick)
-    sp_lines, speedups = measure_speedups(quick)
+def _run(quick: bool, traced: bool = False) -> List[str]:
+    if traced:
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            eq_lines = check_equivalence(quick)
+            sp_lines, speedups = measure_speedups(quick)
+        spans = sum(1 for root in tracer.roots for _ in root.walk())
+        assert spans > 0, "traced run recorded no spans"
+        trace_lines = [
+            "",
+            "== tracing ==",
+            f"spans recorded: {spans}",
+            f"metrics: {len(tracer.metrics)} series",
+        ]
+    else:
+        eq_lines = check_equivalence(quick)
+        sp_lines, speedups = measure_speedups(quick)
+        trace_lines = []
     lines = (
         [f"mode: {'quick' if quick else 'full'}", "", "== speedup =="]
         + sp_lines
         + ["", "== equivalence =="]
         + eq_lines
+        + trace_lines
     )
     _save(lines)
     for name, ratio in speedups.items():
@@ -165,12 +185,15 @@ def test_incremental_equivalence_and_speedup():
 
 if __name__ == "__main__":
     flags = sys.argv[1:]
-    unknown = [f for f in flags if f != "--quick"]
+    unknown = [f for f in flags if f not in ("--quick", "--traced")]
     if unknown:
-        sys.exit(f"usage: {sys.argv[0]} [--quick]  (unknown: {' '.join(unknown)})")
+        sys.exit(
+            f"usage: {sys.argv[0]} [--quick] [--traced]"
+            f"  (unknown: {' '.join(unknown)})"
+        )
     quick = "--quick" in flags
     started = time.perf_counter()
-    for line in _run(quick):
+    for line in _run(quick, traced="--traced" in flags):
         print(line)
     print(f"\nOK in {time.perf_counter() - started:.1f}s "
           f"(artifact: {RESULTS_DIR / 'bench_incremental.txt'})")

@@ -27,7 +27,7 @@ def test_min_resource_schedule_speed(benchmark, name):
     assignment = dfg_assign_repeat(dfg, table, deadline).assignment
 
     schedule = benchmark(
-        min_resource_schedule, dfg, table, assignment, deadline
+        min_resource_schedule, dfg, table, assignment=assignment, deadline=deadline
     )
     schedule.validate(dfg, table, assignment)
 

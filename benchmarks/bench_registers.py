@@ -29,7 +29,9 @@ def test_register_allocation_speed(benchmark, name):
     table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
     deadline = min_completion_time(dfg, table) + 4
     assignment = dfg_assign_repeat(dfg, table, deadline).assignment
-    schedule = min_resource_schedule(dfg, table, assignment, deadline)
+    schedule = min_resource_schedule(
+        dfg, table, assignment=assignment, deadline=deadline
+    )
 
     alloc = benchmark(allocate_registers, dfg, table, assignment, schedule)
     alloc.verify()
@@ -44,7 +46,9 @@ def test_register_cost_study(benchmark, save_result):
             floor = min_completion_time(dfg, table)
             for deadline in (floor + 2, floor + 6):
                 assignment = dfg_assign_repeat(dfg, table, deadline).assignment
-                minr = min_resource_schedule(dfg, table, assignment, deadline)
+                minr = min_resource_schedule(
+                    dfg, table, assignment=assignment, deadline=deadline
+                )
                 fds = force_directed_schedule(dfg, table, assignment, deadline)
                 r1 = allocate_registers(dfg, table, assignment, minr)
                 r2 = allocate_registers(dfg, table, assignment, fds)

@@ -43,7 +43,9 @@ def test_scheduler_comparison_study(benchmark, save_result):
             for deadline in (floor + 2, floor + 6):
                 assignment = dfg_assign_repeat(dfg, table, deadline).assignment
                 lb = lower_bound_configuration(dfg, table, assignment, deadline)
-                minr = min_resource_schedule(dfg, table, assignment, deadline)
+                minr = min_resource_schedule(
+                    dfg, table, assignment=assignment, deadline=deadline
+                )
                 fds = force_directed_schedule(dfg, table, assignment, deadline)
                 minr.validate(dfg, table, assignment)
                 fds.validate(dfg, table, assignment)

@@ -30,7 +30,9 @@ def main() -> None:
         library = preset_library(preset)
         table = energy_table(dfg, library, op_work=op_work)
         floor = min_completion_time(dfg, table)
-        frontier = tree_frontier(dfg, table, max(3 * floor, frame_budget))
+        frontier = tree_frontier(
+            dfg, table, max_deadline=max(3 * floor, frame_budget)
+        )
         print(f"\n[{preset}] types {library.names}, "
               f"minimum latency {floor} steps")
         for deadline, cost in frontier:

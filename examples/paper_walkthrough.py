@@ -93,8 +93,11 @@ def show_schedules() -> None:
     naive_counts = [0] * table.num_types
     for node in dfg.nodes():
         naive_counts[assignment[node]] += 1
-    naive = list_schedule(dfg, table, assignment, Configuration.of(naive_counts))
-    smart = min_resource_schedule(dfg, table, assignment, deadline)
+    naive = list_schedule(
+        dfg, table, assignment=assignment,
+        configuration=Configuration.of(naive_counts),
+    )
+    smart = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
     print("=== Figure 3: schedules for the optimal assignment ===")
     print(f"naive binding : {naive.configuration.label()} "
           f"({naive.configuration.total_units()} FUs)")

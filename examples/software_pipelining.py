@@ -32,7 +32,9 @@ def main() -> None:
     print(f"benchmark: {dfg.name} — {len(dfg)} ops, "
           f"{dfg.total_delays()} registers, configuration {config.label()}")
 
-    static = list_schedule(dfg.dag(), table, assignment, config)
+    static = list_schedule(
+        dfg.dag(), table, assignment=assignment, configuration=config
+    )
     print(f"\n[1] static schedule     : one iteration per "
           f"{static.makespan(table)} steps")
 

@@ -18,7 +18,7 @@ Quickstart::
     print(result.assignment, result.configuration)
 """
 
-from . import assign, fu, graph, retiming, sched, sim, suite
+from . import assign, fu, graph, obs, retiming, sched, sim, suite
 from .assign import (
     Assignment,
     AssignResult,
@@ -33,12 +33,14 @@ from .assign import (
     tree_assign,
 )
 from .errors import (
+    AssignError,
     CyclicDependencyError,
     GraphError,
     InfeasibleError,
     LintError,
     NotAPathError,
     NotATreeError,
+    ObsError,
     ReportError,
     ReproError,
     ScheduleError,
@@ -71,15 +73,18 @@ __all__ = [
     "graph",
     "fu",
     "assign",
+    "obs",
     "ReproError",
     "GraphError",
     "CyclicDependencyError",
     "NotAPathError",
     "NotATreeError",
     "TableError",
+    "AssignError",
     "InfeasibleError",
     "ScheduleError",
     "ReportError",
     "LintError",
+    "ObsError",
     "__version__",
 ]

@@ -1,0 +1,68 @@
+"""Helpers for evolving public signatures without breaking callers.
+
+:func:`deprecated_positionals` backs the keyword-only migration of the
+solver entry points (``dfg_frontier``, ``tree_frontier``,
+``min_resource_schedule``, ``list_schedule``): the declared signatures
+are keyword-only after the first two parameters, and the decorator adds
+a runtime shim that still accepts the legacy positional style for one
+release, emitting a :class:`DeprecationWarning` naming the keywords to
+switch to.  See the migration note in ``docs/algorithms.md``.
+
+This module sits at the bottom layer (with ``errors`` and ``obs``) and
+imports nothing from the rest of the package.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar, cast
+
+__all__ = ["deprecated_positionals"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def deprecated_positionals(*names: str, keep: int = 2) -> Callable[[F], F]:
+    """Allow ``names`` to be passed positionally after ``keep`` args — deprecated.
+
+    ``names`` lists, in order, the now keyword-only parameters that the
+    previous release accepted positionally.  Extra positional arguments
+    beyond ``keep`` are mapped onto them with a ``DeprecationWarning``;
+    more positionals than ``names`` or a positional duplicating an
+    explicit keyword raise ``TypeError`` exactly like a plain def would.
+    """
+
+    def decorate(func: F) -> F:
+        qualname = func.__name__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if len(args) > keep:
+                extras = args[keep:]
+                if len(extras) > len(names):
+                    raise TypeError(  # lint: ignore[RL001]
+                        f"{qualname}() takes {keep} positional arguments but "
+                        f"{len(args)} were given"
+                    )
+                mapped = names[: len(extras)]
+                for name, value in zip(mapped, extras):
+                    if name in kwargs:
+                        raise TypeError(  # lint: ignore[RL001]
+                            f"{qualname}() got multiple values for argument "
+                            f"{name!r}"
+                        )
+                    kwargs[name] = value
+                warnings.warn(
+                    f"passing {', '.join(repr(n) for n in mapped)} to "
+                    f"{qualname}() positionally is deprecated; these "
+                    "parameters are keyword-only",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                args = args[:keep]
+            return func(*args, **kwargs)
+
+        return cast(F, wrapper)
+
+    return decorate

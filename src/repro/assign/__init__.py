@@ -21,7 +21,7 @@ from .dfg_assign import (
 )
 from .dfg_expand import ExpandedTree, dfg_expand
 from .downgrade import downgrade_assign
-from .frontier import dfg_frontier, frontier_knees, tree_frontier
+from .frontier import FrontierPoint, dfg_frontier, frontier_knees, tree_frontier
 from .ilp_model import ILPModel, build_ilp, check_solution, to_lp_format
 from .incremental import DPStats, IncrementalTreeDP
 from .exact import brute_force_assign, exact_assign
@@ -58,6 +58,7 @@ __all__ = [
     "is_two_terminal_sp",
     "NotSeriesParallelError",
     "downgrade_assign",
+    "FrontierPoint",
     "tree_frontier",
     "dfg_frontier",
     "frontier_knees",

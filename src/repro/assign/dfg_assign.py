@@ -32,6 +32,7 @@ from ..fu.table import TimeCostTable
 from ..graph.dag import require_acyclic
 from ..graph.dfg import DFG, Node
 from ..graph.paths import longest_path_time
+from ..obs import add_metric, current_tracer
 from .assignment import Assignment
 from .dfg_expand import ExpandedTree, dfg_expand
 from .incremental import DPStats, IncrementalTreeDP
@@ -44,6 +45,19 @@ __all__ = [
     "dfg_assign_once",
     "dfg_assign_repeat",
 ]
+
+
+def _emit_dp_metrics(before: Dict[str, float], stats: DPStats) -> None:
+    """Publish ``stats`` deltas since ``before`` as ``dp.*`` counters.
+
+    Called once per public DP entry point (never per refresh), so the
+    engine's hot loop carries zero tracing overhead; the ambient
+    tracer's counters still end up equal to the ``DPStats`` totals.
+    """
+    for name, value in stats.as_dict().items():
+        delta = value - before.get(name, 0.0)
+        if delta:
+            add_metric(f"dp.{name}", delta)
 
 
 def expansion_candidates(
@@ -158,15 +172,18 @@ def dfg_assign_once(
     """
     require_acyclic(dfg)
     table.validate_for(dfg)
-    if expansion is None:
-        expansion = choose_expansion(dfg, node_limit=node_limit)
-    tree_result = tree_assign(
-        expansion.tree, table, deadline, node_key=expansion.origin_of
-    )
-    assignment = _resolve(
-        dfg, table, expansion, dict(tree_result.assignment.items()), pinned={}
-    )
-    return _finish(dfg, table, assignment, deadline, "dfg_assign_once")
+    with current_tracer().span(
+        "dfg_assign_once", nodes=len(dfg), deadline=deadline
+    ):
+        if expansion is None:
+            expansion = choose_expansion(dfg, node_limit=node_limit)
+        tree_result = tree_assign(
+            expansion.tree, table, deadline, node_key=expansion.origin_of
+        )
+        assignment = _resolve(
+            dfg, table, expansion, dict(tree_result.assignment.items()), pinned={}
+        )
+        return _finish(dfg, table, assignment, deadline, "dfg_assign_once")
 
 
 def _repeat_rounds(
@@ -229,40 +246,58 @@ def dfg_assign_repeat(
     """
     require_acyclic(dfg)
     table.validate_for(dfg)
-    if expansion is None:
-        expansion = choose_expansion(dfg, node_limit=node_limit)
+    tracer = current_tracer()
+    with tracer.span(
+        "dfg_assign_repeat",
+        nodes=len(dfg),
+        deadline=deadline,
+        incremental=incremental,
+    ):
+        if expansion is None:
+            expansion = choose_expansion(dfg, node_limit=node_limit)
 
-    order = fix_order if fix_order is not None else expansion.duplicated_originals()
-    known = set(expansion.copies)
-    for v in order:
-        if v not in known:
-            raise GraphError(f"fix_order names unknown node {v!r}")
-
-    if incremental:
-        engine = IncrementalTreeDP(
-            expansion.tree, deadline, node_key=expansion.origin_of, stats=stats
+        order = (
+            fix_order if fix_order is not None else expansion.duplicated_originals()
         )
-        tree_mapping, pinned = _repeat_rounds(
-            engine, table, deadline, expansion, order
-        )
-    else:
-        work_table = table
-        tree_result = tree_assign(
-            expansion.tree, work_table, deadline, node_key=expansion.origin_of
-        )
-        pinned = {}
+        known = set(expansion.copies)
         for v in order:
-            pinned[v] = _min_time_choice(
-                expansion, work_table, dict(tree_result.assignment.items()), v
+            if v not in known:
+                raise GraphError(f"fix_order names unknown node {v!r}")
+
+        if incremental:
+            run_stats = stats
+            if run_stats is None and tracer.enabled:
+                run_stats = DPStats()
+            before = run_stats.as_dict() if run_stats is not None else {}
+            engine = IncrementalTreeDP(
+                expansion.tree,
+                deadline,
+                node_key=expansion.origin_of,
+                stats=run_stats,
             )
-            work_table = work_table.with_fixed(v, pinned[v])
+            tree_mapping, pinned = _repeat_rounds(
+                engine, table, deadline, expansion, order
+            )
+            if tracer.enabled and run_stats is not None:
+                _emit_dp_metrics(before, run_stats)
+        else:
+            work_table = table
             tree_result = tree_assign(
                 expansion.tree, work_table, deadline, node_key=expansion.origin_of
             )
-        tree_mapping = dict(tree_result.assignment.items())
+            pinned = {}
+            for v in order:
+                pinned[v] = _min_time_choice(
+                    expansion, work_table, dict(tree_result.assignment.items()), v
+                )
+                work_table = work_table.with_fixed(v, pinned[v])
+                tree_result = tree_assign(
+                    expansion.tree, work_table, deadline, node_key=expansion.origin_of
+                )
+            tree_mapping = dict(tree_result.assignment.items())
 
-    # Costs/times of pinned nodes are identical in ``work_table`` and
-    # ``table`` (the pin copied the chosen entry), so resolving against
-    # the original table is exact.
-    assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
-    return _finish(dfg, table, assignment, deadline, "dfg_assign_repeat")
+        # Costs/times of pinned nodes are identical in ``work_table`` and
+        # ``table`` (the pin copied the chosen entry), so resolving against
+        # the original table is exact.
+        assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
+        return _finish(dfg, table, assignment, deadline, "dfg_assign_repeat")

@@ -24,6 +24,7 @@ from ..fu.table import TimeCostTable
 from ..graph.dag import require_acyclic
 from ..graph.dfg import DFG, Node
 from ..graph.paths import longest_path_time
+from ..obs import add_metric, current_tracer
 from .assignment import Assignment, min_completion_time
 from .result import AssignResult
 
@@ -81,17 +82,21 @@ def downgrade_assign(dfg: DFG, table: TimeCostTable, deadline: int) -> AssignRes
             min_feasible=floor,
         )
 
-    mapping = dict(Assignment.fastest(dfg, table).items())
-    times = {n: table.time(n, mapping[n]) for n in dfg.nodes()}
-    while True:
-        move = _best_downgrade(dfg, table, mapping, times, deadline)
-        if move is None:
-            break
-        node, k = move
-        mapping[node] = k
-        times[node] = table.time(node, k)
+    tracer = current_tracer()
+    with tracer.span("downgrade_assign", nodes=len(dfg), deadline=deadline):
+        mapping = dict(Assignment.fastest(dfg, table).items())
+        times = {n: table.time(n, mapping[n]) for n in dfg.nodes()}
+        while True:
+            move = _best_downgrade(dfg, table, mapping, times, deadline)
+            if move is None:
+                break
+            node, k = move
+            mapping[node] = k
+            times[node] = table.time(node, k)
+            if tracer.enabled:
+                add_metric("downgrade.moves")
 
-    assignment = Assignment.of(mapping)
+        assignment = Assignment.of(mapping)
     return AssignResult(
         assignment=assignment,
         cost=assignment.total_cost(dfg, table),

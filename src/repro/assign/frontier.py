@@ -12,9 +12,12 @@ API — the designer's view the paper's tables sample at six points:
   upper-bounds the true frontier), or via `exact_assign` when
   ``exact=True``.
 
-A frontier is a list of ``(deadline, cost)`` knees: deadlines where the
-minimum cost strictly improves, starting at the minimum feasible
-completion time.
+A frontier is a list of :class:`FrontierPoint` knees — deadlines where
+the minimum cost strictly improves, starting at the minimum feasible
+completion time — each carrying the witnessing
+:class:`~repro.assign.assignment.Assignment`.  Points iterate as
+``(deadline, cost)`` pairs, so tuple-era call sites
+(``dict(frontier)``, ``for d, c in frontier``) keep working.
 
 The heuristic sweep is *incremental* by default: one
 :class:`~repro.assign.incremental.IncrementalTreeDP` is shared across
@@ -23,25 +26,38 @@ per pin round — and because pin choices rarely change between adjacent
 deadlines, those refreshes are almost entirely curve-cache hits.  The
 reference per-deadline re-run survives as ``incremental=False`` (the
 equivalence is pinned by tests and ``benchmarks/bench_incremental.py``).
+
+Both sweeps publish their engine counters as ``dp.*`` metrics to the
+ambient :mod:`repro.obs` tracer when one is enabled.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..apiutil import deprecated_positionals
 from ..errors import InfeasibleError, NotATreeError
 from ..fu.table import TimeCostTable
 from ..graph.classify import is_in_forest, is_out_forest
 from ..graph.dfg import DFG
-from .assignment import min_completion_time
-from .dfg_assign import _finish, _repeat_rounds, _resolve, choose_expansion, dfg_assign_repeat
+from ..obs import current_tracer
+from .assignment import Assignment, min_completion_time
+from .dfg_assign import (
+    _emit_dp_metrics,
+    _finish,
+    _repeat_rounds,
+    _resolve,
+    choose_expansion,
+    dfg_assign_repeat,
+)
 from .exact import exact_assign
 from .incremental import DPStats, IncrementalTreeDP
-from .tree_assign import tree_cost_curve
+from .tree_assign import tree_dp
 
-__all__ = ["tree_frontier", "dfg_frontier", "frontier_knees"]
+__all__ = ["FrontierPoint", "tree_frontier", "dfg_frontier", "frontier_knees"]
 
 #: Relative improvement below which two costs count as the same knee.
 #: Relative (not absolute): frontiers over large cost scales — energy
@@ -50,6 +66,26 @@ __all__ = ["tree_frontier", "dfg_frontier", "frontier_knees"]
 #: cost quantum would miss real ones on tiny scales.  The ``max(1, |c|)``
 #: floor keeps near-zero costs on an absolute footing.
 KNEE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One knee of a cost/latency frontier.
+
+    ``assignment`` is the witnessing assignment achieving ``cost``
+    within ``deadline`` (``None`` for curve-only frontiers that never
+    materialized one).  Iterating yields ``(deadline, cost)`` so the
+    tuple-era idioms — ``dict(frontier)``, ``for d, c in frontier``,
+    comparison against ``(d, c)`` via ``tuple(point)`` — stay valid.
+    """
+
+    deadline: int
+    cost: float
+    assignment: Optional[Assignment] = None
+
+    def __iter__(self) -> Iterator[Union[int, float]]:
+        yield self.deadline
+        yield self.cost
 
 
 def frontier_knees(points: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
@@ -70,40 +106,65 @@ def frontier_knees(points: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
     return knees
 
 
+def _knee_points(raw: List[FrontierPoint]) -> List[FrontierPoint]:
+    """Keep the :class:`FrontierPoint` at each strictly-improving knee."""
+    knees = frontier_knees([(p.deadline, p.cost) for p in raw])
+    keep = {deadline for deadline, _ in knees}
+    return [p for p in raw if p.deadline in keep]
+
+
+@deprecated_positionals("max_deadline")
 def tree_frontier(
-    tree: DFG, table: TimeCostTable, max_deadline: int
-) -> List[Tuple[int, float]]:
+    tree: DFG, table: TimeCostTable, *, max_deadline: int
+) -> List[FrontierPoint]:
     """Exact Pareto frontier of a tree/forest up to ``max_deadline``.
 
-    One DP pass (O(n · max_deadline · M)) yields every point.  Raises
-    :class:`NotATreeError` for general DAGs (matching `tree_assign`'s
-    contract — use :func:`dfg_frontier` there) and
+    One DP pass (O(n · max_deadline · M)) yields every point; each knee
+    additionally gets its witnessing assignment via an O(n) traceback.
+    Raises :class:`NotATreeError` for general DAGs (matching
+    `tree_assign`'s contract — use :func:`dfg_frontier` there) and
     :class:`InfeasibleError` when even ``max_deadline`` is infeasible.
+
+    ``max_deadline`` is keyword-only; the positional form is deprecated
+    (see ``docs/algorithms.md``).
     """
     if len(tree) and not (is_out_forest(tree) or is_in_forest(tree)):
         raise NotATreeError(
             f"{tree.name!r} is not a tree/forest; use dfg_frontier"
         )
-    curve = tree_cost_curve(tree, table, max_deadline)
-    finite = np.isfinite(curve)
-    if not finite.any():
-        raise InfeasibleError(
-            f"no assignment of {tree.name!r} completes within {max_deadline}"
+    with current_tracer().span(
+        "tree_frontier", graph=tree.name, nodes=len(tree), max_deadline=max_deadline
+    ):
+        engine = tree_dp(tree, table, max_deadline)
+        curve = engine.total_curve()
+        finite = np.isfinite(curve)
+        if not finite.any():
+            raise InfeasibleError(
+                f"no assignment of {tree.name!r} completes within {max_deadline}"
+            )
+        knees = frontier_knees(
+            [(int(j), float(curve[j])) for j in np.flatnonzero(finite)]
         )
-    points = [
-        (int(j), float(curve[j])) for j in np.flatnonzero(finite)
-    ]
-    return frontier_knees(points)
+        return [
+            FrontierPoint(
+                deadline=deadline,
+                cost=cost,
+                assignment=Assignment.of(engine.traceback_at(deadline)),
+            )
+            for deadline, cost in knees
+        ]
 
 
+@deprecated_positionals("max_deadline", "exact", "incremental", "stats")
 def dfg_frontier(
     dfg: DFG,
     table: TimeCostTable,
+    *,
     max_deadline: int,
     exact: bool = False,
     incremental: bool = True,
     stats: Optional[DPStats] = None,
-) -> List[Tuple[int, float]]:
+) -> List[FrontierPoint]:
     """Pareto frontier of a general DAG up to ``max_deadline``.
 
     Heuristic by default (`DFG_Assign_Repeat` per deadline, sharing one
@@ -117,7 +178,11 @@ def dfg_frontier(
     assignment is a single traceback, and the per-pin refreshes hit the
     curve cache whenever adjacent deadlines pin the same choices.  The
     knees are identical to ``incremental=False`` (the per-deadline
-    reference loop); ``stats`` optionally collects engine counters.
+    reference loop); ``stats`` optionally collects engine counters,
+    which are also published as ``dp.*`` metrics to the ambient tracer.
+
+    Everything after ``table`` is keyword-only; the positional form is
+    deprecated (see ``docs/algorithms.md``).
     """
     floor = min_completion_time(dfg, table)
     if max_deadline < floor:
@@ -125,40 +190,62 @@ def dfg_frontier(
             f"max_deadline {max_deadline} below minimum completion {floor}",
             min_feasible=floor,
         )
-    points: List[Tuple[int, float]] = []
-    best = np.inf
-    if exact:
-        for deadline in range(floor, max_deadline + 1):
-            cost = exact_assign(dfg, table, deadline).cost
-            best = min(best, cost)  # enforce monotonicity of the frontier
-            points.append((deadline, float(best)))
-        return frontier_knees(points)
+    tracer = current_tracer()
+    with tracer.span(
+        "dfg_frontier",
+        graph=dfg.name,
+        nodes=len(dfg),
+        max_deadline=max_deadline,
+        exact=exact,
+        incremental=incremental,
+    ):
+        raw: List[FrontierPoint] = []
+        best = np.inf
+        best_assignment: Optional[Assignment] = None
+        if exact:
+            for deadline in range(floor, max_deadline + 1):
+                result = exact_assign(dfg, table, deadline)
+                if result.cost < best:  # enforce frontier monotonicity
+                    best = result.cost
+                    best_assignment = result.assignment
+                raw.append(FrontierPoint(deadline, float(best), best_assignment))
+            return _knee_points(raw)
 
-    expansion = choose_expansion(dfg)
-    if incremental:
-        order = expansion.duplicated_originals()
-        engine = IncrementalTreeDP(
-            expansion.tree,
-            max_deadline,
-            node_key=expansion.origin_of,
-            stats=stats,
-        )
-        for deadline in range(floor, max_deadline + 1):
-            tree_mapping, pinned = _repeat_rounds(
-                engine, table, deadline, expansion, order
+        expansion = choose_expansion(dfg)
+        if incremental:
+            order = expansion.duplicated_originals()
+            run_stats = stats
+            if run_stats is None and tracer.enabled:
+                run_stats = DPStats()
+            before = run_stats.as_dict() if run_stats is not None else {}
+            engine = IncrementalTreeDP(
+                expansion.tree,
+                max_deadline,
+                node_key=expansion.origin_of,
+                stats=run_stats,
             )
-            assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
-            result = _finish(
-                dfg, table, assignment, deadline, "dfg_assign_repeat"
-            )
-            best = min(best, result.cost)
-            points.append((deadline, float(best)))
-        return frontier_knees(points)
+            for deadline in range(floor, max_deadline + 1):
+                tree_mapping, pinned = _repeat_rounds(
+                    engine, table, deadline, expansion, order
+                )
+                assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
+                result = _finish(
+                    dfg, table, assignment, deadline, "dfg_assign_repeat"
+                )
+                if result.cost < best:
+                    best = result.cost
+                    best_assignment = result.assignment
+                raw.append(FrontierPoint(deadline, float(best), best_assignment))
+            if tracer.enabled and run_stats is not None:
+                _emit_dp_metrics(before, run_stats)
+            return _knee_points(raw)
 
-    for deadline in range(floor, max_deadline + 1):
-        cost = dfg_assign_repeat(
-            dfg, table, deadline, expansion=expansion, incremental=False
-        ).cost
-        best = min(best, cost)
-        points.append((deadline, float(best)))
-    return frontier_knees(points)
+        for deadline in range(floor, max_deadline + 1):
+            result = dfg_assign_repeat(
+                dfg, table, deadline, expansion=expansion, incremental=False
+            )
+            if result.cost < best:
+                best = result.cost
+                best_assignment = result.assignment
+            raw.append(FrontierPoint(deadline, float(best), best_assignment))
+        return _knee_points(raw)

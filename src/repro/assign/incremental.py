@@ -76,6 +76,23 @@ class DPStats:
         """Fraction of node visits served from cache (0.0 when unused)."""
         return self.cache_hits / self.nodes_visited if self.nodes_visited else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """Counter snapshot, keyed like the ``dp.*`` observability metrics.
+
+        The public DP entry points publish *deltas* of this snapshot to
+        the ambient :mod:`repro.obs` tracer, so enabling tracing shows
+        exactly the numbers a caller-owned ``DPStats`` would accumulate.
+        """
+        return {
+            "refreshes": float(self.refreshes),
+            "tracebacks": float(self.tracebacks),
+            "nodes_visited": float(self.nodes_visited),
+            "nodes_recomputed": float(self.nodes_recomputed),
+            "cache_hits": float(self.cache_hits),
+            "seconds_refresh": self.seconds_refresh,
+            "seconds_traceback": self.seconds_traceback,
+        }
+
     def __add__(self, other: "DPStats") -> "DPStats":
         return DPStats(
             refreshes=self.refreshes + other.refreshes,

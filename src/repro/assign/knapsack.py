@@ -21,6 +21,7 @@ from typing import List, Sequence, Tuple
 from ..errors import TableError
 from ..fu.table import TimeCostTable
 from ..graph.dfg import DFG
+from ..obs import annotate, current_tracer
 from .path_assign import path_assign
 
 __all__ = ["KnapsackInstance", "hap_from_knapsack", "solve_knapsack_via_hap"]
@@ -89,19 +90,23 @@ def solve_knapsack_via_hap(instance: KnapsackInstance) -> Tuple[float, List[int]
     """
     if len(instance) == 0:
         return 0.0, []
-    dfg, table = hap_from_knapsack(instance)
-    result = path_assign(dfg, table, deadline=instance.capacity)
-    vmax = max(instance.values)
-    taken = [
-        i
-        for i in range(len(instance))
-        if result.assignment[f"item{i}"] == TAKEN
-    ]
-    best_value = len(instance) * vmax - result.cost
-    # Numerical guard: the reconstruction must agree with the raw sum.
-    direct = sum(instance.values[i] for i in taken)
-    if abs(direct - best_value) > 1e-6:
-        raise TableError(
-            f"reduction bookkeeping mismatch: {direct} vs {best_value}"
-        )
-    return float(direct), taken
+    with current_tracer().span(
+        "solve_knapsack_via_hap", items=len(instance), capacity=instance.capacity
+    ):
+        dfg, table = hap_from_knapsack(instance)
+        result = path_assign(dfg, table, deadline=instance.capacity)
+        vmax = max(instance.values)
+        taken = [
+            i
+            for i in range(len(instance))
+            if result.assignment[f"item{i}"] == TAKEN
+        ]
+        best_value = len(instance) * vmax - result.cost
+        # Numerical guard: the reconstruction must agree with the raw sum.
+        direct = sum(instance.values[i] for i in taken)
+        if abs(direct - best_value) > 1e-6:
+            raise TableError(
+                f"reduction bookkeeping mismatch: {direct} vs {best_value}"
+            )
+        annotate(taken=len(taken), value=float(direct))
+        return float(direct), taken

@@ -28,6 +28,7 @@ from ..fu.table import TimeCostTable
 from ..graph.classify import is_in_forest, is_out_forest
 from ..graph.dag import reverse_topological_order
 from ..graph.dfg import DFG, Node
+from ..obs import current_tracer
 from .assignment import Assignment
 from .dpkernel import NO_CHOICE, combine_children, node_step, zero_curve
 from .incremental import IncrementalTreeDP
@@ -152,6 +153,16 @@ def tree_assign(
     if deadline < 0:
         raise InfeasibleError(f"deadline must be >= 0, got {deadline}")
 
+    with current_tracer().span(
+        "tree_assign", nodes=len(tree), deadline=deadline
+    ):
+        return _assign_normalized(tree, table, deadline, key)
+
+
+def _assign_normalized(
+    tree: DFG, table: TimeCostTable, deadline: int, key: NodeKey
+) -> AssignResult:
+    """`tree_assign` body after validation/normalization (span-wrapped)."""
     curves, choices = _curves(tree, table, deadline, key)
 
     roots = tree.roots()

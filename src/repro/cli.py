@@ -21,7 +21,7 @@ import sys
 from typing import List, Optional
 
 from .assign import min_completion_time
-from .errors import ReproError
+from .errors import AssignError, ReproError
 from .fu.random_tables import random_table
 from .graph.io import to_dot
 from .report.experiments import (
@@ -158,6 +158,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p_sim.add_argument("--iterations", type=int, default=4)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="synthesize a benchmark under an enabled tracer and export "
+        "the span tree (Chrome trace-event format by default)",
+    )
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("-L", "--deadline", type=int, default=None)
+    p_trace.add_argument(
+        "-a",
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default=None,
+        help="phase-1 algorithm (default: auto by graph shape)",
+    )
+    p_trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="output file (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=["chrome", "jsonl", "text"],
+        default="chrome",
+        help="export format (default: chrome, for chrome://tracing / Perfetto)",
+    )
+
     p_lint = sub.add_parser(
         "lint",
         help="run the lintkit static-analysis rules "
@@ -172,8 +199,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _default_deadline(dfg, table) -> int:
-    return int(1.3 * min_completion_time(dfg, table)) + 1
+def _resolve_deadline(dfg, table, requested: Optional[int]) -> int:
+    """The effective timing constraint, validated against the floor.
+
+    ``None`` (no ``--deadline`` flag) defaults to 1.3× the minimum
+    feasible completion time.  A user-supplied deadline below the floor
+    raises :class:`AssignError` naming the feasible minimum, instead of
+    letting a DP downstream report an opaque empty curve.
+    """
+    floor = min_completion_time(dfg, table)
+    if requested is None:
+        return int(1.3 * floor) + 1
+    if requested < floor:
+        raise AssignError(
+            f"deadline {requested} is below the minimum feasible completion "
+            f"time {floor} for this graph/table; rerun with -L {floor} or larger"
+        )
+    return requested
 
 
 def _cmd_show(args) -> int:
@@ -196,7 +238,7 @@ def _cmd_show(args) -> int:
 def _cmd_assign(args, both_phases: bool) -> int:
     dfg = get_benchmark(args.benchmark).dag()
     table = random_table(dfg, num_types=3, seed=args.seed)
-    deadline = args.deadline or _default_deadline(dfg, table)
+    deadline = _resolve_deadline(dfg, table, args.deadline)
     result = synthesize(dfg, table, deadline, algorithm=args.algorithm)
     ar = result.assign_result
     print(f"benchmark   : {args.benchmark} ({len(dfg)} nodes)")
@@ -235,10 +277,10 @@ def _cmd_pareto(args) -> int:
     floor = min_completion_time(dfg, table)
     horizon = args.horizon or 3 * floor
     if is_out_forest(dfg) or is_in_forest(dfg):
-        frontier = tree_frontier(dfg, table, horizon)
+        frontier = tree_frontier(dfg, table, max_deadline=horizon)
         kind = "exact (tree DP)"
     else:
-        frontier = dfg_frontier(dfg, table, horizon)
+        frontier = dfg_frontier(dfg, table, max_deadline=horizon)
         kind = "heuristic (DFG_Assign_Repeat)"
     print(f"{args.benchmark}: {kind} cost/latency frontier, "
           f"deadlines {floor}..{horizon}")
@@ -252,7 +294,7 @@ def _cmd_lp(args) -> int:
 
     dfg = get_benchmark(args.benchmark).dag()
     table = random_table(dfg, num_types=3, seed=args.seed)
-    deadline = args.deadline or _default_deadline(dfg, table)
+    deadline = _resolve_deadline(dfg, table, args.deadline)
     model = build_ilp(dfg, table, deadline)
     print(to_lp_format(model, name=f"{args.benchmark}_L{deadline}"))
     return 0
@@ -280,7 +322,7 @@ def _cmd_run(args) -> int:
     if table is None:
         table = random_table(dag, num_types=3, seed=args.seed)
         print(f"(no rows in {args.file}; using seeded random table)")
-    deadline = args.deadline or _default_deadline(dag, table)
+    deadline = _resolve_deadline(dag, table, args.deadline)
     result = synthesize(dfg, table, deadline)
     print(f"file        : {args.file} ({dfg.name}, {len(dfg)} nodes)")
     print(f"deadline    : {deadline} (minimum {min_completion_time(dag, table)})")
@@ -297,7 +339,7 @@ def _cmd_simulate(args) -> int:
     dfg = get_benchmark(args.benchmark)
     dag = dfg.dag()
     table = random_table(dag, num_types=3, seed=args.seed)
-    deadline = args.deadline or _default_deadline(dag, table)
+    deadline = _resolve_deadline(dag, table, args.deadline)
     result = synthesize(dfg, table, deadline)
     steps = args.iterations
     inputs = {n: [1.0] + [0.0] * (steps - 1) for n in dag.roots()}
@@ -316,6 +358,55 @@ def _cmd_simulate(args) -> int:
         return 0
     print("  MISMATCH between schedule replay and reference!", file=sys.stderr)
     return 1
+
+
+def _cmd_trace(args) -> int:
+    from .obs import (
+        Tracer,
+        chrome_trace_events,
+        render_text,
+        to_jsonl,
+        use_tracer,
+        write_chrome_trace,
+    )
+
+    dfg = get_benchmark(args.benchmark)
+    dag = dfg.dag()
+    table = random_table(dag, num_types=3, seed=args.seed)
+    deadline = _resolve_deadline(dag, table, args.deadline)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = synthesize(dfg, table, deadline, algorithm=args.algorithm)
+        with tracer.span("verify", graph=dfg.name):
+            result.verify(dag, table)
+    if args.format == "chrome":
+        _, n_events = write_chrome_trace(tracer.roots, args.out)
+    else:
+        text = (
+            to_jsonl(tracer.roots)
+            if args.format == "jsonl"
+            else render_text(tracer.roots)
+        )
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        n_events = len(chrome_trace_events(tracer.roots))
+    print(f"benchmark   : {args.benchmark} ({len(dag)} nodes)")
+    print(f"deadline    : {deadline}")
+    print(f"system cost : {result.cost:.2f}")
+    phases = ", ".join(
+        f"{k} {v * 1e3:.2f}ms"
+        for k, v in result.timings.items()
+        if k != "total"
+    )
+    print(f"phase times : {phases} (total "
+          f"{result.timings['total'] * 1e3:.2f}ms)")
+    counters = tracer.metrics.counters
+    if counters:
+        print("metrics     : "
+              + ", ".join(f"{k}={v.value:g}" for k, v in sorted(counters.items())))
+    print(f"wrote {n_events} spans to {args.out} ({args.format}); open Chrome "
+          "traces via chrome://tracing or https://ui.perfetto.dev")
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -376,13 +467,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             dfg = get_benchmark(args.benchmark).dag()
             table = random_table(dfg, num_types=3, seed=args.seed)
-            deadline = args.deadline or _default_deadline(dfg, table)
+            deadline = _resolve_deadline(dfg, table, args.deadline)
             print(certify(dfg, table, deadline).describe())
             return 0
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         raise ReproError(f"unhandled command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

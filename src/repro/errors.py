@@ -24,10 +24,12 @@ __all__ = [
     "NotAPathError",
     "NotATreeError",
     "TableError",
+    "AssignError",
     "InfeasibleError",
     "ScheduleError",
     "ReportError",
     "LintError",
+    "ObsError",
 ]
 
 
@@ -60,6 +62,16 @@ class TableError(ReproError):
     """A time/cost table is malformed or inconsistent with its graph."""
 
 
+class AssignError(ReproError):
+    """An assignment request is invalid before any DP runs.
+
+    Distinct from :class:`InfeasibleError`: *infeasible* means the DP
+    proved no solution exists, *assign error* means the request itself
+    is malformed (e.g. a user-supplied deadline below the graph's
+    minimum completion time) and was rejected up front.
+    """
+
+
 class InfeasibleError(ReproError):
     """No assignment (or schedule) satisfies the timing constraint.
 
@@ -83,3 +95,7 @@ class ReportError(ReproError):
 
 class LintError(ReproError):
     """A :mod:`repro.lintkit` usage error (bad path, unknown rule, ...)."""
+
+
+class ObsError(ReproError):
+    """An observability request failed (unwritable trace, bad JSONL, ...)."""

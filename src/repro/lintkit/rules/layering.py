@@ -28,6 +28,8 @@ __all__ = ["ImportLayeringRule", "LAYERS", "segment", "layer_of"]
 #: must never target a strictly higher layer.
 LAYERS: Dict[str, int] = {
     "errors": 0,
+    "obs": 0,
+    "apiutil": 0,
     "graph": 1,
     "fu": 2,
     "assign": 3,

@@ -1,0 +1,65 @@
+"""Dependency-free observability layer: tracing, metrics, exporters.
+
+``repro.obs`` sits at the bottom of the package's layer diagram (with
+``repro.errors``): every solver layer may import it, and it imports
+none of them — enforced by lintkit rule RL004.  See
+``docs/observability.md`` for the user guide.
+
+Quick start::
+
+    from repro.obs import Tracer, use_tracer, render_text
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = synthesize(dfg, table, deadline)
+    print(render_text(tracer.roots))
+
+By default tracing is **off**: the ambient tracer is the disabled
+:data:`NULL_TRACER` and every :func:`span`/:func:`add_metric` call is
+a preallocated no-op.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    from_jsonl,
+    render_text,
+    to_jsonl,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    add_metric,
+    annotate,
+    current_tracer,
+    span,
+    tracing_active,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "span",
+    "add_metric",
+    "annotate",
+    "tracing_active",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_text",
+    "to_jsonl",
+    "from_jsonl",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+]

@@ -1,0 +1,182 @@
+"""Span exporters: text tree, JSON-lines, and Chrome trace-event format.
+
+All exporters are pure functions from a list of root :class:`Span`
+objects (``tracer.roots``) to a string; :func:`write_chrome_trace`
+additionally writes the Chrome payload to a file.  The Chrome format
+is the Trace Event *complete event* flavour (``"ph": "X"``) accepted
+by ``chrome://tracing`` and https://ui.perfetto.dev — timestamps are
+microseconds relative to the earliest span start.
+
+JSON-lines round-trips: :func:`from_jsonl` rebuilds the exact span
+forest (names, times, attributes, counters, nesting) that
+:func:`to_jsonl` serialized, which the tests use as the persistence
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ObsError
+from .tracer import Span
+
+__all__ = [
+    "render_text",
+    "to_jsonl",
+    "from_jsonl",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+]
+
+
+def _format_attrs(span: Span) -> str:
+    parts = [f"{k}={v!r}" for k, v in span.attributes.items()]
+    parts += [f"{k}={v:g}" for k, v in span.counters.items()]
+    return " ".join(parts)
+
+
+def render_text(roots: Sequence[Span], indent: int = 2) -> str:
+    """Human-readable indented tree with per-span durations."""
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        pad = " " * (indent * depth)
+        extras = _format_attrs(span)
+        suffix = f"  {extras}" if extras else ""
+        lines.append(f"{pad}{span.name}  {span.duration * 1e3:.3f}ms{suffix}")
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def to_jsonl(roots: Sequence[Span]) -> str:
+    """One JSON object per span, depth-first, with ``id``/``parent`` links."""
+    lines: List[str] = []
+    next_id = 0
+
+    def emit(span: Span, parent: Optional[int]) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        lines.append(
+            json.dumps(
+                {
+                    "id": sid,
+                    "parent": parent,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "attributes": span.attributes,
+                    "counters": span.counters,
+                },
+                sort_keys=True,
+            )
+        )
+        for child in span.children:
+            emit(child, sid)
+
+    for root in roots:
+        emit(root, None)
+    return "\n".join(lines)
+
+
+def from_jsonl(text: str) -> List[Span]:
+    """Rebuild the span forest serialized by :func:`to_jsonl`."""
+    by_id: Dict[int, Span] = {}
+    roots: List[Span] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"invalid JSONL trace at line {lineno}: {exc}") from exc
+        try:
+            span = Span(
+                name=record["name"],
+                attributes=dict(record["attributes"]),
+                start=record["start"],
+                end=record["end"],
+                counters={k: float(v) for k, v in record["counters"].items()},
+            )
+            sid = record["id"]
+            parent = record["parent"]
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ObsError(
+                f"JSONL trace line {lineno} is missing span fields: {exc}"
+            ) from exc
+        by_id[sid] = span
+        if parent is None:
+            roots.append(span)
+        else:
+            if parent not in by_id:
+                raise ObsError(
+                    f"JSONL trace line {lineno} references unknown parent {parent}"
+                )
+            by_id[parent].children.append(span)
+    return roots
+
+
+def _epoch(roots: Sequence[Span]) -> float:
+    starts = [s.start for root in roots for s in root.walk()]
+    return min(starts) if starts else 0.0
+
+
+def chrome_trace_events(
+    roots: Sequence[Span], pid: int = 1, tid: int = 1
+) -> List[Dict[str, object]]:
+    """Chrome *complete events* (``ph: "X"``) for every span, in µs."""
+    epoch = _epoch(roots)
+    events: List[Dict[str, object]] = []
+
+    def emit(span: Span) -> None:
+        end = span.end if span.end is not None else span.start
+        args: Dict[str, object] = dict(span.attributes)
+        args.update(span.counters)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start - epoch) * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for child in span.children:
+            emit(child)
+
+    for root in roots:
+        emit(root)
+    return events
+
+
+def chrome_trace_json(roots: Sequence[Span]) -> str:
+    """The full Chrome trace file: ``{"traceEvents": [...], ...}``."""
+    payload = {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    return json.dumps(payload, indent=1, sort_keys=True, default=str)
+
+
+def write_chrome_trace(roots: Sequence[Span], path: str) -> Tuple[str, int]:
+    """Write the Chrome trace to ``path``; returns ``(path, n_events)``.
+
+    Raises :class:`ObsError` when the destination is not writable.
+    """
+    events = chrome_trace_events(roots)
+    text = chrome_trace_json(roots)
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    except OSError as exc:
+        raise ObsError(f"cannot write Chrome trace to {path!r}: {exc}") from exc
+    return path, len(events)

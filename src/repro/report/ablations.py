@@ -158,13 +158,13 @@ def lower_bound_ablation(
         assignment = dfg_assign_repeat(dfg, table, deadline).assignment
         bound = lower_bound_configuration(dfg, table, assignment, deadline)
         achieved = min_resource_schedule(
-            dfg, table, assignment, deadline
+            dfg, table, assignment=assignment, deadline=deadline
         ).configuration
         from_zero = min_resource_schedule(
             dfg,
             table,
-            assignment,
-            deadline,
+            assignment=assignment,
+            deadline=deadline,
             initial=Configuration.of([0] * table.num_types),
         ).configuration
         out.append(

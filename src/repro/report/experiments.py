@@ -121,7 +121,9 @@ def run_benchmark_rows(
         exact_cost = (
             exact_assign(dfg, table, deadline).cost if with_exact else None
         )
-        schedule = min_resource_schedule(dfg, table, repeat.assignment, deadline)
+        schedule = min_resource_schedule(
+            dfg, table, assignment=repeat.assignment, deadline=deadline
+        )
         rows.append(
             ExperimentRow(
                 benchmark=name,

@@ -128,11 +128,13 @@ def profile_incremental(
         floor = min_completion_time(dfg, table)
         max_deadline = max(floor, int(span * floor))
         stats = DPStats()
-        swept = dfg_frontier(dfg, table, max_deadline, stats=stats)
+        swept = dfg_frontier(dfg, table, max_deadline=max_deadline, stats=stats)
         reference_seconds = None
         if compare:
             t0 = time.perf_counter()
-            reference = dfg_frontier(dfg, table, max_deadline, incremental=False)
+            reference = dfg_frontier(
+                dfg, table, max_deadline=max_deadline, incremental=False
+            )
             reference_seconds = time.perf_counter() - t0
             assert reference == swept, f"{name}: swept frontier diverged"
         out.append(

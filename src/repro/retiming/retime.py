@@ -24,6 +24,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..errors import GraphError, InfeasibleError
 from ..graph.dfg import DFG, Node
 from ..graph.paths import longest_path_time
+from ..obs import add_metric, current_tracer
 
 __all__ = [
     "cycle_period",
@@ -116,19 +117,23 @@ def min_cycle_period(
     floor) and the current period.  Raises :class:`InfeasibleError`
     only for graphs with zero-delay cycles (propagated).
     """
-    current = cycle_period(dfg, times)
-    lo = max((times[n] for n in dfg.nodes()), default=0)
-    hi = current
-    best = current
-    best_r: Dict[Node, int] = {n: 0 for n in dfg.nodes()}
-    # Invariant: ``best``/``best_r`` is feasible and best == hi whenever
-    # hi moved; the search narrows [lo, hi] until lo == hi == best.
-    while lo < hi:
-        mid = (lo + hi) // 2
-        r = feasible_retiming(dfg, times, mid)
-        if r is None:
-            lo = mid + 1
-        else:
-            best, best_r = mid, r
-            hi = mid
-    return best, best_r
+    tracer = current_tracer()
+    with tracer.span("min_cycle_period", nodes=len(dfg)):
+        current = cycle_period(dfg, times)
+        lo = max((times[n] for n in dfg.nodes()), default=0)
+        hi = current
+        best = current
+        best_r: Dict[Node, int] = {n: 0 for n in dfg.nodes()}
+        # Invariant: ``best``/``best_r`` is feasible and best == hi whenever
+        # hi moved; the search narrows [lo, hi] until lo == hi == best.
+        while lo < hi:
+            mid = (lo + hi) // 2
+            r = feasible_retiming(dfg, times, mid)
+            if tracer.enabled:
+                add_metric("retiming.feasibility_probes")
+            if r is None:
+                lo = mid + 1
+            else:
+                best, best_r = mid, r
+                hi = mid
+        return best, best_r

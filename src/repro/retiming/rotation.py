@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from ..errors import ScheduleError
 from ..fu.table import TimeCostTable
 from ..graph.dfg import DFG, Node
+from ..obs import current_tracer
 
 from ..assign.assignment import Assignment
 from ..sched.min_resource import list_schedule
@@ -82,6 +83,20 @@ def rotation_schedule(
     if rounds < 0:
         raise ScheduleError(f"rounds must be >= 0, got {rounds}")
 
+    with current_tracer().span(
+        "rotation_schedule", nodes=len(dfg), rounds=rounds
+    ):
+        return _rotation_rounds(dfg, table, assignment, configuration, rounds)
+
+
+def _rotation_rounds(
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+    configuration: Configuration,
+    rounds: int,
+) -> RotationResult:
+    """`rotation_schedule` body (span-wrapped by the public entry)."""
     current = dfg
     total_r: Dict[Node, int] = {n: 0 for n in dfg.nodes()}
     history: List[int] = []
@@ -90,7 +105,9 @@ def rotation_schedule(
 
     for _ in range(rounds + 1):
         dag = current.dag()
-        schedule = list_schedule(dag, table, assignment, configuration)
+        schedule = list_schedule(
+            dag, table, assignment=assignment, configuration=configuration
+        )
         length = schedule.makespan(table)
         history.append(length)
         if best_length is None or length < best_length:

@@ -34,6 +34,7 @@ from ..errors import ScheduleError
 from ..fu.table import TimeCostTable
 from ..graph.dag import topological_order
 from ..graph.dfg import DFG, Node
+from ..obs import add_metric, current_tracer
 
 from ..assign.assignment import Assignment
 from .asap_alap import alap_starts, asap_starts
@@ -204,33 +205,39 @@ def force_directed_schedule(
     critical path (no frames exist).
     """
     assignment.validate_for(dfg, table)
-    times = assignment.execution_times(dfg, table)
-    type_of = {n: assignment[n] for n in dfg.nodes()}
-    frames = _Frames(dfg, times, deadline)  # raises if infeasible
-    m = table.num_types
+    tracer = current_tracer()
+    with tracer.span(
+        "force_directed_schedule", nodes=len(dfg), deadline=deadline
+    ):
+        times = assignment.execution_times(dfg, table)
+        type_of = {n: assignment[n] for n in dfg.nodes()}
+        frames = _Frames(dfg, times, deadline)  # raises if infeasible
+        m = table.num_types
 
-    unfixed = [n for n in dfg.nodes() if len(frames.window(n)) > 1]
-    # zero-mobility nodes are already placed by their frame
-    while unfixed:
-        dg = _distribution(frames, type_of, m, deadline)
-        best: Optional[Tuple[float, int, Node, int]] = None
-        tie = {n: i for i, n in enumerate(dfg.nodes())}
-        for node in unfixed:
-            for start in frames.window(node):
-                force = _self_force(dg, frames, type_of, node, start)
-                neighbor = _neighbor_force(
-                    dg, frames, type_of, times, node, start
-                )
-                if neighbor == float("inf"):
-                    continue
-                key = (force + neighbor, tie[node], node, start)
-                if best is None or key[:2] < best[:2]:
-                    best = key
-        assert best is not None, "every remaining node lost all placements"
-        _, _, node, start = best
-        frames.fix(node, start)
         unfixed = [n for n in dfg.nodes() if len(frames.window(n)) > 1]
+        # zero-mobility nodes are already placed by their frame
+        while unfixed:
+            dg = _distribution(frames, type_of, m, deadline)
+            best: Optional[Tuple[float, int, Node, int]] = None
+            tie = {n: i for i, n in enumerate(dfg.nodes())}
+            for node in unfixed:
+                for start in frames.window(node):
+                    force = _self_force(dg, frames, type_of, node, start)
+                    neighbor = _neighbor_force(
+                        dg, frames, type_of, times, node, start
+                    )
+                    if neighbor == float("inf"):
+                        continue
+                    key = (force + neighbor, tie[node], node, start)
+                    if best is None or key[:2] < best[:2]:
+                        best = key
+            assert best is not None, "every remaining node lost all placements"
+            _, _, node, start = best
+            frames.fix(node, start)
+            if tracer.enabled:
+                add_metric("force_directed.placements")
+            unfixed = [n for n in dfg.nodes() if len(frames.window(n)) > 1]
 
-    starts = {n: frames.earliest[n] for n in dfg.nodes()}
-    ops, configuration = _bind_instances(dfg, times, type_of, starts, m)
-    return Schedule(ops=ops, configuration=configuration, deadline=deadline)
+        starts = {n: frames.earliest[n] for n in dfg.nodes()}
+        ops, configuration = _bind_instances(dfg, times, type_of, starts, m)
+        return Schedule(ops=ops, configuration=configuration, deadline=deadline)

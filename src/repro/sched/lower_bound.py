@@ -31,6 +31,7 @@ import numpy as np
 from ..errors import ScheduleError
 from ..fu.table import TimeCostTable
 from ..graph.dfg import DFG, Node
+from ..obs import annotate, current_tracer
 
 from ..assign.assignment import Assignment
 from .asap_alap import alap_starts, asap_starts
@@ -76,26 +77,30 @@ def lower_bound_configuration(
     assignment never uses get a bound of 0.
     """
     assignment.validate_for(dfg, table)
-    times = assignment.execution_times(dfg, table)
-    type_of = {n: assignment[n] for n in dfg.nodes()}
-    m = table.num_types
+    with current_tracer().span(
+        "lower_bound_configuration", nodes=len(dfg), deadline=deadline
+    ):
+        times = assignment.execution_times(dfg, table)
+        type_of = {n: assignment[n] for n in dfg.nodes()}
+        m = table.num_types
 
-    asap = asap_starts(dfg, times)
-    alap = alap_starts(dfg, times, deadline)
-    occ_asap = occupancy(dfg, times, type_of, asap, m, deadline)
-    occ_alap = occupancy(dfg, times, type_of, alap, m, deadline)
+        asap = asap_starts(dfg, times)
+        alap = alap_starts(dfg, times, deadline)
+        occ_asap = occupancy(dfg, times, type_of, asap, m, deadline)
+        occ_alap = occupancy(dfg, times, type_of, alap, m, deadline)
 
-    bounds: List[int] = []
-    windows = np.arange(1, deadline + 1, dtype=np.float64)
-    for j in range(m):
-        if deadline == 0 or not occ_asap[j].any() and not occ_alap[j].any():
-            bounds.append(0)
-            continue
-        # ALAP prefixes: work forced into the first w steps.
-        prefix = np.cumsum(occ_alap[j])
-        lb_alap = np.max(np.ceil(prefix / windows))
-        # ASAP suffixes: work forced into the last w steps.
-        suffix = np.cumsum(occ_asap[j][::-1])
-        lb_asap = np.max(np.ceil(suffix / windows))
-        bounds.append(int(max(lb_alap, lb_asap)))
-    return Configuration.of(bounds)
+        bounds: List[int] = []
+        windows = np.arange(1, deadline + 1, dtype=np.float64)
+        for j in range(m):
+            if deadline == 0 or not occ_asap[j].any() and not occ_alap[j].any():
+                bounds.append(0)
+                continue
+            # ALAP prefixes: work forced into the first w steps.
+            prefix = np.cumsum(occ_alap[j])
+            lb_alap = np.max(np.ceil(prefix / windows))
+            # ASAP suffixes: work forced into the last w steps.
+            suffix = np.cumsum(occ_asap[j][::-1])
+            lb_asap = np.max(np.ceil(suffix / windows))
+            bounds.append(int(max(lb_alap, lb_asap)))
+        annotate(bound_total=sum(bounds))
+        return Configuration.of(bounds)

@@ -25,10 +25,12 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..apiutil import deprecated_positionals
 from ..errors import ScheduleError
 from ..fu.table import TimeCostTable
 from ..graph.dag import topological_order
 from ..graph.dfg import DFG, Node
+from ..obs import annotate, current_tracer
 
 from ..assign.assignment import Assignment
 from .asap_alap import alap_starts
@@ -63,9 +65,11 @@ class _FUPool:
         return len(self.free_at[fu_type]) - 1
 
 
+@deprecated_positionals("assignment", "deadline", "initial")
 def min_resource_schedule(
     dfg: DFG,
     table: TimeCostTable,
+    *,
     assignment: Assignment,
     deadline: int,
     initial: Optional[Configuration] = None,
@@ -79,8 +83,25 @@ def min_resource_schedule(
     Always succeeds for a feasible assignment: a node is forced onto a
     (possibly new) instance no later than its ALAP step, and ALAP
     guarantees its parents have finished by then.
+
+    Everything after ``table`` is keyword-only; the positional form is
+    deprecated (see ``docs/algorithms.md``).
     """
     assignment.validate_for(dfg, table)
+    with current_tracer().span(
+        "min_resource_schedule", nodes=len(dfg), deadline=deadline
+    ):
+        return _min_resource_schedule(dfg, table, assignment, deadline, initial)
+
+
+def _min_resource_schedule(
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+    deadline: int,
+    initial: Optional[Configuration],
+) -> Schedule:
+    """`min_resource_schedule` body (span-wrapped by the public entry)."""
     times = assignment.execution_times(dfg, table)
     type_of = {n: assignment[n] for n in dfg.nodes()}
     alap = alap_starts(dfg, times, deadline)  # raises if infeasible
@@ -167,12 +188,15 @@ def min_resource_schedule(
         configuration=Configuration.of(pool.counts()),
         deadline=deadline,
     )
+    annotate(fu_instances=sum(pool.counts()))
     return schedule
 
 
+@deprecated_positionals("assignment", "configuration", "horizon_factor")
 def list_schedule(
     dfg: DFG,
     table: TimeCostTable,
+    *,
     assignment: Assignment,
     configuration: Configuration,
     horizon_factor: int = 64,
@@ -186,8 +210,25 @@ def list_schedule(
     lacks a needed FU type entirely or scheduling overruns
     ``horizon_factor ×`` the sequential total time (a safety net
     against zero-count stalls).
+
+    Everything after ``table`` is keyword-only; the positional form is
+    deprecated (see ``docs/algorithms.md``).
     """
     assignment.validate_for(dfg, table)
+    with current_tracer().span(
+        "list_schedule", nodes=len(dfg), configuration=tuple(configuration.counts)
+    ):
+        return _list_schedule(dfg, table, assignment, configuration, horizon_factor)
+
+
+def _list_schedule(
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+    configuration: Configuration,
+    horizon_factor: int,
+) -> Schedule:
+    """`list_schedule` body (span-wrapped by the public entry)."""
     times = assignment.execution_times(dfg, table)
     type_of = {n: assignment[n] for n in dfg.nodes()}
     for n in dfg.nodes():

@@ -20,8 +20,9 @@ Pass ``algorithm=`` to override (e.g. ``"greedy"`` for the baseline or
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Mapping, Optional
 
 from .assign import (
     AssignResult,
@@ -38,6 +39,7 @@ from .errors import CyclicDependencyError, ReproError
 from .fu.table import TimeCostTable
 from .graph.classify import is_in_forest, is_out_forest, is_simple_path
 from .graph.dfg import DFG
+from .obs import MetricsRegistry, Span, current_tracer
 from .sched import Configuration, Schedule, lower_bound_configuration, min_resource_schedule
 
 __all__ = ["SynthesisResult", "synthesize", "ALGORITHMS", "auto_algorithm"]
@@ -79,12 +81,24 @@ class SynthesisResult:
     lower_bound:
         `Lower_Bound_R`'s configuration floor, kept for reporting the
         achieved-vs-bound gap.
+    timings:
+        Wall-clock seconds per phase (``assign``, ``lower_bound``,
+        ``schedule``, ``total``) — always collected, tracing or not.
+    trace:
+        The root :class:`~repro.obs.Span` of this run when an enabled
+        tracer was ambient, else ``None``.
+    metrics:
+        The ambient tracer's :class:`~repro.obs.MetricsRegistry` when
+        tracing was enabled, else ``None``.
     """
 
     assign_result: AssignResult
     schedule: Schedule
     configuration: Configuration
     lower_bound: Configuration
+    timings: Mapping[str, float] = field(default_factory=dict)
+    trace: Optional[Span] = None
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def assignment(self):
@@ -115,12 +129,20 @@ def synthesize(
 ) -> SynthesisResult:
     """Run the full two-phase flow on the DAG part of ``dfg``.
 
-    ``dfg`` may be cyclic (a loop-carried DSP graph); assignment and
-    scheduling constrain only its zero-delay DAG part, per the paper.
+    This is the **single documented entry point** of the pipeline: the
+    CLI's ``assign``/``run``/``trace`` commands all route through it,
+    and so should library callers that want both phases.  ``dfg`` may
+    be cyclic (a loop-carried DSP graph); assignment and scheduling
+    constrain only its zero-delay DAG part, per the paper.
 
     ``scheduler`` selects phase 2: ``"min_resource"`` (the paper's
     `Min_R_Scheduling`, default) or ``"force_directed"`` (the classical
     Paulin–Knight alternative, for comparison studies).
+
+    Per-phase wall times are always recorded in the result's
+    ``timings``; under an enabled ambient :class:`~repro.obs.Tracer`
+    the result additionally carries the run's root span (``trace``) and
+    the tracer's metrics registry (``metrics``).
 
     Raises
     ------
@@ -140,26 +162,61 @@ def synthesize(
         raise ReproError(
             f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
-    assign_result = algo(dag, table, deadline)
-    lower = lower_bound_configuration(dag, table, assign_result.assignment, deadline)
-    if scheduler == "min_resource":
-        schedule = min_resource_schedule(
-            dag, table, assign_result.assignment, deadline, initial=lower
-        )
-    elif scheduler == "force_directed":
-        from .sched import force_directed_schedule
 
-        schedule = force_directed_schedule(
-            dag, table, assign_result.assignment, deadline
-        )
-    else:
-        raise ReproError(
-            f"unknown scheduler {scheduler!r}; choose 'min_resource' or "
-            "'force_directed'"
-        )
+    tracer = current_tracer()
+    timings: Dict[str, float] = {}
+    t_total = perf_counter()
+    with tracer.span(
+        "synthesize",
+        graph=dfg.name,
+        deadline=deadline,
+        algorithm=name,
+        scheduler=scheduler,
+    ) as root:
+        t0 = perf_counter()
+        with tracer.span("assign", algorithm=name, nodes=len(dag)):
+            assign_result = algo(dag, table, deadline)
+        timings["assign"] = perf_counter() - t0
+
+        t0 = perf_counter()
+        with tracer.span("lower_bound"):
+            lower = lower_bound_configuration(
+                dag, table, assign_result.assignment, deadline
+            )
+        timings["lower_bound"] = perf_counter() - t0
+
+        t0 = perf_counter()
+        with tracer.span("schedule", scheduler=scheduler):
+            if scheduler == "min_resource":
+                schedule = min_resource_schedule(
+                    dag,
+                    table,
+                    assignment=assign_result.assignment,
+                    deadline=deadline,
+                    initial=lower,
+                )
+            elif scheduler == "force_directed":
+                from .sched import force_directed_schedule
+
+                schedule = force_directed_schedule(
+                    dag, table, assign_result.assignment, deadline
+                )
+            else:
+                raise ReproError(
+                    f"unknown scheduler {scheduler!r}; choose 'min_resource' or "
+                    "'force_directed'"
+                )
+        timings["schedule"] = perf_counter() - t0
+        if tracer.enabled:
+            root.attributes["cost"] = assign_result.cost
+    timings["total"] = perf_counter() - t_total
+
     return SynthesisResult(
         assign_result=assign_result,
         schedule=schedule,
         configuration=schedule.configuration,
         lower_bound=lower,
+        timings=timings,
+        trace=root if tracer.enabled else None,
+        metrics=tracer.metrics if tracer.enabled else None,
     )

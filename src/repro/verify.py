@@ -157,7 +157,7 @@ def certify(dfg: DFG, table: TimeCostTable, deadline: int) -> Certificate:
         ("min_resource", min_resource_schedule),
         ("force_directed", force_directed_schedule),
     ):
-        schedule = scheduler(dag, table, assignment, deadline)
+        schedule = scheduler(dag, table, assignment=assignment, deadline=deadline)
         schedule.validate(dag, table, assignment)
         if schedule.makespan(table) > deadline:
             raise ReproError(f"{sched_name} overran the deadline")

@@ -49,8 +49,8 @@ class TestTreeFrontier:
     def test_starts_at_floor(self, setup):
         dfg, table = setup
         floor = min_completion_time(dfg, table)
-        frontier = tree_frontier(dfg, table, floor + 20)
-        assert frontier[0][0] == floor
+        frontier = tree_frontier(dfg, table, max_deadline=floor + 20)
+        assert frontier[0].deadline == floor
 
     def test_strictly_decreasing_costs(self, setup):
         dfg, table = setup
@@ -67,8 +67,8 @@ class TestTreeFrontier:
     def test_ends_at_cheapest(self, setup):
         dfg, table = setup
         loose = sum(int(table.times(n).max()) for n in dfg.nodes())
-        frontier = tree_frontier(dfg, table, loose)
-        assert frontier[-1][1] == pytest.approx(
+        frontier = tree_frontier(dfg, table, max_deadline=loose)
+        assert frontier[-1].cost == pytest.approx(
             sum(table.min_cost(n) for n in dfg.nodes())
         )
 
@@ -87,7 +87,34 @@ class TestTreeFrontier:
             tree_frontier(dfg, table, 100)
 
     def test_empty_forest_is_the_zero_frontier(self):
-        assert tree_frontier(DFG(name="empty"), TimeCostTable(2), 7) == [(0, 0.0)]
+        frontier = tree_frontier(DFG(name="empty"), TimeCostTable(2), max_deadline=7)
+        assert len(frontier) == 1
+        assert frontier[0].deadline == 0
+        assert frontier[0].cost == pytest.approx(0.0)
+        assert list(frontier[0]) == [0, 0.0]
+
+    def test_points_carry_witness_assignments(self, setup):
+        dfg, table = setup
+        frontier = tree_frontier(dfg, table, max_deadline=60)
+        for point in frontier:
+            assert point.assignment is not None
+            result = tree_assign(dfg, table, point.deadline)
+            assert point.assignment.total_cost(dfg, table) == pytest.approx(
+                result.cost
+            )
+
+    def test_points_unpack_like_pairs(self, setup):
+        dfg, table = setup
+        frontier = tree_frontier(dfg, table, max_deadline=60)
+        as_dict = dict(frontier)
+        for deadline, cost in frontier:
+            assert as_dict[deadline] == pytest.approx(cost)
+
+    def test_positional_max_deadline_warns_but_works(self, setup):
+        dfg, table = setup
+        with pytest.warns(DeprecationWarning, match="max_deadline"):
+            old_style = tree_frontier(dfg, table, 60)
+        assert old_style == tree_frontier(dfg, table, max_deadline=60)
 
 
 class TestDfgFrontier:

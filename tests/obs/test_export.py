@@ -1,0 +1,125 @@
+"""Exporter tests: text tree, JSON-lines round-trip, Chrome trace format."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    Tracer,
+    add_metric,
+    chrome_trace_events,
+    chrome_trace_json,
+    from_jsonl,
+    render_text,
+    span,
+    to_jsonl,
+    use_tracer,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def traced_forest():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("solve", nodes=4, deadline=9):
+            with span("assign"):
+                add_metric("dp.refreshes", 3.0)
+            with span("schedule"):
+                pass
+        with span("verify"):
+            pass
+    return tracer.roots
+
+
+class TestRenderText:
+    def test_tree_shape_and_contents(self, traced_forest):
+        text = render_text(traced_forest)
+        lines = text.splitlines()
+        assert lines[0].startswith("solve")
+        assert "nodes=4" in lines[0] and "deadline=9" in lines[0]
+        assert lines[1].startswith("  assign")
+        assert "dp.refreshes=3" in lines[1]
+        assert lines[2].startswith("  schedule")
+        assert lines[3].startswith("verify")
+        assert all("ms" in line for line in lines)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_forest(self, traced_forest):
+        rebuilt = from_jsonl(to_jsonl(traced_forest))
+        assert len(rebuilt) == len(traced_forest)
+        for orig, copy in zip(traced_forest, rebuilt):
+            for a, b in zip(orig.walk(), copy.walk()):
+                assert a.name == b.name
+                assert a.start == b.start
+                assert a.end == b.end
+                assert a.attributes == b.attributes
+                assert a.counters == b.counters
+                assert len(a.children) == len(b.children)
+
+    def test_empty_forest(self):
+        assert to_jsonl([]) == ""
+        assert from_jsonl("") == []
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ObsError, match="line 1"):
+            from_jsonl("not json")
+
+    def test_missing_fields_raises(self):
+        with pytest.raises(ObsError, match="missing span fields"):
+            from_jsonl(json.dumps({"id": 0, "parent": None, "name": "x"}))
+
+    def test_unknown_parent_raises(self):
+        line = json.dumps(
+            {
+                "id": 5,
+                "parent": 99,
+                "name": "orphan",
+                "start": 0.0,
+                "end": 1.0,
+                "attributes": {},
+                "counters": {},
+            }
+        )
+        with pytest.raises(ObsError, match="unknown parent"):
+            from_jsonl(line)
+
+
+class TestChromeTrace:
+    def test_events_cover_every_span(self, traced_forest):
+        events = chrome_trace_events(traced_forest)
+        spans = [s for root in traced_forest for s in root.walk()]
+        assert len(events) == len(spans)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+    def test_timestamps_relative_to_earliest(self, traced_forest):
+        events = chrome_trace_events(traced_forest)
+        assert min(e["ts"] for e in events) == pytest.approx(0.0)
+
+    def test_args_merge_attributes_and_counters(self, traced_forest):
+        events = {e["name"]: e for e in chrome_trace_events(traced_forest)}
+        assert events["solve"]["args"]["nodes"] == 4
+        assert events["assign"]["args"]["dp.refreshes"] == pytest.approx(3.0)
+
+    def test_json_document_shape(self, traced_forest):
+        doc = json.loads(chrome_trace_json(traced_forest))
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_write_chrome_trace(self, traced_forest, tmp_path):
+        out = tmp_path / "trace.json"
+        path, count = write_chrome_trace(traced_forest, str(out))
+        assert path == str(out)
+        assert count == 4
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == 4
+
+    def test_write_to_bad_path_raises(self, traced_forest, tmp_path):
+        with pytest.raises(ObsError, match="cannot write"):
+            write_chrome_trace(traced_forest, str(tmp_path / "no" / "dir.json"))

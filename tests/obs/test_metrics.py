@@ -1,0 +1,65 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == pytest.approx(1.0)
+        assert g.updates == 2
+
+    def test_histogram_summary(self):
+        h = Histogram("latency")
+        assert h.mean == pytest.approx(0.0)
+        for v in (4.0, 1.0, 7.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(12.0)
+        assert h.minimum == pytest.approx(1.0)
+        assert h.maximum == pytest.approx(7.0)
+        assert h.mean == pytest.approx(4.0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_namespaces_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.gauge("x").set(9.0)
+        assert reg.counter("x").value == pytest.approx(1.0)
+        assert reg.gauge("x").value == pytest.approx(9.0)
+
+    def test_views_reflect_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(5)
+        assert set(reg.counters) == {"hits"}
+        assert reg.counters["hits"].value == pytest.approx(5.0)
+        assert dict(reg.gauges) == {}
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(3.0)
+        snap = reg.as_dict()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["mean"] == pytest.approx(3.0)

@@ -1,0 +1,170 @@
+"""Unit tests for the context-var tracer: nesting, disabled path, isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    add_metric,
+    annotate,
+    current_tracer,
+    span,
+    tracing_active,
+    use_tracer,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_roots_and_children(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer"):
+                with span("inner_a"):
+                    pass
+                with span("inner_b"):
+                    with span("leaf"):
+                        pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_timing_is_monotone_and_nested(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_open_span_duration_is_zero(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("open") as s:
+                assert s.duration == pytest.approx(0.0)
+            assert s.duration >= 0.0
+
+    def test_attributes_and_counters(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("work", nodes=5) as s:
+                annotate(deadline=17)
+                add_metric("touch", 2.0)
+                add_metric("touch")
+        assert s.attributes == {"nodes": 5, "deadline": 17}
+        assert s.counters == {"touch": 3.0}
+        assert tracer.metrics.counter("touch").value == pytest.approx(3.0)
+
+    def test_counters_attach_to_innermost_span(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    add_metric("hits")
+        assert inner.counters == {"hits": 1.0}
+        assert "hits" not in outer.counters
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("no")
+        boom = tracer.roots[0]
+        assert boom.attributes["error"] == "ValueError"
+        assert boom.end is not None
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+        root = tracer.roots[0]
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+        assert root.find("c").name == "c"
+        assert root.find("zzz") is None
+
+
+class TestDisabledPath:
+    def test_default_tracer_is_disabled(self):
+        assert current_tracer() is NULL_TRACER
+        assert not tracing_active()
+
+    def test_disabled_span_is_shared_noop(self):
+        ctx1 = NULL_TRACER.span("a", nodes=1)
+        ctx2 = NULL_TRACER.span("b")
+        assert ctx1 is ctx2  # preallocated singleton, no allocation
+        with ctx1 as s:
+            assert s is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with use_tracer(tracer):
+            with span("ghost"):
+                add_metric("ghost.count")
+                annotate(ghost=True)
+        assert tracer.roots == []
+        assert len(tracer.metrics) == 0
+
+    def test_use_tracer_restores_previous(self):
+        tracer = Tracer()
+        assert current_tracer() is NULL_TRACER
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            assert tracing_active()
+        assert current_tracer() is NULL_TRACER
+
+    def test_module_helpers_are_noops_by_default(self):
+        with span("nothing") as s:
+            add_metric("nothing")
+            annotate(x=1)
+        assert s is NULL_SPAN
+
+
+class TestIsolation:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(tag):
+            try:
+                with use_tracer(tracer):
+                    with span(f"root-{tag}"):
+                        with span(f"leaf-{tag}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # every thread produced its own root with exactly one child
+        assert sorted(r.name for r in tracer.roots) == [
+            f"root-{i}" for i in range(4)
+        ]
+        for root in tracer.roots:
+            tag = root.name.split("-")[1]
+            assert [c.name for c in root.children] == [f"leaf-{tag}"]

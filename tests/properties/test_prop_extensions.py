@@ -69,8 +69,8 @@ def test_tree_frontier_matches_dp_everywhere(data):
     tree, table = data
     floor = min_completion_time(tree, table)
     horizon = floor + 4
-    frontier = tree_frontier(tree, table, horizon)
-    assert frontier[0][0] == floor
+    frontier = tree_frontier(tree, table, max_deadline=horizon)
+    assert frontier[0].deadline == floor
     costs = [c for _, c in frontier]
     assert all(a > b for a, b in zip(costs, costs[1:]))
     for deadline, cost in frontier:

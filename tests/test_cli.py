@@ -131,6 +131,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "system cost" in out
 
+    def test_assign_deadline_below_floor_is_rejected(self, capsys):
+        # 2 is achievable as -L for no benchmark; the validation layer
+        # must reject it up front and name the feasible minimum.
+        assert main(["assign", "diffeq", "-L", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "minimum feasible" in err
+        assert "-L" in err
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "diffeq", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace" in stdout
+        doc = json.loads(open(out, encoding="utf-8").read())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"synthesize", "assign", "schedule", "verify"} <= names
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_text_format(self, capsys, tmp_path):
+        out = str(tmp_path / "trace.txt")
+        assert main(["trace", "diffeq", "--out", out, "--format", "text"]) == 0
+        text = open(out, encoding="utf-8").read()
+        assert text.splitlines()[0].startswith("synthesize")
+
+    def test_trace_jsonl_round_trips(self, capsys, tmp_path):
+        from repro.obs import from_jsonl
+
+        out = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "diffeq", "--out", out, "--format", "jsonl"]) == 0
+        roots = from_jsonl(open(out, encoding="utf-8").read())
+        assert [r.name for r in roots] == ["synthesize", "verify"]
+
     def test_run_file_without_rows_uses_seeded_table(self, capsys, tmp_path):
         from repro.suite.io_formats import dump
         from repro.suite.registry import get_benchmark

@@ -3,12 +3,14 @@
 import pytest
 
 from repro.errors import (
+    AssignError,
     CyclicDependencyError,
     GraphError,
     InfeasibleError,
     LintError,
     NotAPathError,
     NotATreeError,
+    ObsError,
     ReportError,
     ReproError,
     ScheduleError,
@@ -25,10 +27,12 @@ class TestHierarchy:
             NotAPathError,
             NotATreeError,
             TableError,
+            AssignError,
             InfeasibleError,
             ScheduleError,
             ReportError,
             LintError,
+            ObsError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.sched",
     "repro.retiming",
     "repro.sim",
+    "repro.obs",
     "repro.suite",
     "repro.report",
     "repro.synthesis",
