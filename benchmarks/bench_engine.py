@@ -1,0 +1,282 @@
+"""Packed DP kernels + parallel engine bench (tentpole).
+
+Three claims, all checked here:
+
+* **Identical results** — the packed engine (``kernel="packed"``, the
+  default) reproduces the python reference (``kernel="python"``)
+  bit-for-bit on every suite graph, across `tree_frontier`,
+  `dfg_frontier`, and `DFG_Assign_Repeat`; and `pmap` fan-outs return
+  the same results at every worker count.
+* **Kernel speed** — the packed engine is ≥ 2× faster than the python
+  incremental engine on the largest suite frontier sweeps (serial).
+* **Parallel speed** — the `make_all`-style artifact fan-out at
+  ``--workers 4`` is ≥ 2× faster than serial, when ≥ 4 cores exist
+  (skipped otherwise; worker *equivalence* is always checked).
+
+Runs under pytest (``pytest benchmarks/bench_engine.py``) or
+standalone (``python benchmarks/bench_engine.py [--quick] [--workers N]``);
+quick mode shrinks sweep spans for CI.  Artifacts:
+``benchmarks/results/bench_engine.txt`` and ``BENCH_engine.json`` at
+the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Tuple
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent / "src"))
+sys.path.insert(0, str(_HERE))
+
+from conftest import write_bench_json  # noqa: E402
+
+from repro.assign import (
+    DPStats,
+    dfg_assign_repeat,
+    dfg_frontier,
+    min_completion_time,
+)
+from repro.assign.dfg_assign import choose_expansion
+from repro.assign.frontier import tree_frontier
+from repro.engine import pmap, resolve_workers
+from repro.fu.random_tables import random_table
+from repro.graph.classify import is_in_forest, is_out_forest
+from repro.report.experiments import DEFAULT_SEED
+from repro.report.robustness import robustness_study
+from repro.suite.registry import benchmark_names, get_benchmark
+
+RESULTS_DIR = _HERE / "results"
+
+#: Serial speedup the packed kernels promise over the python incremental
+#: engine on the largest suite frontier sweeps.
+MIN_KERNEL_SPEEDUP = 2.0
+
+#: Parallel speedup promised by the workers=4 artifact fan-out — gated
+#: only on machines that actually have >= 4 cores.
+MIN_PARALLEL_SPEEDUP = 2.0
+
+
+def _quick() -> bool:
+    return os.environ.get("BENCH_ENGINE_QUICK", "") == "1"
+
+
+def _sweep_cap(tree_size: int, quick: bool) -> int:
+    budget = 1_500 if quick else 6_000
+    return max(6, budget // max(tree_size, 1))
+
+
+def _setup(name: str):
+    dfg = get_benchmark(name).dag()
+    table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
+    floor = min_completion_time(dfg, table)
+    return dfg, table, floor
+
+
+def largest_dags(k: int = 3) -> List[str]:
+    """Non-forest suite graphs with the largest expansion trees."""
+    sized = []
+    for name in benchmark_names():
+        dfg = get_benchmark(name).dag()
+        if is_out_forest(dfg) or is_in_forest(dfg):
+            continue
+        sized.append((len(choose_expansion(dfg)), name))
+    return [name for _, name in sorted(sized, reverse=True)[:k]]
+
+
+# ----------------------------------------------------------------------
+# equivalence: packed == python, serial == parallel, on every graph
+# ----------------------------------------------------------------------
+def check_equivalence(quick: bool, workers: int) -> List[str]:
+    lines = []
+    for name in benchmark_names():
+        dfg, table, floor = _setup(name)
+        max_deadline = floor + min(_sweep_cap(len(dfg), quick), floor)
+        if is_out_forest(dfg) or is_in_forest(dfg):
+            packed = tree_frontier(dfg, table, max_deadline=max_deadline)
+            python = tree_frontier(
+                dfg, table, max_deadline=max_deadline, kernel="python"
+            )
+            assert packed == python, f"{name}: tree_frontier kernels diverged"
+        packed = dfg_frontier(dfg, table, max_deadline=max_deadline)
+        python = dfg_frontier(
+            dfg, table, max_deadline=max_deadline, kernel="python"
+        )
+        fanned = dfg_frontier(
+            dfg, table, max_deadline=max_deadline, workers=workers
+        )
+        assert packed == python, f"{name}: dfg_frontier kernels diverged"
+        assert packed == fanned, f"{name}: dfg_frontier workers diverged"
+        rp = dfg_assign_repeat(dfg, table, max_deadline)
+        rq = dfg_assign_repeat(dfg, table, max_deadline, kernel="python")
+        rw = dfg_assign_repeat(dfg, table, max_deadline, workers=workers)
+        for other, what in ((rq, "kernels"), (rw, "workers")):
+            assert dict(rp.assignment.items()) == dict(other.assignment.items()), (
+                f"{name}: dfg_assign_repeat {what} diverged"
+            )
+            assert rp.cost == other.cost, f"{name}: {what} cost diverged"
+        lines.append(
+            f"{name:>14}: packed == python == workers={workers} over "
+            f"deadlines {floor}..{max_deadline} ({len(packed)} knees)"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# kernel speed: largest graphs, packed sweep vs python incremental sweep
+# ----------------------------------------------------------------------
+def measure_kernel_speedups(quick: bool) -> Tuple[List[str], Dict[str, float]]:
+    """Packed vs python incremental, serial, on the biggest sweeps.
+
+    The >= 2x gate binds on the *largest* expansion (first name): on
+    smaller trees both engines are dominated by the shared `node_step`
+    cache-miss recomputes, so their ratio tends to 1 by construction —
+    those runs are reported for context, not gated.  The sweep span is
+    larger than the equivalence sweeps' on purpose: the packed engine's
+    advantage is per-refresh bookkeeping, so longer sweeps measure it
+    away from the shared one-time DP fill.
+    """
+    names = largest_dags(2 if quick else 3)
+    budget = 12_000 if quick else 24_000
+    lines, speedups = [], {}
+    for name in names:
+        dfg, table, floor = _setup(name)
+        expansion = choose_expansion(dfg)
+        span = max(12, budget // max(len(expansion), 1))
+        max_deadline = floor + min(span, 2 * floor)
+        t0 = time.perf_counter()
+        python = dfg_frontier(
+            dfg, table, max_deadline=max_deadline, kernel="python"
+        )
+        py_s = time.perf_counter() - t0
+        stats = DPStats()
+        t0 = time.perf_counter()
+        packed = dfg_frontier(dfg, table, max_deadline=max_deadline, stats=stats)
+        pk_s = time.perf_counter() - t0
+        assert packed == python, f"{name}: kernels diverged under timing"
+        speedups[name] = py_s / pk_s
+        lines.append(
+            f"{name:>14}: tree={len(expansion):<4} "
+            f"deadlines={max_deadline - floor + 1:<3} "
+            f"python={py_s:7.3f}s packed={pk_s:7.3f}s "
+            f"speedup={speedups[name]:5.1f}x "
+            f"hit-rate={stats.hit_rate:.1%}"
+        )
+    return lines, speedups
+
+
+# ----------------------------------------------------------------------
+# parallel speed: the make_all-style multi-seed fan-out
+# ----------------------------------------------------------------------
+def measure_parallel(
+    quick: bool, workers: int
+) -> Tuple[List[str], Dict[str, float]]:
+    """Robustness fan-out (the expensive `make_all` artifact) timed
+    serial vs parallel; equivalence always, the 2x gate only with >= 4
+    real cores under workers >= 4."""
+    seeds = tuple(range(4 if quick else 8))
+    count = 2 if quick else 4
+    t0 = time.perf_counter()
+    serial = robustness_study(seeds=seeds, count=count)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fanned = robustness_study(seeds=seeds, count=count, workers=workers)
+    par_s = time.perf_counter() - t0
+    assert fanned.describe() == serial.describe(), (
+        "parallel robustness study diverged from serial"
+    )
+    ratio = serial_s / par_s
+    lines = [
+        f"robustness fan-out: {len(seeds)} seeds x count={count}  "
+        f"serial={serial_s:6.2f}s workers={workers}: {par_s:6.2f}s "
+        f"speedup={ratio:4.1f}x (cores={os.cpu_count()})"
+    ]
+    return lines, {"parallel": ratio, "serial_s": serial_s, "parallel_s": par_s}
+
+
+def _gate_parallel(workers: int) -> bool:
+    """The >= 2x parallel gate only binds with enough real cores."""
+    return workers >= 4 and (os.cpu_count() or 1) >= 4
+
+
+def _save(lines: List[str]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_engine.txt").write_text("\n".join(lines) + "\n")
+
+
+def _run(quick: bool, workers: int) -> List[str]:
+    resolved = resolve_workers(workers)  # 0 = everything serial
+    t_all = time.perf_counter()
+    eq_lines = check_equivalence(quick, workers=resolved)
+    sp_lines, speedups = measure_kernel_speedups(quick)
+    par_lines, par = measure_parallel(quick, workers=resolved)
+    lines = (
+        [f"mode: {'quick' if quick else 'full'}  workers: {resolved}"]
+        + ["", "== kernel speedup (packed vs python, serial) =="]
+        + sp_lines
+        + ["", "== parallel fan-out =="]
+        + par_lines
+        + ["", "== equivalence =="]
+        + eq_lines
+    )
+    _save(lines)
+    write_bench_json(
+        "engine",
+        wall_s=time.perf_counter() - t_all,
+        speedup=next(iter(speedups.values())),  # the gated largest sweep
+        config={
+            "quick": quick,
+            "workers": resolved,
+            "cores": os.cpu_count(),
+            "kernel_speedups": {k: round(v, 2) for k, v in speedups.items()},
+            "parallel_speedup": round(par["parallel"], 2),
+            "parallel_gated": _gate_parallel(resolved),
+        },
+    )
+    gated_name = next(iter(speedups))  # largest expansion comes first
+    assert speedups[gated_name] >= MIN_KERNEL_SPEEDUP, (
+        f"{gated_name}: packed kernels only {speedups[gated_name]:.1f}x "
+        f"faster on the largest sweep (expected >= {MIN_KERNEL_SPEEDUP}x)"
+    )
+    if _gate_parallel(resolved):
+        assert par["parallel"] >= MIN_PARALLEL_SPEEDUP, (
+            f"workers={resolved} fan-out only {par['parallel']:.1f}x faster "
+            f"(expected >= {MIN_PARALLEL_SPEEDUP}x)"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def test_engine_equivalence_and_speedup():
+    _run(_quick(), workers=int(os.environ.get("BENCH_ENGINE_WORKERS", "2")))
+
+
+def test_pmap_smoke():
+    """pmap preserves order and matches serial on a picklable fn."""
+    items = list(range(25))
+    assert pmap(abs, items, workers=2) == pmap(abs, items, workers=0) == items
+
+
+if __name__ == "__main__":
+    flags = sys.argv[1:]
+    workers = 2
+    if "--workers" in flags:
+        i = flags.index("--workers")
+        workers = int(flags[i + 1])
+        del flags[i : i + 2]
+    unknown = [f for f in flags if f != "--quick"]
+    if unknown:
+        sys.exit(
+            f"usage: {sys.argv[0]} [--quick] [--workers N]"
+            f"  (unknown: {' '.join(unknown)})"
+        )
+    started = time.perf_counter()
+    for line in _run("--quick" in flags, workers=workers):
+        print(line)
+    print(f"\nOK in {time.perf_counter() - started:.1f}s "
+          f"(artifacts: {RESULTS_DIR / 'bench_engine.txt'}, BENCH_engine.json)")

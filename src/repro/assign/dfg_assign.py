@@ -25,8 +25,10 @@ therefore optimal (no node is duplicated).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
+from ..engine import pmap
 from ..errors import GraphError
 from ..fu.table import TimeCostTable
 from ..graph.dag import require_acyclic
@@ -35,7 +37,7 @@ from ..graph.paths import longest_path_time
 from ..obs import add_metric, current_tracer
 from .assignment import Assignment
 from .dfg_expand import ExpandedTree, dfg_expand
-from .incremental import DPStats, IncrementalTreeDP
+from .incremental import DPStats, TreeEngine, make_tree_engine
 from .result import AssignResult
 from .tree_assign import tree_assign
 
@@ -82,19 +84,41 @@ def choose_expansion(dfg: DFG, node_limit: int = 200_000) -> ExpandedTree:
     return t_fwd if len(t_fwd) <= len(t_rev) else t_rev
 
 
+def _pin_candidate_key(
+    times: Tuple[int, ...], costs: Tuple[float, ...], k: int
+) -> Tuple[int, float, int]:
+    """Sort key of one copy's candidate pin (picklable for `pmap`)."""
+    return (times[k], costs[k], k)
+
+
 def _min_time_choice(
     expansion: ExpandedTree,
     table: TimeCostTable,
     tree_mapping: Dict[Node, int],
     original: Node,
+    workers: int = 0,
 ) -> int:
     """Fastest type among a duplicated node's copy assignments.
 
     Ties broken toward the cheaper cost, then the smaller type index —
-    all deterministic.
+    all deterministic.  With ``workers`` the independent per-copy
+    candidate evaluations fan out through :func:`~repro.engine.pmap`;
+    ``min`` over the gathered keys picks the same first-minimal tuple
+    the serial scan does, so the result is worker-count independent.
     """
+    copies = expansion.copies[original]
+    if workers and len(copies) > 1:
+        times = tuple(int(t) for t in table.times(original))
+        costs = tuple(float(c) for c in table.costs(original))
+        keys = pmap(
+            partial(_pin_candidate_key, times, costs),
+            [tree_mapping[copy] for copy in copies],
+            workers=workers,
+            label="engine.pin_eval",
+        )
+        return min(keys)[2]
     best: Optional[Tuple[int, float, int]] = None
-    for copy in expansion.copies[original]:
+    for copy in copies:
         k = tree_mapping[copy]
         key = (table.time(original, k), table.cost(original, k), k)
         if best is None or key < best:
@@ -159,12 +183,14 @@ def dfg_assign_once(
     deadline: int,
     expansion: Optional[ExpandedTree] = None,
     node_limit: int = 200_000,
+    kernel: str = "packed",
 ) -> AssignResult:
     """One-shot tree-based heuristic for general DAGs (paper Fig. 11).
 
     ``expansion`` lets callers (benchmark sweeps, ablations) reuse or
     override the critical-path tree; by default the smaller of the two
-    candidates is built fresh.
+    candidates is built fresh.  ``kernel`` selects the tree-DP engine
+    (packed default / python reference, bit-identical).
 
     Raises :class:`~repro.errors.InfeasibleError` when no assignment
     meets ``deadline`` (propagated from `Tree_Assign` — the tree has
@@ -178,7 +204,11 @@ def dfg_assign_once(
         if expansion is None:
             expansion = choose_expansion(dfg, node_limit=node_limit)
         tree_result = tree_assign(
-            expansion.tree, table, deadline, node_key=expansion.origin_of
+            expansion.tree,
+            table,
+            deadline,
+            node_key=expansion.origin_of,
+            kernel=kernel,
         )
         assignment = _resolve(
             dfg, table, expansion, dict(tree_result.assignment.items()), pinned={}
@@ -187,20 +217,23 @@ def dfg_assign_once(
 
 
 def _repeat_rounds(
-    engine: IncrementalTreeDP,
+    engine: TreeEngine,
     table: TimeCostTable,
     deadline: int,
     expansion: ExpandedTree,
     order: List[Node],
+    workers: int = 0,
 ) -> Tuple[Dict[Node, int], Dict[Node, int]]:
     """The Repeat pin loop on the incremental engine.
 
     Runs the initial DP plus one refresh per pin; each refresh only
     recomputes the pinned copies' root-paths (everything else is a
     curve-cache hit), and each deadline query is an O(n) traceback.
-    Returns ``(tree_mapping, pinned)``.  The engine may outlive this
-    call (`dfg_frontier` shares one across a whole deadline sweep and
-    the cache carries over, since ``with_fixed`` version tokens are
+    ``workers`` fans each round's per-copy pin evaluations out through
+    :func:`~repro.engine.pmap` (0 = serial, identical results either
+    way).  Returns ``(tree_mapping, pinned)``.  The engine may outlive
+    this call (`dfg_frontier` shares one across a whole deadline sweep
+    and the cache carries over, since ``with_fixed`` version tokens are
     content-stable).
     """
     work_table = table
@@ -208,7 +241,9 @@ def _repeat_rounds(
     tree_mapping = engine.traceback_at(deadline)
     pinned: Dict[Node, int] = {}
     for v in order:
-        pinned[v] = _min_time_choice(expansion, work_table, tree_mapping, v)
+        pinned[v] = _min_time_choice(
+            expansion, work_table, tree_mapping, v, workers=workers
+        )
         work_table = work_table.with_fixed(v, pinned[v])
         engine.refresh(work_table)
         tree_mapping = engine.traceback_at(deadline)
@@ -224,6 +259,8 @@ def dfg_assign_repeat(
     fix_order: Optional[List[Node]] = None,
     incremental: bool = True,
     stats: Optional[DPStats] = None,
+    kernel: str = "packed",
+    workers: int = 0,
 ) -> AssignResult:
     """Iterative-pinning heuristic for general DAGs (paper Fig. 12).
 
@@ -238,11 +275,15 @@ def dfg_assign_repeat(
 
     ``fix_order`` overrides the pinning order for ablation studies
     (default: most-copied first).  ``incremental=True`` (the default)
-    runs the re-optimizations on :class:`IncrementalTreeDP`, which
+    runs the re-optimizations on an incremental engine, which
     recomputes only the pinned copies' root-paths per round; the result
     is identical to the reference path (``incremental=False``), which
-    re-runs the full `Tree_Assign` DP every round.  ``stats``
-    optionally collects the engine's :class:`DPStats`.
+    re-runs the full python `Tree_Assign` DP every round.  ``kernel``
+    selects the incremental engine's implementation (packed default /
+    python reference, bit-identical); ``workers`` fans each round's pin
+    evaluations out through :func:`~repro.engine.pmap` (0 = serial,
+    same results at any count).  ``stats`` optionally collects the
+    engine's :class:`DPStats`.
     """
     require_acyclic(dfg)
     table.validate_for(dfg)
@@ -269,21 +310,29 @@ def dfg_assign_repeat(
             if run_stats is None and tracer.enabled:
                 run_stats = DPStats()
             before = run_stats.as_dict() if run_stats is not None else {}
-            engine = IncrementalTreeDP(
+            engine = make_tree_engine(
                 expansion.tree,
                 deadline,
                 node_key=expansion.origin_of,
                 stats=run_stats,
+                kernel=kernel,
             )
             tree_mapping, pinned = _repeat_rounds(
-                engine, table, deadline, expansion, order
+                engine, table, deadline, expansion, order, workers=workers
             )
             if tracer.enabled and run_stats is not None:
                 _emit_dp_metrics(before, run_stats)
         else:
+            # The non-incremental branch is the historical reference:
+            # keep it on the python kernel so equivalence tests always
+            # compare the packed path against the original loops.
             work_table = table
             tree_result = tree_assign(
-                expansion.tree, work_table, deadline, node_key=expansion.origin_of
+                expansion.tree,
+                work_table,
+                deadline,
+                node_key=expansion.origin_of,
+                kernel="python",
             )
             pinned = {}
             for v in order:
@@ -292,7 +341,11 @@ def dfg_assign_repeat(
                 )
                 work_table = work_table.with_fixed(v, pinned[v])
                 tree_result = tree_assign(
-                    expansion.tree, work_table, deadline, node_key=expansion.origin_of
+                    expansion.tree,
+                    work_table,
+                    deadline,
+                    node_key=expansion.origin_of,
+                    kernel="python",
                 )
             tree_mapping = dict(tree_result.assignment.items())
 

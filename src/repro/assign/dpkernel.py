@@ -1,123 +1,29 @@
 """Vectorized dynamic-programming kernel shared by Path/Tree_Assign.
 
-Both optimal algorithms manipulate the same object: a *cost curve*
-``D`` of length ``L+1`` where ``D[j]`` is the minimum system cost of
-some sub-structure under the condition that every path through it
-finishes within ``j`` time units (``inf`` = infeasible).  Cost curves
-are non-increasing in ``j`` by construction.
-
-Three primitives suffice (and are all numpy-vectorized over the time
-axis, the hot dimension — per the HPC guide, the O(n·L·M) inner loops
-live in C):
-
-* :func:`zero_curve` / :func:`infeasible_curve` — identities;
-* :func:`combine_children` — elementwise sum: disjoint subtrees share
-  the same budget ``j`` (they run in parallel) and their costs add;
-* :func:`node_step` — absorb one node: try each FU type ``k``,
-  shifting the child curve by ``t_k`` and adding ``c_k``, and keep the
-  per-budget argmin for traceback.
+The primitives now live in :mod:`repro.engine.kernels`, where both the
+python reference path and the packed engine share a single
+implementation of the O(L·M) inner step (one `node_step` ⇒ one source
+of truth for float behavior and tie-breaks).  This module re-exports
+them under their historical names so ``repro.assign.dpkernel``
+importers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..errors import TableError
+from ..engine.kernels import (
+    NO_CHOICE,
+    combine_children,
+    first_feasible_budget,
+    infeasible_curve,
+    node_step,
+    zero_curve,
+)
 
 __all__ = [
+    "NO_CHOICE",
     "zero_curve",
     "infeasible_curve",
     "combine_children",
     "node_step",
     "first_feasible_budget",
 ]
-
-#: Type index stored where no FU type is feasible.
-NO_CHOICE = -1
-
-
-def zero_curve(deadline: int) -> np.ndarray:
-    """The curve of an empty structure: cost 0 at every budget."""
-    if deadline < 0:
-        raise TableError(f"deadline must be >= 0, got {deadline}")
-    return np.zeros(deadline + 1, dtype=np.float64)
-
-
-def infeasible_curve(deadline: int) -> np.ndarray:
-    """The curve of an impossible structure: ``inf`` everywhere."""
-    if deadline < 0:
-        raise TableError(f"deadline must be >= 0, got {deadline}")
-    return np.full(deadline + 1, np.inf, dtype=np.float64)
-
-
-def combine_children(
-    curves: Sequence[np.ndarray], deadline: Optional[int] = None
-) -> np.ndarray:
-    """Sum of child curves (parallel composition under a shared budget).
-
-    With zero children this is the zero curve, which requires an
-    explicit ``deadline`` (the length cannot be inferred from nothing):
-    callers that may legitimately combine an empty family — a forest
-    with no roots, i.e. an empty DFG — pass it; omitting it keeps the
-    historical contract of raising on an empty sequence.
-    """
-    if not curves:
-        if deadline is None:
-            raise TableError("combine_children needs at least one curve")
-        return zero_curve(deadline)
-    lengths = {len(c) for c in curves}
-    if len(lengths) != 1:
-        raise TableError(f"curves of differing deadlines: {sorted(lengths)}")
-    out = curves[0].astype(np.float64, copy=True)
-    for c in curves[1:]:
-        out += c
-    return out
-
-
-def node_step(
-    child_curve: np.ndarray,
-    times: Sequence[int],
-    costs: Sequence[float],
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Absorb a node on top of its (combined) child curve.
-
-    Returns ``(curve, choice)`` where for every budget ``j``::
-
-        curve[j]  = min over types k with t_k <= j of
-                    child_curve[j - t_k] + c_k
-        choice[j] = the minimizing k, or NO_CHOICE if none is feasible
-
-    Ties are broken toward the smallest type index, which makes every
-    algorithm in this package deterministic.
-    """
-    t = np.asarray(times, dtype=np.int64)
-    c = np.asarray(costs, dtype=np.float64)
-    if t.shape != c.shape or t.ndim != 1 or t.size == 0:
-        raise TableError(f"bad times/costs shapes: {t.shape} vs {c.shape}")
-    if np.any(t < 0):
-        raise TableError(f"negative execution time in {t}")
-    size = len(child_curve)
-    # candidate[k, j] = child_curve[j - t_k] + c_k  (inf where j < t_k)
-    candidate = np.full((t.size, size), np.inf, dtype=np.float64)
-    for k in range(t.size):
-        tk = int(t[k])
-        if tk < size:
-            candidate[k, tk:] = child_curve[: size - tk] + c[k]
-    choice = np.argmin(candidate, axis=0).astype(np.int16)
-    curve = candidate[choice, np.arange(size)]
-    choice[~np.isfinite(curve)] = NO_CHOICE
-    return curve, choice
-
-
-def first_feasible_budget(curve: np.ndarray) -> int:
-    """Smallest ``j`` with a finite cost, or -1 if fully infeasible.
-
-    Because curves are non-increasing, this is the minimum completion
-    time of the structure the curve describes.
-    """
-    finite = np.isfinite(curve)
-    if not finite.any():
-        return -1
-    return int(np.argmax(finite))

@@ -54,7 +54,7 @@ from .dfg_assign import (
     dfg_assign_repeat,
 )
 from .exact import exact_assign
-from .incremental import DPStats, IncrementalTreeDP
+from .incremental import DPStats, make_tree_engine
 from .tree_assign import tree_dp
 
 __all__ = ["FrontierPoint", "tree_frontier", "dfg_frontier", "frontier_knees"]
@@ -115,15 +115,17 @@ def _knee_points(raw: List[FrontierPoint]) -> List[FrontierPoint]:
 
 @deprecated_positionals("max_deadline")
 def tree_frontier(
-    tree: DFG, table: TimeCostTable, *, max_deadline: int
+    tree: DFG, table: TimeCostTable, *, max_deadline: int, kernel: str = "packed"
 ) -> List[FrontierPoint]:
     """Exact Pareto frontier of a tree/forest up to ``max_deadline``.
 
     One DP pass (O(n · max_deadline · M)) yields every point; each knee
     additionally gets its witnessing assignment via an O(n) traceback.
-    Raises :class:`NotATreeError` for general DAGs (matching
-    `tree_assign`'s contract — use :func:`dfg_frontier` there) and
-    :class:`InfeasibleError` when even ``max_deadline`` is infeasible.
+    ``kernel`` selects the tree-DP engine (packed default / python
+    reference, bit-identical).  Raises :class:`NotATreeError` for
+    general DAGs (matching `tree_assign`'s contract — use
+    :func:`dfg_frontier` there) and :class:`InfeasibleError` when even
+    ``max_deadline`` is infeasible.
 
     ``max_deadline`` is keyword-only; the positional form is deprecated
     (see ``docs/algorithms.md``).
@@ -135,7 +137,7 @@ def tree_frontier(
     with current_tracer().span(
         "tree_frontier", graph=tree.name, nodes=len(tree), max_deadline=max_deadline
     ):
-        engine = tree_dp(tree, table, max_deadline)
+        engine = tree_dp(tree, table, max_deadline, kernel=kernel)
         curve = engine.total_curve()
         finite = np.isfinite(curve)
         if not finite.any():
@@ -164,6 +166,8 @@ def dfg_frontier(
     exact: bool = False,
     incremental: bool = True,
     stats: Optional[DPStats] = None,
+    kernel: str = "packed",
+    workers: int = 0,
 ) -> List[FrontierPoint]:
     """Pareto frontier of a general DAG up to ``max_deadline``.
 
@@ -173,13 +177,17 @@ def dfg_frontier(
     upper-bounds the true one and is itself monotone by construction.
 
     With ``incremental=True`` (the default) the whole sweep shares one
-    :class:`IncrementalTreeDP` built at ``max_deadline``: curves are
+    incremental engine built at ``max_deadline``: curves are
     prefix-identical across deadlines, so every point's initial tree
     assignment is a single traceback, and the per-pin refreshes hit the
     curve cache whenever adjacent deadlines pin the same choices.  The
     knees are identical to ``incremental=False`` (the per-deadline
-    reference loop); ``stats`` optionally collects engine counters,
-    which are also published as ``dp.*`` metrics to the ambient tracer.
+    reference loop, always on the python kernel).  ``kernel`` selects
+    the incremental engine (packed default / python reference);
+    ``workers`` fans pin evaluations out through
+    :func:`~repro.engine.pmap` — results are identical at any worker
+    count.  ``stats`` optionally collects engine counters, which are
+    also published as ``dp.*`` metrics to the ambient tracer.
 
     Everything after ``table`` is keyword-only; the positional form is
     deprecated (see ``docs/algorithms.md``).
@@ -218,15 +226,16 @@ def dfg_frontier(
             if run_stats is None and tracer.enabled:
                 run_stats = DPStats()
             before = run_stats.as_dict() if run_stats is not None else {}
-            engine = IncrementalTreeDP(
+            engine = make_tree_engine(
                 expansion.tree,
                 max_deadline,
                 node_key=expansion.origin_of,
                 stats=run_stats,
+                kernel=kernel,
             )
             for deadline in range(floor, max_deadline + 1):
                 tree_mapping, pinned = _repeat_rounds(
-                    engine, table, deadline, expansion, order
+                    engine, table, deadline, expansion, order, workers=workers
                 )
                 assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
                 result = _finish(

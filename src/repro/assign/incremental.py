@@ -25,20 +25,31 @@ pinned table at a later sweep step hits the cache even though it is a
 distinct object — the property that turns `dfg_frontier`'s ``L`` full
 heuristic runs into roughly one DP per distinct pin round.
 
-:class:`DPStats` counts node visits, recomputations, cache hits, and
-wall time per stage so the savings are observable
+:class:`DPStats` (now defined in :mod:`repro.engine.stats`, re-exported
+here) counts node visits, recomputations, cache hits, and wall time per
+stage so the savings are observable
 (`repro.report.profiles.profile_incremental`).
+
+Two interchangeable engines implement this contract, selected by the
+``kernel`` knob on `tree_dp`/`tree_assign`/`dfg_assign_repeat`/
+`dfg_frontier` (via :func:`make_tree_engine`):
+
+* ``"packed"`` (default) — :class:`PackedAssignDP`, the
+  :class:`repro.engine.kernels.PackedTreeDP` array engine plus the
+  assign-layer ``result_at``;
+* ``"python"`` — :class:`IncrementalTreeDP` below, the per-node
+  dict-backed reference the packed engine is bit-identical to.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import InfeasibleError, NotATreeError
+from ..engine import DPStats, PackedTreeDP
+from ..errors import AssignError, InfeasibleError, NotATreeError
 from ..fu.table import TimeCostTable
 from ..graph.classify import is_out_forest
 from ..graph.dag import reverse_topological_order
@@ -47,62 +58,20 @@ from .assignment import Assignment
 from .dpkernel import NO_CHOICE, combine_children, first_feasible_budget, node_step
 from .result import AssignResult
 
-__all__ = ["DPStats", "IncrementalTreeDP"]
+__all__ = [
+    "DPStats",
+    "IncrementalTreeDP",
+    "PackedAssignDP",
+    "TreeEngine",
+    "KERNELS",
+    "make_tree_engine",
+]
 
 #: Maps a tree node to the key under which its table row is stored.
 NodeKey = Callable[[Node], Node]
 
-
-@dataclass
-class DPStats:
-    """Counters for the incremental engine (cumulative across refreshes).
-
-    ``nodes_visited`` is the number of per-node cache probes (one per
-    tree node per refresh); every probe is either a ``cache_hit`` or a
-    ``nodes_recomputed``.  ``seconds_refresh``/``seconds_traceback``
-    split the wall time between the two stages.
-    """
-
-    refreshes: int = 0
-    tracebacks: int = 0
-    nodes_visited: int = 0
-    nodes_recomputed: int = 0
-    cache_hits: int = 0
-    seconds_refresh: float = 0.0
-    seconds_traceback: float = 0.0
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of node visits served from cache (0.0 when unused)."""
-        return self.cache_hits / self.nodes_visited if self.nodes_visited else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        """Counter snapshot, keyed like the ``dp.*`` observability metrics.
-
-        The public DP entry points publish *deltas* of this snapshot to
-        the ambient :mod:`repro.obs` tracer, so enabling tracing shows
-        exactly the numbers a caller-owned ``DPStats`` would accumulate.
-        """
-        return {
-            "refreshes": float(self.refreshes),
-            "tracebacks": float(self.tracebacks),
-            "nodes_visited": float(self.nodes_visited),
-            "nodes_recomputed": float(self.nodes_recomputed),
-            "cache_hits": float(self.cache_hits),
-            "seconds_refresh": self.seconds_refresh,
-            "seconds_traceback": self.seconds_traceback,
-        }
-
-    def __add__(self, other: "DPStats") -> "DPStats":
-        return DPStats(
-            refreshes=self.refreshes + other.refreshes,
-            tracebacks=self.tracebacks + other.tracebacks,
-            nodes_visited=self.nodes_visited + other.nodes_visited,
-            nodes_recomputed=self.nodes_recomputed + other.nodes_recomputed,
-            cache_hits=self.cache_hits + other.cache_hits,
-            seconds_refresh=self.seconds_refresh + other.seconds_refresh,
-            seconds_traceback=self.seconds_traceback + other.seconds_traceback,
-        )
+#: Valid values of the ``kernel`` knob, in preference order.
+KERNELS = ("packed", "python")
 
 
 class IncrementalTreeDP:
@@ -329,3 +298,56 @@ class IncrementalTreeDP:
             deadline=budget,
             algorithm=algorithm,
         )
+
+
+class PackedAssignDP(PackedTreeDP):
+    """The packed engine with assign-layer result materialization.
+
+    :class:`~repro.engine.kernels.PackedTreeDP` is layered below
+    ``assign`` and cannot know about :class:`AssignResult`; this
+    subclass adds the same :meth:`result_at` surface
+    :class:`IncrementalTreeDP` offers, so the two engines are
+    drop-in interchangeable everywhere in this package.
+    """
+
+    def result_at(
+        self, budget: int, algorithm: str = "tree_assign"
+    ) -> AssignResult:
+        """An :class:`AssignResult` for ``budget``, like `tree_assign`'s."""
+        mapping, cost, completion = self.result_fields(budget)
+        return AssignResult(
+            assignment=Assignment.of(mapping),
+            cost=cost,
+            completion_time=completion,
+            deadline=budget,
+            algorithm=algorithm,
+        )
+
+
+#: Either DP engine; both expose refresh/traceback_at/result_at/etc.
+TreeEngine = Union[IncrementalTreeDP, PackedAssignDP]
+
+
+def make_tree_engine(
+    tree: DFG,
+    deadline: int,
+    *,
+    node_key: Optional[NodeKey] = None,
+    stats: Optional[DPStats] = None,
+    kernel: str = "packed",
+) -> TreeEngine:
+    """Construct the tree-DP engine selected by ``kernel``.
+
+    ``"packed"`` (default) builds the array engine; ``"python"`` the
+    dict-backed reference.  Both produce bit-identical curves,
+    assignments, costs, errors, and :class:`DPStats` counters — the
+    equivalence is pinned by ``tests/properties/test_prop_engine.py``.
+    Unknown names raise :class:`~repro.errors.AssignError`.
+    """
+    if kernel == "packed":
+        return PackedAssignDP(tree, deadline, node_key=node_key, stats=stats)
+    if kernel == "python":
+        return IncrementalTreeDP(tree, deadline, node_key=node_key, stats=stats)
+    raise AssignError(
+        f"unknown kernel {kernel!r}; choose one of {list(KERNELS)}"
+    )

@@ -31,7 +31,7 @@ from ..graph.dfg import DFG, Node
 from ..obs import current_tracer
 from .assignment import Assignment
 from .dpkernel import NO_CHOICE, combine_children, node_step, zero_curve
-from .incremental import IncrementalTreeDP
+from .incremental import TreeEngine, make_tree_engine
 from .result import AssignResult
 
 __all__ = ["tree_assign", "tree_cost_curve", "tree_dp"]
@@ -106,15 +106,17 @@ def tree_dp(
     table: TimeCostTable,
     deadline: int,
     node_key: Optional[NodeKey] = None,
-) -> IncrementalTreeDP:
+    kernel: str = "packed",
+) -> TreeEngine:
     """One DP pass that answers *every* deadline ``j ≤ deadline``.
 
-    Returns a refreshed :class:`IncrementalTreeDP` whose
-    :meth:`~IncrementalTreeDP.traceback_at`/:meth:`~IncrementalTreeDP.result_at`
+    Returns a refreshed engine whose ``traceback_at``/``result_at``
     reproduce ``tree_assign(tree, table, j)`` for any ``j`` in O(n),
     because cost curves are prefix-identical across deadlines.  Deadline
     sweeps (`tree_frontier`, `dfg_frontier`) build on this instead of
-    re-running the full O(n·L·M) DP per point.
+    re-running the full O(n·L·M) DP per point.  ``kernel`` selects the
+    packed array engine (default) or the python reference — the two are
+    bit-identical (see ``docs/performance.md``).
     """
     key = node_key or (lambda n: n)
     tree = _normalize(tree)
@@ -122,7 +124,9 @@ def tree_dp(
         table.times(key(n))  # validates coverage eagerly
     if deadline < 0:
         raise InfeasibleError(f"deadline must be >= 0, got {deadline}")
-    return IncrementalTreeDP(tree, deadline, node_key=key).refresh(table)
+    return make_tree_engine(tree, deadline, node_key=key, kernel=kernel).refresh(
+        table
+    )
 
 
 def tree_assign(
@@ -130,12 +134,15 @@ def tree_assign(
     table: TimeCostTable,
     deadline: int,
     node_key: Optional[NodeKey] = None,
+    kernel: str = "packed",
 ) -> AssignResult:
     """Minimum-cost assignment of a tree/forest within ``deadline``.
 
     Optimal for out-forests and in-forests (paper Theorem, Section 5.2).
     ``node_key`` redirects table lookups for expanded trees whose nodes
-    are copies of original nodes.
+    are copies of original nodes.  ``kernel`` selects the packed array
+    engine (default) or the per-node python reference; both produce the
+    same assignment, cost, and errors bit-for-bit.
 
     Raises
     ------
@@ -156,6 +163,10 @@ def tree_assign(
     with current_tracer().span(
         "tree_assign", nodes=len(tree), deadline=deadline
     ):
+        if kernel != "python":
+            engine = make_tree_engine(tree, deadline, node_key=key, kernel=kernel)
+            engine.refresh(table)
+            return engine.result_at(deadline, algorithm="tree_assign")
         return _assign_normalized(tree, table, deadline, key)
 
 

@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="phase-1 algorithm (default: auto by graph shape)",
         )
         p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="processes for the DFG_Assign_Repeat pin fan-out "
+            "(0 = serial, -1 = all cores; results are identical)",
+        )
         if name == "synth":
             p.add_argument(
                 "--gantt",
@@ -147,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_SEED,
         help="table seed when the file carries no row lines",
     )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="processes for the DFG_Assign_Repeat pin fan-out "
+        "(0 = serial, -1 = all cores; results are identical)",
+    )
 
     p_sim = sub.add_parser(
         "simulate",
@@ -173,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="phase-1 algorithm (default: auto by graph shape)",
     )
     p_trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_trace.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="processes for the DFG_Assign_Repeat pin fan-out "
+        "(0 = serial, -1 = all cores; results are identical)",
+    )
     p_trace.add_argument(
         "--out",
         default="trace.json",
@@ -239,7 +260,9 @@ def _cmd_assign(args, both_phases: bool) -> int:
     dfg = get_benchmark(args.benchmark).dag()
     table = random_table(dfg, num_types=3, seed=args.seed)
     deadline = _resolve_deadline(dfg, table, args.deadline)
-    result = synthesize(dfg, table, deadline, algorithm=args.algorithm)
+    result = synthesize(
+        dfg, table, deadline, algorithm=args.algorithm, workers=args.workers
+    )
     ar = result.assign_result
     print(f"benchmark   : {args.benchmark} ({len(dfg)} nodes)")
     print(f"deadline    : {deadline} (minimum {min_completion_time(dfg, table)})")
@@ -323,7 +346,7 @@ def _cmd_run(args) -> int:
         table = random_table(dag, num_types=3, seed=args.seed)
         print(f"(no rows in {args.file}; using seeded random table)")
     deadline = _resolve_deadline(dag, table, args.deadline)
-    result = synthesize(dfg, table, deadline)
+    result = synthesize(dfg, table, deadline, workers=args.workers)
     print(f"file        : {args.file} ({dfg.name}, {len(dfg)} nodes)")
     print(f"deadline    : {deadline} (minimum {min_completion_time(dag, table)})")
     print(f"algorithm   : {result.assign_result.algorithm}")
@@ -376,7 +399,9 @@ def _cmd_trace(args) -> int:
     deadline = _resolve_deadline(dag, table, args.deadline)
     tracer = Tracer()
     with use_tracer(tracer):
-        result = synthesize(dfg, table, deadline, algorithm=args.algorithm)
+        result = synthesize(
+            dfg, table, deadline, algorithm=args.algorithm, workers=args.workers
+        )
         with tracer.span("verify", graph=dfg.name):
             result.verify(dag, table)
     if args.format == "chrome":

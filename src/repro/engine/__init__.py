@@ -1,0 +1,57 @@
+"""Execution engine: packed DP kernels + deterministic parallelism.
+
+``repro.engine`` is the performance substrate underneath the solver
+layers.  It has two halves:
+
+* **Packed kernels** — :mod:`~repro.engine.pack` compiles an out-forest
+  plus a :class:`~repro.fu.table.TimeCostTable` into CSR-style numpy
+  arrays (reverse-topological node index, child offset/index arrays,
+  dense per-row ``(type → time, cost)`` matrices, interned row-version
+  ids) built once and reused across deadline sweeps and pin rounds;
+  :mod:`~repro.engine.kernels` provides the curve primitives
+  (`zero_curve`, `combine_children`, `node_step`, ...) shared with the
+  python reference path plus :class:`PackedTreeDP`, the packed
+  counterpart of :class:`repro.assign.incremental.IncrementalTreeDP`
+  that is bit-identical to it by construction (same `node_step`, same
+  sequential float summation, same tie-breaks).
+
+* **Deterministic parallelism** — :mod:`~repro.engine.parallel`
+  provides :func:`pmap`, a spawn-safe, chunked, order-preserving
+  process map with a serial fallback at ``workers=0`` whose results
+  are independent of the worker count.
+
+Layering: the engine sits beside ``fu`` (layer 2) — it may import
+``errors``/``obs``/``apiutil``/``graph``/``fu`` and nothing above; the
+``assign``/``sched``/``report`` layers build on it (lintkit rule
+RL004).  See ``docs/performance.md``.
+"""
+
+from .kernels import (
+    NO_CHOICE,
+    PackedTreeDP,
+    combine_children,
+    first_feasible_budget,
+    infeasible_curve,
+    node_step,
+    window_bounds,
+    zero_curve,
+)
+from .pack import PackedForest, RowBinding
+from .parallel import pmap, resolve_workers
+from .stats import DPStats
+
+__all__ = [
+    "DPStats",
+    "PackedForest",
+    "PackedTreeDP",
+    "RowBinding",
+    "NO_CHOICE",
+    "zero_curve",
+    "infeasible_curve",
+    "combine_children",
+    "node_step",
+    "first_feasible_budget",
+    "window_bounds",
+    "pmap",
+    "resolve_workers",
+]

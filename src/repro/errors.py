@@ -30,6 +30,7 @@ __all__ = [
     "ReportError",
     "LintError",
     "ObsError",
+    "EngineError",
 ]
 
 
@@ -99,3 +100,7 @@ class LintError(ReproError):
 
 class ObsError(ReproError):
     """An observability request failed (unwritable trace, bad JSONL, ...)."""
+
+
+class EngineError(ReproError):
+    """An execution-engine request is invalid (bad worker count, ...)."""

@@ -2,8 +2,9 @@
 
 The package is a DAG of layers::
 
-    errors → graph → fu → assign → sched/retiming → sim/suite/synthesis
-           → report/cli/verify/lintkit → __main__/root
+    errors → graph → fu/engine → assign → sched/retiming
+           → sim/suite/synthesis → report/cli/verify/lintkit
+           → __main__/root
 
 An import from a lower layer into a higher one ("upward") couples the
 substrate to its consumers — precisely how ``graph/analysis.py`` once
@@ -32,6 +33,7 @@ LAYERS: Dict[str, int] = {
     "apiutil": 0,
     "graph": 1,
     "fu": 2,
+    "engine": 2,
     "assign": 3,
     "sched": 4,
     "retiming": 4,

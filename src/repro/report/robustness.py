@@ -11,10 +11,12 @@ each qualitative claim holds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import pmap
 from ..errors import ReproError
 from .experiments import average_reduction, run_table1, run_table2
 
@@ -72,22 +74,34 @@ class RobustnessSummary:
         )
 
 
+def _seed_reductions(count: int, seed: int) -> Tuple[float, float]:
+    """Both headline reductions for one seed (module-level: pickles)."""
+    rows = run_table1(seed=seed, count=count) + run_table2(
+        seed=seed, count=count
+    )
+    return average_reduction(rows, "once"), average_reduction(rows, "repeat")
+
+
 def robustness_study(
-    seeds: Sequence[int] = tuple(range(10)), count: int = 4
+    seeds: Sequence[int] = tuple(range(10)), count: int = 4, workers: int = 0
 ) -> RobustnessSummary:
     """Repeat the full evaluation over ``seeds`` deadline sweeps of
-    ``count`` constraints each."""
+    ``count`` constraints each.
+
+    Seeds are independent draws, so ``workers`` fans them out across
+    processes via :func:`repro.engine.pmap` (0 = serial); the summary
+    is identical at any worker count.
+    """
     if not seeds:
         raise ReproError("need at least one seed")
-    once, repeat = [], []
-    for seed in seeds:
-        rows = run_table1(seed=seed, count=count) + run_table2(
-            seed=seed, count=count
-        )
-        once.append(average_reduction(rows, "once"))
-        repeat.append(average_reduction(rows, "repeat"))
+    reductions = pmap(
+        partial(_seed_reductions, count),
+        list(seeds),
+        workers=workers,
+        label="engine.robustness",
+    )
     return RobustnessSummary(
         seeds=list(seeds),
-        once_reductions=once,
-        repeat_reductions=repeat,
+        once_reductions=[o for o, _ in reductions],
+        repeat_reductions=[r for _, r in reductions],
     )

@@ -23,11 +23,11 @@ ablation bench quantifies the residual gap.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Mapping
+from typing import Mapping
 
 import numpy as np
 
+from ..engine import window_bounds
 from ..errors import ScheduleError
 from ..fu.table import TimeCostTable
 from ..graph.dfg import DFG, Node
@@ -89,18 +89,9 @@ def lower_bound_configuration(
         occ_asap = occupancy(dfg, times, type_of, asap, m, deadline)
         occ_alap = occupancy(dfg, times, type_of, alap, m, deadline)
 
-        bounds: List[int] = []
-        windows = np.arange(1, deadline + 1, dtype=np.float64)
-        for j in range(m):
-            if deadline == 0 or not occ_asap[j].any() and not occ_alap[j].any():
-                bounds.append(0)
-                continue
-            # ALAP prefixes: work forced into the first w steps.
-            prefix = np.cumsum(occ_alap[j])
-            lb_alap = np.max(np.ceil(prefix / windows))
-            # ASAP suffixes: work forced into the last w steps.
-            suffix = np.cumsum(occ_asap[j][::-1])
-            lb_asap = np.max(np.ceil(suffix / windows))
-            bounds.append(int(max(lb_alap, lb_asap)))
+        # All m types at once: ALAP prefixes (work forced into the first
+        # w steps) and ASAP suffixes (work forced into the last w steps),
+        # each averaged over every window length — see engine.kernels.
+        bounds = [int(b) for b in window_bounds(occ_asap, occ_alap)]
         annotate(bound_total=sum(bounds))
         return Configuration.of(bounds)

@@ -126,6 +126,7 @@ def synthesize(
     deadline: int,
     algorithm: Optional[str] = None,
     scheduler: str = "min_resource",
+    workers: int = 0,
 ) -> SynthesisResult:
     """Run the full two-phase flow on the DAG part of ``dfg``.
 
@@ -138,6 +139,11 @@ def synthesize(
     ``scheduler`` selects phase 2: ``"min_resource"`` (the paper's
     `Min_R_Scheduling`, default) or ``"force_directed"`` (the classical
     Paulin–Knight alternative, for comparison studies).
+
+    ``workers`` fans the `DFG_Assign_Repeat` pin evaluations out across
+    processes via :func:`repro.engine.pmap` (0 = serial, the default;
+    results are identical at any worker count).  It only affects the
+    ``"repeat"`` algorithm — the others have no per-node fan-out.
 
     Per-phase wall times are always recorded in the result's
     ``timings``; under an enabled ambient :class:`~repro.obs.Tracer`
@@ -175,7 +181,12 @@ def synthesize(
     ) as root:
         t0 = perf_counter()
         with tracer.span("assign", algorithm=name, nodes=len(dag)):
-            assign_result = algo(dag, table, deadline)
+            if name == "repeat" and workers:
+                assign_result = dfg_assign_repeat(
+                    dag, table, deadline, workers=workers
+                )
+            else:
+                assign_result = algo(dag, table, deadline)
         timings["assign"] = perf_counter() - t0
 
         t0 = perf_counter()

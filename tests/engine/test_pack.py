@@ -1,0 +1,110 @@
+"""Structural invariants of the CSR packing layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import PackedForest, RowBinding
+from repro.errors import NotATreeError, TableError
+from repro.fu.random_tables import random_table
+from repro.fu.table import TimeCostTable
+from repro.graph.dfg import DFG
+
+
+def make_table(dfg, seed=0, num_types=3):
+    return random_table(dfg, num_types=num_types, seed=seed)
+
+
+def _forest() -> DFG:
+    """Two trees: r1 → (a, b), b → c; and the isolated r2."""
+    dfg = DFG.from_edges(
+        [("r1", "a"), ("r1", "b"), ("b", "c")], name="forest"
+    )
+    dfg.add_node("r2", op="add")
+    return dfg
+
+
+def test_reverse_topo_children_before_parents():
+    pack = PackedForest(_forest())
+    for i, kids in enumerate(pack.children_tuples):
+        for c in kids:
+            assert c < i, "child index must precede its parent's"
+
+
+def test_parent_and_csr_agree():
+    pack = PackedForest(_forest())
+    for i, kids in enumerate(pack.children_tuples):
+        lo, hi = pack.child_off[i], pack.child_off[i + 1]
+        assert tuple(pack.child_idx[lo:hi]) == kids
+        assert pack.child_counts[i] == len(kids)
+        for c in kids:
+            assert pack.parent[c] == i
+    roots = set(pack.roots.tolist())
+    assert roots == {i for i in range(pack.n) if pack.parent[i] == -1}
+
+
+def test_levels_partition_and_align():
+    pack = PackedForest(_forest())
+    seen = np.concatenate(pack.levels)
+    assert sorted(seen.tolist()) == list(range(pack.n))
+    for k, kids in enumerate(pack.level_children):
+        if kids.size:
+            np.testing.assert_array_equal(kids, pack.levels[k + 1])
+        else:
+            assert k == len(pack.levels) - 1
+
+
+def test_node_key_dedups_rows():
+    dfg = DFG.from_edges([("r", "x1"), ("r", "x2")], name="copies")
+    origin = {"r": "r", "x1": "x", "x2": "x"}
+    pack = PackedForest(dfg, node_key=origin.__getitem__)
+    assert sorted(pack.rows) == ["r", "x"]
+    assert pack.row_of[pack.index["x1"]] == pack.row_of[pack.index["x2"]]
+
+
+def test_multi_parent_rejected():
+    dag = DFG.from_edges([("a", "c"), ("b", "c")], name="vee")
+    with pytest.raises(NotATreeError, match="several parents"):
+        PackedForest(dag)
+
+
+def test_empty_forest():
+    pack = PackedForest(DFG(name="empty"))
+    assert pack.n == 0 and pack.roots.size == 0 and pack.levels == []
+
+
+def test_binding_reports_changed_rows():
+    tree = _forest()
+    table = make_table(tree, seed=3)
+    binding = RowBinding(PackedForest(tree))
+    first = binding.bind(table)
+    assert sorted(first.tolist()) == list(range(len(binding._pack.rows)))
+    assert binding.bind(table).size == 0  # identical rebind: nothing changed
+    pinned = table.with_fixed("c", 0)
+    changed = binding.bind(pinned)
+    assert [binding._pack.rows[r] for r in changed.tolist()] == ["c"]
+    # ... and returning to the base table flags the same single row.
+    back = binding.bind(table)
+    assert [binding._pack.rows[r] for r in back.tolist()] == ["c"]
+
+
+def test_binding_rejects_num_types_mismatch():
+    tree = _forest()
+    binding = RowBinding(PackedForest(tree))
+    binding.bind(make_table(tree, seed=3, num_types=3))
+    other = TimeCostTable(2)
+    for n in tree.nodes():
+        other.set_row(n, [1, 2], [2.0, 1.0])
+    with pytest.raises(TableError, match="FU types"):
+        binding.bind(other)
+
+
+def test_binding_reset_forgets_everything():
+    tree = _forest()
+    table = make_table(tree, seed=3)
+    binding = RowBinding(PackedForest(tree))
+    binding.bind(table)
+    binding.reset()
+    assert binding.times is None
+    assert binding.bind(table).size == len(binding._pack.rows)

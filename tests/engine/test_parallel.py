@@ -1,0 +1,85 @@
+"""pmap: ordering, chunking, serial/parallel equivalence, errors.
+
+Functions mapped with ``workers > 0`` cross a process boundary, so
+everything here is module-level (picklable); the worker-count
+equivalence tests run real 2-worker pools and are kept tiny.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import pmap, resolve_workers
+from repro.engine.parallel import shutdown_pools
+from repro.errors import EngineError
+from repro.obs import Tracer, use_tracer
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    if x == 3:
+        raise ValueError("item three is cursed")
+    return x
+
+
+def test_serial_matches_plain_map():
+    items = list(range(17))
+    assert pmap(_square, items) == [x * x for x in items]
+
+
+def test_empty_and_single_item():
+    assert pmap(_square, []) == []
+    assert pmap(_square, [7], workers=4) == [49]  # single item stays serial
+
+
+def test_order_preserved_across_workers():
+    items = list(range(37))
+    expected = [x * x for x in items]
+    assert pmap(_square, items, workers=2) == expected
+    assert pmap(_square, items, workers=2, chunk_size=1) == expected
+    assert pmap(_square, items, workers=2, chunk_size=100) == expected
+
+
+def test_resolve_workers():
+    assert resolve_workers(0) == 0
+    assert resolve_workers(3) == 3
+    assert resolve_workers(-1) >= 1
+    with pytest.raises(EngineError, match="workers must be >= 0"):
+        resolve_workers(-2)
+
+
+def test_bad_worker_and_chunk_requests():
+    with pytest.raises(EngineError, match="workers must be >= 0"):
+        pmap(_square, [1, 2], workers=-5)
+    with pytest.raises(EngineError, match="chunk_size must be >= 0"):
+        pmap(_square, [1, 2], chunk_size=-1)
+
+
+def test_exception_propagates_serial_and_parallel():
+    with pytest.raises(ValueError, match="cursed"):
+        pmap(_boom, list(range(6)), workers=0)
+    with pytest.raises(ValueError, match="cursed"):
+        pmap(_boom, list(range(6)), workers=2, chunk_size=1)
+    # the pool survives a worker-side exception and stays usable
+    assert pmap(_square, [1, 2, 3], workers=2, chunk_size=1) == [1, 4, 9]
+
+
+def test_pmap_emits_span_and_metrics():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        pmap(_square, list(range(8)), workers=0, label="engine.test_label")
+    spans = [s for root in tracer.roots for s in root.walk()]
+    assert any(s.name == "engine.test_label" for s in spans)
+    counters = tracer.metrics.counters
+    assert counters["engine.pmap.items"].value == 8.0
+
+
+def test_shutdown_pools_idempotent():
+    pmap(_square, list(range(4)), workers=2)
+    shutdown_pools()
+    shutdown_pools()
+    # pools are recreated transparently after shutdown
+    assert pmap(_square, [5], workers=2) == [25]

@@ -1,0 +1,60 @@
+"""`deprecated_positionals`: mapping, errors, and warning attribution.
+
+The stacklevel regression matters most: the DeprecationWarning must
+point at the *caller's* line (stacklevel=2 from inside the wrapper),
+not at apiutil itself — otherwise every legacy call site in user code
+shows up as a warning in our library, which filters like
+``-W error::DeprecationWarning:repro`` would then misclassify.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.apiutil import deprecated_positionals
+
+
+@deprecated_positionals("gamma", "delta")
+def _sample(alpha, beta, *, gamma=0, delta=1):
+    return alpha, beta, gamma, delta
+
+
+def test_keyword_call_warns_nothing():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _sample(1, 2, gamma=3, delta=4) == (1, 2, 3, 4)
+
+
+def test_legacy_positionals_mapped_with_warning():
+    with pytest.warns(DeprecationWarning, match="'gamma', 'delta'"):
+        assert _sample(1, 2, 3, 4) == (1, 2, 3, 4)
+
+
+def test_partial_legacy_positional():
+    with pytest.warns(DeprecationWarning, match="'gamma'"):
+        assert _sample(1, 2, 3, delta=9) == (1, 2, 3, 9)
+
+
+def test_too_many_positionals_is_typeerror():
+    with pytest.raises(TypeError, match="takes 2 positional"):
+        _sample(1, 2, 3, 4, 5)
+
+
+def test_duplicate_keyword_is_typeerror():
+    with pytest.raises(TypeError, match="multiple values for argument 'gamma'"):
+        _sample(1, 2, 3, gamma=7)
+
+
+def test_warning_points_at_caller():
+    """Regression: stacklevel must attribute the warning to this file.
+
+    If the decorator ever drops back to the default stacklevel=1, the
+    recorded filename becomes apiutil.py and this test fails.
+    """
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _sample(1, 2, 3)
+    (record,) = [w for w in caught if w.category is DeprecationWarning]
+    assert record.filename == __file__
