@@ -217,13 +217,14 @@ def dfg_assign_once(
 
 
 def _repeat_rounds(
+    dfg: DFG,
     engine: TreeEngine,
     table: TimeCostTable,
     deadline: int,
     expansion: ExpandedTree,
     order: List[Node],
     workers: int = 0,
-) -> Tuple[Dict[Node, int], Dict[Node, int]]:
+) -> Assignment:
     """The Repeat pin loop on the incremental engine.
 
     Runs the initial DP plus one refresh per pin; each refresh only
@@ -231,15 +232,21 @@ def _repeat_rounds(
     curve-cache hit), and each deadline query is an O(n) traceback.
     ``workers`` fans each round's per-copy pin evaluations out through
     :func:`~repro.engine.pmap` (0 = serial, identical results either
-    way).  Returns ``(tree_mapping, pinned)``.  The engine may outlive
-    this call (`dfg_frontier` shares one across a whole deadline sweep
-    and the cache carries over, since ``with_fixed`` version tokens are
-    content-stable).
+    way).  Returns the cheapest resolved assignment over all rounds
+    (the latest minimal-cost round on ties) — the round-0 resolution
+    is exactly `DFG_Assign_Once`'s, so Repeat can never end up worse
+    than Once on the shared expansion even when a later pin
+    re-optimization shifts other duplicated nodes onto costlier
+    copies.  The engine may outlive this call (`dfg_frontier` shares
+    one across a whole deadline sweep and the cache carries over,
+    since ``with_fixed`` version tokens are content-stable).
     """
     work_table = table
     engine.refresh(work_table)
     tree_mapping = engine.traceback_at(deadline)
     pinned: Dict[Node, int] = {}
+    best = _resolve(dfg, table, expansion, tree_mapping, pinned)
+    best_cost = best.total_cost(dfg, table)
     for v in order:
         pinned[v] = _min_time_choice(
             expansion, work_table, tree_mapping, v, workers=workers
@@ -247,7 +254,11 @@ def _repeat_rounds(
         work_table = work_table.with_fixed(v, pinned[v])
         engine.refresh(work_table)
         tree_mapping = engine.traceback_at(deadline)
-    return tree_mapping, pinned
+        candidate = _resolve(dfg, table, expansion, tree_mapping, pinned)
+        cost = candidate.total_cost(dfg, table)
+        if cost <= best_cost:
+            best, best_cost = candidate, cost
+    return best
 
 
 def dfg_assign_repeat(
@@ -267,11 +278,14 @@ def dfg_assign_repeat(
     After the initial `Tree_Assign`, duplicated nodes are pinned one at
     a time to their min-time copy assignment, re-running `Tree_Assign`
     on a table whose pinned rows collapse to the chosen option.  Each
-    re-run can only improve on keeping the previous solution (which
-    remains feasible under the pin), so the final cost is never worse
-    than `DFG_Assign_Once` on the same tree... except that intermediate
-    re-optimizations may shift other duplicated nodes; the paper (and
-    our benchmarks) show it wins on graphs with many duplications.
+    round's tree solution is resolved against the original table, and
+    the cheapest resolution over all rounds wins (the latest round on
+    ties).  Round 0 is exactly `DFG_Assign_Once`'s resolution, so the
+    final cost is never worse than `DFG_Assign_Once` on the same tree
+    by construction — an intermediate re-optimization can shift other
+    duplicated nodes onto costlier copies, so the last round alone
+    carries no such guarantee; the paper (and our benchmarks) show it
+    wins on graphs with many duplications.
 
     ``fix_order`` overrides the pinning order for ablation studies
     (default: most-copied first).  ``incremental=True`` (the default)
@@ -317,15 +331,16 @@ def dfg_assign_repeat(
                 stats=run_stats,
                 kernel=kernel,
             )
-            tree_mapping, pinned = _repeat_rounds(
-                engine, table, deadline, expansion, order, workers=workers
+            assignment = _repeat_rounds(
+                dfg, engine, table, deadline, expansion, order, workers=workers
             )
             if tracer.enabled and run_stats is not None:
                 _emit_dp_metrics(before, run_stats)
         else:
             # The non-incremental branch is the historical reference:
             # keep it on the python kernel so equivalence tests always
-            # compare the packed path against the original loops.
+            # compare the packed path against the original loops.  The
+            # best-over-rounds tracking mirrors _repeat_rounds exactly.
             work_table = table
             tree_result = tree_assign(
                 expansion.tree,
@@ -334,10 +349,13 @@ def dfg_assign_repeat(
                 node_key=expansion.origin_of,
                 kernel="python",
             )
-            pinned = {}
+            tree_mapping = dict(tree_result.assignment.items())
+            pinned: Dict[Node, int] = {}
+            assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
+            best_cost = assignment.total_cost(dfg, table)
             for v in order:
                 pinned[v] = _min_time_choice(
-                    expansion, work_table, dict(tree_result.assignment.items()), v
+                    expansion, work_table, tree_mapping, v
                 )
                 work_table = work_table.with_fixed(v, pinned[v])
                 tree_result = tree_assign(
@@ -347,10 +365,13 @@ def dfg_assign_repeat(
                     node_key=expansion.origin_of,
                     kernel="python",
                 )
-            tree_mapping = dict(tree_result.assignment.items())
+                tree_mapping = dict(tree_result.assignment.items())
+                # Costs/times of pinned nodes are identical in
+                # ``work_table`` and ``table`` (the pin copied the chosen
+                # entry), so resolving against the original table is exact.
+                candidate = _resolve(dfg, table, expansion, tree_mapping, pinned)
+                cost = candidate.total_cost(dfg, table)
+                if cost <= best_cost:
+                    assignment, best_cost = candidate, cost
 
-        # Costs/times of pinned nodes are identical in ``work_table`` and
-        # ``table`` (the pin copied the chosen entry), so resolving against
-        # the original table is exact.
-        assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
         return _finish(dfg, table, assignment, deadline, "dfg_assign_repeat")

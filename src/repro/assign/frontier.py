@@ -49,7 +49,6 @@ from .dfg_assign import (
     _emit_dp_metrics,
     _finish,
     _repeat_rounds,
-    _resolve,
     choose_expansion,
     dfg_assign_repeat,
 )
@@ -234,10 +233,9 @@ def dfg_frontier(
                 kernel=kernel,
             )
             for deadline in range(floor, max_deadline + 1):
-                tree_mapping, pinned = _repeat_rounds(
-                    engine, table, deadline, expansion, order, workers=workers
+                assignment = _repeat_rounds(
+                    dfg, engine, table, deadline, expansion, order, workers=workers
                 )
-                assignment = _resolve(dfg, table, expansion, tree_mapping, pinned)
                 result = _finish(
                     dfg, table, assignment, deadline, "dfg_assign_repeat"
                 )

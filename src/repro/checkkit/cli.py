@@ -1,0 +1,155 @@
+"""checkkit CLI: ``python -m repro.checkkit`` / ``repro-hls fuzz``.
+
+Exit codes follow the lintkit convention:
+
+* **0** — the campaign ran clean,
+* **1** — at least one failure (shrunk reproducers reported/written),
+* **2** — usage error (bad budget, unknown suite spec, unwritable
+  output directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import CheckError, ReproError
+from .generators import SPECS, generate
+from .metamorphic import relation_names
+from .oracles import oracle_names
+from .runner import MAX_FAILURES, run_fuzz
+
+__all__ = ["build_parser", "main"]
+
+#: Seed of record for CI campaigns (the repo-wide experiment seed).
+DEFAULT_SEED = 2004
+
+DEFAULT_BUDGET = 100
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argparse parser for the checkkit CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-checkkit",
+        description=(
+            "randomized differential + metamorphic fuzzing of the "
+            "assignment/scheduling portfolio"
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=DEFAULT_BUDGET,
+        help=f"number of generated instances (default: {DEFAULT_BUDGET})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"campaign seed (default: {DEFAULT_SEED}); every instance "
+        "derives a replayable (spec, seed) pair from it",
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        metavar="SPEC",
+        choices=sorted(SPECS),
+        help="restrict generation to this spec (repeatable; "
+        f"default: all of {', '.join(SPECS)})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write shrunk reproducers (JSON + pytest) into DIR "
+        "(e.g. tests/regressions)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=MAX_FAILURES,
+        help=f"abort the campaign after this many failures "
+        f"(default: {MAX_FAILURES})",
+    )
+    parser.add_argument(
+        "--replay",
+        nargs=2,
+        metavar=("SPEC", "SEED"),
+        default=None,
+        help="regenerate and print one instance instead of fuzzing",
+    )
+    parser.add_argument(
+        "--list-suites",
+        action="store_true",
+        help="print the generator specs, oracles, and relations, then exit",
+    )
+    return parser
+
+
+def _cmd_list_suites() -> int:
+    print("generator specs:")
+    for spec in SPECS:
+        print(f"  {spec}")
+    print("oracles:")
+    for name in oracle_names():
+        print(f"  {name}")
+    print("metamorphic relations:")
+    for name in relation_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_replay(spec: str, seed_text: str) -> int:
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        print(f"error: --replay seed must be an integer, got {seed_text!r}",
+              file=sys.stderr)
+        return 2
+    inst = generate(spec, seed)
+    print(inst.describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (0/1/2)."""
+    args = build_parser().parse_args(argv)
+    if args.list_suites:
+        return _cmd_list_suites()
+    if args.budget < 0:
+        print(f"error: budget must be >= 0, got {args.budget}",
+              file=sys.stderr)
+        return 2
+    if args.max_failures < 1:
+        print(f"error: max-failures must be >= 1, got {args.max_failures}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.replay is not None:
+            return _cmd_replay(args.replay[0], args.replay[1])
+        report = run_fuzz(
+            args.budget,
+            args.seed,
+            specs=args.suite,
+            out_dir=args.out,
+            max_failures=args.max_failures,
+        )
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot write artifacts: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    for failure in report.failures:
+        for path in failure.artifact_paths:
+            print(f"wrote {path}")
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

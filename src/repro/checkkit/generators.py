@@ -1,0 +1,201 @@
+"""Seeded instance generators for the fuzzing harness.
+
+A fuzz *instance* is a complete solver input — a DFG (possibly cyclic,
+with delay edges), a monotone time/cost table, and a feasible deadline
+— identified by a replayable ``(spec, seed)`` pair: calling
+:func:`generate` twice with the same pair yields structurally equal
+instances, which is what makes every failure in a fuzz campaign a
+one-line reproducer.
+
+The specs compose the :mod:`repro.suite.synthetic` families (paths,
+trees, random/layered DAGs) with :mod:`repro.fu.random_tables`, and
+extend them with delay-edge/cyclic variants (exercising
+retiming/unfolding and the DAG-part extraction) and multi-type tables
+(2–5 FU types instead of the paper's fixed 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..assign.assignment import min_completion_time
+from ..errors import CheckError
+from ..fu.random_tables import random_table_for_nodes
+from ..fu.table import TimeCostTable
+from ..graph.dfg import DFG
+from ..suite.synthetic import layered_dag, random_dag, random_path, random_tree
+
+__all__ = ["Instance", "SPECS", "generate", "instance_stream", "mix_seed"]
+
+#: Extra slack above the minimum feasible completion time, drawn per
+#: instance; small enough to keep the DPs tight, large enough that the
+#: optimum is usually not the all-fastest assignment.
+_MAX_SLACK = 6
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One replayable fuzz input.
+
+    ``dfg`` may carry delay edges (the solvers operate on its DAG
+    part); ``table`` covers every node; ``deadline`` is always at or
+    above the DAG part's minimum feasible completion time.
+    """
+
+    spec: str
+    seed: int
+    dfg: DFG
+    table: TimeCostTable
+    deadline: int
+
+    def dag(self) -> DFG:
+        """The zero-delay DAG part the assignment phase operates on."""
+        return self.dfg.dag()
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec}/{self.seed}: {len(self.dfg)} nodes, "
+            f"{self.dfg.num_edges()} edges, "
+            f"{self.dfg.total_delays()} delays, "
+            f"{self.table.num_types} types, deadline {self.deadline}"
+        )
+
+
+_Builder = Callable[[np.random.Generator], Tuple[DFG, int]]
+
+
+def _finish(
+    spec: str,
+    seed: int,
+    dfg: DFG,
+    num_types: int,
+    gen: np.random.Generator,
+) -> Instance:
+    """Attach a table and a feasible deadline to a generated graph."""
+    table = random_table_for_nodes(dfg.nodes(), num_types=num_types, rng=gen)
+    floor = min_completion_time(dfg.dag(), table)
+    deadline = floor + int(gen.integers(0, _MAX_SLACK + 1))
+    return Instance(
+        spec=spec, seed=seed, dfg=dfg, table=table, deadline=deadline
+    )
+
+
+def _build_path(gen: np.random.Generator) -> Tuple[DFG, int]:
+    n = 2 + int(gen.integers(0, 6))
+    return random_path(n, seed=int(gen.integers(2**31))), 3
+
+
+def _build_out_tree(gen: np.random.Generator) -> Tuple[DFG, int]:
+    n = 3 + int(gen.integers(0, 9))
+    return random_tree(n, seed=int(gen.integers(2**31)), out_tree=True), 3
+
+
+def _build_in_tree(gen: np.random.Generator) -> Tuple[DFG, int]:
+    n = 3 + int(gen.integers(0, 9))
+    return random_tree(n, seed=int(gen.integers(2**31)), out_tree=False), 3
+
+
+def _build_dag(gen: np.random.Generator) -> Tuple[DFG, int]:
+    n = 4 + int(gen.integers(0, 5))
+    prob = 0.2 + 0.3 * float(gen.random())
+    return random_dag(n, edge_prob=prob, seed=int(gen.integers(2**31))), 3
+
+
+def _build_layered(gen: np.random.Generator) -> Tuple[DFG, int]:
+    layers = 2 + int(gen.integers(0, 2))
+    width = 2 + int(gen.integers(0, 2))
+    return layered_dag(layers, width, seed=int(gen.integers(2**31))), 3
+
+
+def _build_delay_cycle(gen: np.random.Generator) -> Tuple[DFG, int]:
+    """A cyclic DFG: a random DAG plus delayed back edges.
+
+    Every added edge carries ≥ 1 delay, so every cycle does too — the
+    DAG part stays schedulable while retiming/unfolding and the
+    simulation oracle see genuine inter-iteration dependences.
+    """
+    n = 4 + int(gen.integers(0, 5))
+    dfg = random_dag(
+        n, edge_prob=0.25 + 0.2 * float(gen.random()), seed=int(gen.integers(2**31))
+    )
+    for _ in range(1 + int(gen.integers(0, 3))):
+        j = int(gen.integers(1, n))
+        i = int(gen.integers(0, j))
+        dfg.add_edge(f"v{j}", f"v{i}", int(gen.integers(1, 3)))
+    return dfg, 3
+
+
+def _build_multi_type(gen: np.random.Generator) -> Tuple[DFG, int]:
+    """Random DAGs under non-default FU type counts (2, 4, or 5)."""
+    n = 4 + int(gen.integers(0, 5))
+    num_types = int(gen.choice([2, 4, 5]))
+    dfg = random_dag(
+        n, edge_prob=0.2 + 0.3 * float(gen.random()), seed=int(gen.integers(2**31))
+    )
+    return dfg, num_types
+
+
+_BUILDERS: Dict[str, _Builder] = {
+    "path": _build_path,
+    "out_tree": _build_out_tree,
+    "in_tree": _build_in_tree,
+    "dag": _build_dag,
+    "layered": _build_layered,
+    "delay_cycle": _build_delay_cycle,
+    "multi_type": _build_multi_type,
+}
+
+#: Registered generator specs, in round-robin order.
+SPECS: Tuple[str, ...] = tuple(_BUILDERS)
+
+
+def mix_seed(campaign_seed: int, index: int) -> int:
+    """The per-instance seed of instance ``index`` in a campaign.
+
+    A fixed affine mix keeps the mapping stable across releases so
+    recorded ``(spec, seed)`` reproducers stay replayable.
+    """
+    return (campaign_seed * 1_000_003 + index * 7_919) % 2**31
+
+
+def generate(spec: str, seed: int) -> Instance:
+    """Build the instance identified by ``(spec, seed)``.
+
+    Deterministic: equal pairs yield structurally equal instances.
+    Raises :class:`CheckError` for an unknown spec.
+    """
+    try:
+        builder = _BUILDERS[spec]
+    except KeyError:
+        raise CheckError(
+            f"unknown generator spec {spec!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    gen = np.random.default_rng(seed)
+    dfg, num_types = builder(gen)
+    return _finish(spec, seed, dfg, num_types, gen)
+
+
+def instance_stream(
+    budget: int,
+    seed: int,
+    specs: Optional[Sequence[str]] = None,
+) -> Iterator[Instance]:
+    """``budget`` instances, cycling the given specs round-robin.
+
+    Instance ``i`` uses spec ``specs[i % len(specs)]`` and seed
+    :func:`mix_seed`\\ ``(seed, i)``, so any single instance from a
+    campaign can be regenerated without replaying the stream.
+    """
+    if budget < 0:
+        raise CheckError(f"budget must be >= 0, got {budget}")
+    chosen: List[str] = list(specs) if specs else list(SPECS)
+    for spec in chosen:
+        if spec not in _BUILDERS:
+            raise CheckError(
+                f"unknown generator spec {spec!r}; available: {sorted(_BUILDERS)}"
+            )
+    for i in range(budget):
+        yield generate(chosen[i % len(chosen)], mix_seed(seed, i))

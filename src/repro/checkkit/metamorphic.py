@@ -1,0 +1,335 @@
+"""Metamorphic relations: transforms with known answer relations.
+
+Where the differential oracles compare two *algorithms* on one input,
+a metamorphic relation compares one algorithm on two *related inputs*
+whose answers must relate in a provable way:
+
+* scaling every cost by ``k > 0`` scales the minimum cost by ``k``
+  (positive scaling preserves every argmin and every tie);
+* cost curves / frontiers are non-increasing in the deadline (any
+  assignment feasible at ``L`` is feasible at ``L + 1``);
+* relabelling nodes (a graph isomorphism) leaves the optimal cost
+  unchanged;
+* transposing the graph leaves the optimal cost unchanged (path
+  lengths are direction-symmetric);
+* a legal retiming keeps the instance schedulable — the retimed DAG
+  part's minimum completion time is the retimed cycle period, which
+  ``min_cycle_period`` only ever lowers;
+* unfolding by factor 1 is the identity up to renaming, so the optimal
+  cost is preserved.
+
+Relations guard themselves with ``applies`` (exact relations only run
+where an optimal algorithm exists: forests, paths, or brute-forceable
+sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..assign import (
+    dfg_assign_repeat,
+    dfg_frontier,
+    exact_assign,
+    tree_assign,
+    tree_cost_curve,
+)
+from ..assign.assignment import min_completion_time
+from ..errors import CheckError, InfeasibleError
+from ..fu.table import TimeCostTable
+from ..graph.classify import is_in_forest, is_out_forest
+from ..graph.dfg import DFG, Node
+from ..retiming.retime import apply_retiming, cycle_period, min_cycle_period
+from ..retiming.unfold import unfold, unfolded_name
+from .generators import Instance
+
+__all__ = [
+    "Relation",
+    "relation_names",
+    "get_relation",
+    "run_relations",
+    "RELATION_CHAIN",
+]
+
+#: cost scale factor used by the scaling relation (any positive factor
+#: with an exact binary representation keeps the relation bit-exact)
+_SCALE = 3.5
+
+#: graphs at or below this size may fall back to exact search
+_EXACT_LIMIT = 9
+
+#: relative tolerance for "must be exactly proportional" comparisons
+_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Relation:
+    """One named metamorphic relation over a fuzz instance."""
+
+    name: str
+    description: str
+    applies: Callable[[Instance], bool]
+    run: Callable[[Instance], List[str]]
+
+
+_RELATIONS: Dict[str, Relation] = {}
+
+
+def _register(
+    name: str,
+    description: str,
+    applies: Optional[Callable[[Instance], bool]] = None,
+) -> Callable[[Callable[[Instance], List[str]]], Callable[[Instance], List[str]]]:
+    def wrap(fn: Callable[[Instance], List[str]]) -> Callable[[Instance], List[str]]:
+        _RELATIONS[name] = Relation(
+            name=name,
+            description=description,
+            applies=applies or (lambda inst: True),
+            run=fn,
+        )
+        return fn
+
+    return wrap
+
+
+def relation_names() -> List[str]:
+    """Every registered relation, in registration order."""
+    return list(_RELATIONS)
+
+
+def get_relation(name: str) -> Relation:
+    try:
+        return _RELATIONS[name]
+    except KeyError:
+        raise CheckError(
+            f"unknown metamorphic relation {name!r}; "
+            f"available: {sorted(_RELATIONS)}"
+        ) from None
+
+
+def _is_forest(dag: DFG) -> bool:
+    return is_out_forest(dag) or is_in_forest(dag)
+
+
+def _optimal_cost(dag: DFG, table: TimeCostTable, deadline: int) -> float:
+    """The optimum via the cheapest applicable exact algorithm."""
+    if _is_forest(dag):
+        return tree_assign(dag, table, deadline).cost
+    return exact_assign(dag, table, deadline).cost
+
+
+def _has_optimum(inst: Instance) -> bool:
+    dag = inst.dag()
+    return _is_forest(dag) or len(dag) <= _EXACT_LIMIT
+
+
+def _scaled_table(table: TimeCostTable, factor: float) -> TimeCostTable:
+    rows = {
+        node: (
+            [int(t) for t in table.times(node)],
+            [float(c) * factor for c in table.costs(node)],
+        )
+        for node in table.nodes()
+    }
+    return TimeCostTable.from_rows(rows)
+
+
+@_register(
+    "cost_scaling",
+    "scaling every cost by k scales the minimum system cost by k",
+)
+def _relation_cost_scaling(inst: Instance) -> List[str]:
+    dag = inst.dag()
+    scaled = _scaled_table(inst.table, _SCALE)
+    if _has_optimum(inst):
+        base = _optimal_cost(dag, inst.table, inst.deadline)
+        after = _optimal_cost(dag, scaled, inst.deadline)
+        label = "optimal"
+    else:
+        # positive scaling preserves every argmin and every tie, so the
+        # deterministic heuristic must transform exactly as well
+        base = dfg_assign_repeat(dag, inst.table, inst.deadline).cost
+        after = dfg_assign_repeat(dag, scaled, inst.deadline).cost
+        label = "heuristic"
+    want = base * _SCALE
+    if abs(after - want) > _RTOL * max(1.0, abs(want)):
+        raise CheckError(
+            f"cost scaling broke: {label} cost {base} scaled by {_SCALE} "
+            f"gave {after}, expected {want}"
+        )
+    return [f"cost scaling by {_SCALE} scales the {label} cost exactly"]
+
+
+@_register(
+    "deadline_monotone",
+    "relaxing the deadline never increases the minimum cost",
+)
+def _relation_deadline_monotone(inst: Instance) -> List[str]:
+    dag = inst.dag()
+    horizon = inst.deadline + 4
+    if _is_forest(dag):
+        curve = tree_cost_curve(dag, inst.table, horizon)
+        finite = curve[np.isfinite(curve)]
+        if np.any(np.diff(finite) > _RTOL):
+            raise CheckError(
+                f"tree cost curve increases with the deadline: {finite}"
+            )
+        return ["tree cost curve non-increasing in the deadline"]
+    points = dfg_frontier(dag, inst.table, max_deadline=horizon)
+    costs = [p.cost for p in points]
+    if any(b > a for a, b in zip(costs, costs[1:])):
+        raise CheckError(f"frontier costs not non-increasing: {costs}")
+    deadlines = [p.deadline for p in points]
+    if any(b <= a for a, b in zip(deadlines, deadlines[1:])):
+        raise CheckError(f"frontier deadlines not increasing: {deadlines}")
+    return ["heuristic frontier monotone in the deadline"]
+
+
+def _relabelled(dag: DFG, order: Sequence[int]) -> Tuple[DFG, Dict[Node, Node]]:
+    """An isomorphic copy with permuted insertion order and fresh names."""
+    nodes = dag.nodes()
+    mapping: Dict[Node, Node] = {
+        nodes[i]: f"w{rank}" for rank, i in enumerate(order)
+    }
+    out = DFG(name=f"{dag.name}.relabel")
+    for i in order:
+        out.add_node(mapping[nodes[i]], op=dag.op(nodes[i]))
+    for u, v, d in dag.edges():
+        out.add_edge(mapping[u], mapping[v], d)
+    return out, mapping
+
+
+@_register(
+    "relabel",
+    "renaming nodes (graph isomorphism) preserves the optimal cost",
+    applies=_has_optimum,
+)
+def _relation_relabel(inst: Instance) -> List[str]:
+    dag = inst.dag()
+    gen = np.random.default_rng(inst.seed)
+    order = [int(i) for i in gen.permutation(len(dag))]
+    twin, mapping = _relabelled(dag, order)
+    rows = {
+        mapping[node]: (
+            [int(t) for t in inst.table.times(node)],
+            [float(c) for c in inst.table.costs(node)],
+        )
+        for node in dag.nodes()
+    }
+    twin_table = TimeCostTable.from_rows(rows)
+    base = _optimal_cost(dag, inst.table, inst.deadline)
+    after = _optimal_cost(twin, twin_table, inst.deadline)
+    if abs(after - base) > _RTOL * max(1.0, abs(base)):
+        raise CheckError(
+            f"relabelling changed the optimal cost: {base} -> {after}"
+        )
+    return ["node relabelling preserves the optimal cost"]
+
+
+@_register(
+    "transpose",
+    "reversing every edge preserves the optimal cost",
+    applies=_has_optimum,
+)
+def _relation_transpose(inst: Instance) -> List[str]:
+    dag = inst.dag()
+    base = _optimal_cost(dag, inst.table, inst.deadline)
+    after = _optimal_cost(dag.transpose(), inst.table, inst.deadline)
+    if abs(after - base) > _RTOL * max(1.0, abs(base)):
+        raise CheckError(
+            f"transposition changed the optimal cost: {base} -> {after}"
+        )
+    return ["transposition preserves the optimal cost"]
+
+
+@_register(
+    "retiming",
+    "a legal retiming keeps the instance schedulable at its deadline",
+    applies=lambda inst: inst.dfg.total_delays() > 0,
+)
+def _relation_retiming(inst: Instance) -> List[str]:
+    times = {n: inst.table.min_time(n) for n in inst.dfg.nodes()}
+    period = cycle_period(inst.dfg, times)
+    best, retiming = min_cycle_period(inst.dfg, times)
+    if best > period:
+        raise CheckError(
+            f"min_cycle_period returned {best} above the current period "
+            f"{period}"
+        )
+    retimed = apply_retiming(inst.dfg, retiming)
+    achieved = cycle_period(retimed, times)
+    if achieved != best:
+        raise CheckError(
+            f"retiming promised period {best} but achieves {achieved}"
+        )
+    # the retimed DAG part's floor is its cycle period, which only
+    # dropped — the original deadline must therefore stay feasible
+    retimed_dag = retimed.dag()
+    floor = min_completion_time(retimed_dag, inst.table)
+    if floor != achieved:
+        raise CheckError(
+            f"retimed floor {floor} != retimed cycle period {achieved}"
+        )
+    try:
+        result = dfg_assign_repeat(retimed_dag, inst.table, inst.deadline)
+    except InfeasibleError as exc:
+        raise CheckError(
+            f"retiming to period {best} made deadline {inst.deadline} "
+            f"infeasible: {exc}"
+        ) from exc
+    result.verify(retimed_dag, inst.table)
+    return ["retiming preserves feasibility at the original deadline"]
+
+
+@_register(
+    "unfold_identity",
+    "unfolding by factor 1 preserves the optimal cost",
+    applies=_has_optimum,
+)
+def _relation_unfold_identity(inst: Instance) -> List[str]:
+    base = _optimal_cost(inst.dag(), inst.table, inst.deadline)
+    copy = unfold(inst.dfg, 1)
+    rows = {
+        unfolded_name(node, 0): (
+            [int(t) for t in inst.table.times(node)],
+            [float(c) for c in inst.table.costs(node)],
+        )
+        for node in inst.dfg.nodes()
+    }
+    after = _optimal_cost(copy.dag(), TimeCostTable.from_rows(rows), inst.deadline)
+    if abs(after - base) > _RTOL * max(1.0, abs(base)):
+        raise CheckError(
+            f"unfold(1) changed the optimal cost: {base} -> {after}"
+        )
+    return ["unfold by 1 preserves the optimal cost"]
+
+
+#: Default relation chain, in registration order.
+RELATION_CHAIN: Tuple[str, ...] = (
+    "cost_scaling",
+    "deadline_monotone",
+    "relabel",
+    "transpose",
+    "retiming",
+    "unfold_identity",
+)
+
+
+def run_relations(
+    inst: Instance, names: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Evaluate a relation chain on one instance.
+
+    Returns the check lines of every applicable relation; raises
+    :class:`CheckError` on the first violation.
+    """
+    checks: List[str] = []
+    for name in names if names is not None else RELATION_CHAIN:
+        relation = get_relation(name)
+        if not relation.applies(inst):
+            continue
+        checks.extend(relation.run(inst))
+    return checks

@@ -1,0 +1,315 @@
+"""The fuzz campaign runner.
+
+:func:`run_fuzz` drives ``budget`` generated instances through the
+differential oracle chain and the metamorphic relation chain, shrinks
+every failure to a locally-minimal reproducer, and returns a
+:class:`FuzzReport` whose :meth:`~FuzzReport.describe` output is fully
+deterministic in ``(budget, seed, specs)`` — two runs with the same
+arguments print the same report, which CI diffs to pin determinism.
+
+Progress is observable through the ambient :mod:`repro.obs` tracer as
+``checkkit.fuzz`` / ``checkkit.instance`` spans and the
+``checkkit.instances`` / ``checkkit.checks`` / ``checkkit.failures``
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import CheckError, ReproError
+from ..obs import add_metric, current_tracer
+from .generators import Instance, SPECS, instance_stream
+from .metamorphic import RELATION_CHAIN, run_relations
+from .oracles import FUZZ_CHAIN, run_oracles
+from .shrink import (
+    MAX_ATTEMPTS,
+    Predicate,
+    ShrinkOutcome,
+    oracle_predicate,
+    relation_predicate,
+    shrink,
+    to_json,
+    to_pytest,
+)
+
+__all__ = ["FuzzFailure", "FuzzReport", "run_fuzz"]
+
+#: Exhaustive-search cutoff for the fuzz chain: lower than certify's so
+#: a large campaign stays fast while small instances keep the strongest
+#: oracle.
+FUZZ_BRUTE_FORCE_LIMIT = 7
+
+#: A campaign aborts after this many (shrunk) failures.
+MAX_FAILURES = 5
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One shrunk failure from a campaign."""
+
+    index: int
+    spec: str
+    seed: int
+    kind: str  # "oracle" | "relation" | "crash"
+    message: str
+    shrunk: Optional[ShrinkOutcome]
+    reproducer: str  # JSON artifact (also written to disk when out_dir set)
+    artifact_paths: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        size = (
+            f"shrunk to {self.shrunk.num_nodes} node(s), "
+            f"deadline {self.shrunk.deadline}"
+            if self.shrunk is not None
+            else "not shrunk"
+        )
+        return (
+            f"[fail] #{self.index} {self.spec}/{self.seed} "
+            f"({self.kind}): {self.message} — {size}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Everything a campaign produced."""
+
+    budget: int
+    seed: int
+    specs: Tuple[str, ...]
+    instances: int = 0
+    oracle_checks: int = 0
+    relation_checks: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean, 1 = at least one failure (lintkit convention)."""
+        return 1 if self.failures else 0
+
+    def describe(self) -> str:
+        lines = [
+            f"checkkit fuzz: budget {self.budget}, seed {self.seed}, "
+            f"specs [{', '.join(self.specs)}]",
+            f"  instances : {self.instances}",
+            f"  checks    : {self.oracle_checks} oracle + "
+            f"{self.relation_checks} metamorphic",
+            f"  failures  : {len(self.failures)}",
+        ]
+        lines.extend(f"  {failure.describe()}" for failure in self.failures)
+        if self.stopped_early:
+            lines.append(
+                f"  (aborted after {MAX_FAILURES} failures; "
+                "rerun with a fresh seed after fixing)"
+            )
+        lines.append(
+            "verdict: clean" if not self.failures else "verdict: FAILURES"
+        )
+        return "\n".join(lines)
+
+
+def _crash_predicate(
+    oracle_names: Sequence[str],
+    relation_names: Sequence[str],
+    exc_type: type,
+    seed: int,
+    brute_force_limit: int,
+) -> Predicate:
+    """Reproduces a non-CheckError crash of the same exception type."""
+    from ..fu.table import TimeCostTable
+    from ..graph.dfg import DFG
+
+    def predicate(
+        dfg: DFG, table: TimeCostTable, deadline: int
+    ) -> Optional[str]:
+        inst = Instance(
+            spec="shrink", seed=seed, dfg=dfg, table=table, deadline=deadline
+        )
+        try:
+            run_oracles(
+                dfg,
+                table,
+                deadline,
+                names=oracle_names,
+                brute_force_limit=brute_force_limit,
+            )
+            run_relations(inst, names=relation_names)
+        except CheckError:
+            return None
+        except ReproError as exc:
+            if type(exc) is exc_type:
+                return f"{exc_type.__name__}: {exc}"
+            return None
+        return None
+
+    return predicate
+
+
+def _write_artifacts(
+    out_dir: Union[str, Path], spec: str, seed: int, reproducer: str
+) -> Tuple[str, ...]:
+    """Write the JSON + pytest artifacts; returns the written paths."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"repro_{spec}_{seed}"
+    json_path = directory / f"{stem}.json"
+    json_path.write_text(reproducer + "\n", encoding="utf-8")
+    py_path = directory / f"test_{stem}.py"
+    py_path.write_text(to_pytest(reproducer, stem), encoding="utf-8")
+    return (str(json_path), str(py_path))
+
+
+def run_fuzz(
+    budget: int,
+    seed: int,
+    specs: Optional[Sequence[str]] = None,
+    oracle_chain: Sequence[str] = FUZZ_CHAIN,
+    relation_chain: Sequence[str] = RELATION_CHAIN,
+    out_dir: Optional[Union[str, Path]] = None,
+    max_failures: int = MAX_FAILURES,
+    brute_force_limit: int = FUZZ_BRUTE_FORCE_LIMIT,
+    shrink_attempts: int = MAX_ATTEMPTS,
+) -> FuzzReport:
+    """Run a bounded fuzz campaign; deterministic in its arguments.
+
+    Every instance is checked against ``oracle_chain`` then
+    ``relation_chain``; each failure is shrunk and recorded (with its
+    JSON reproducer, also written under ``out_dir`` when given).  The
+    campaign aborts early after ``max_failures`` failures.
+    """
+    report = FuzzReport(
+        budget=budget,
+        seed=seed,
+        specs=tuple(specs) if specs else SPECS,
+    )
+    tracer = current_tracer()
+    with tracer.span("checkkit.fuzz", budget=budget, seed=seed):
+        for index, inst in enumerate(
+            instance_stream(budget, seed, specs=specs)
+        ):
+            if len(report.failures) >= max_failures:
+                report.stopped_early = True
+                break
+            failure = _check_instance(
+                index,
+                inst,
+                report,
+                oracle_chain,
+                relation_chain,
+                brute_force_limit,
+                shrink_attempts,
+            )
+            report.instances += 1
+            add_metric("checkkit.instances")
+            if failure is not None:
+                add_metric("checkkit.failures")
+                if out_dir is not None:
+                    paths = _write_artifacts(
+                        out_dir, failure.spec, failure.seed, failure.reproducer
+                    )
+                    failure = FuzzFailure(
+                        index=failure.index,
+                        spec=failure.spec,
+                        seed=failure.seed,
+                        kind=failure.kind,
+                        message=failure.message,
+                        shrunk=failure.shrunk,
+                        reproducer=failure.reproducer,
+                        artifact_paths=paths,
+                    )
+                report.failures.append(failure)
+    return report
+
+
+def _check_instance(
+    index: int,
+    inst: Instance,
+    report: FuzzReport,
+    oracle_chain: Sequence[str],
+    relation_chain: Sequence[str],
+    brute_force_limit: int,
+    shrink_attempts: int,
+) -> Optional[FuzzFailure]:
+    """Run both chains on one instance; a failure comes back shrunk."""
+    tracer = current_tracer()
+    kind = "oracle"
+    predicate: Predicate
+    with tracer.span("checkkit.instance", spec=inst.spec, seed=inst.seed):
+        try:
+            certificate = run_oracles(
+                inst.dfg,
+                inst.table,
+                inst.deadline,
+                names=oracle_chain,
+                brute_force_limit=brute_force_limit,
+            )
+            report.oracle_checks += len(certificate.checks)
+            add_metric("checkkit.checks", float(len(certificate.checks)))
+            kind = "relation"
+            relation_checks = run_relations(inst, names=relation_chain)
+            report.relation_checks += len(relation_checks)
+            add_metric("checkkit.checks", float(len(relation_checks)))
+            return None
+        except CheckError as exc:
+            message = str(exc)
+            if kind == "oracle":
+                predicate = oracle_predicate(
+                    oracle_chain, brute_force_limit=brute_force_limit
+                )
+            else:
+                predicate = relation_predicate(relation_chain, seed=inst.seed)
+        except ReproError as exc:
+            kind = "crash"
+            message = f"{type(exc).__name__}: {exc}"
+            predicate = _crash_predicate(
+                oracle_chain,
+                relation_chain,
+                type(exc),
+                inst.seed,
+                brute_force_limit,
+            )
+    shrunk = _try_shrink(inst, predicate, shrink_attempts)
+    reproducer = to_json(
+        shrunk.dfg if shrunk is not None else inst.dfg,
+        shrunk.table if shrunk is not None else inst.table,
+        shrunk.deadline if shrunk is not None else inst.deadline,
+        spec=inst.spec,
+        seed=inst.seed,
+        oracles=oracle_chain if kind != "relation" else (),
+        relations=relation_chain if kind != "oracle" else (),
+        message=shrunk.message if shrunk is not None else message,
+    )
+    return FuzzFailure(
+        index=index,
+        spec=inst.spec,
+        seed=inst.seed,
+        kind=kind,
+        message=shrunk.message if shrunk is not None else message,
+        shrunk=shrunk,
+        reproducer=reproducer,
+    )
+
+
+def _try_shrink(
+    inst: Instance, predicate: Predicate, shrink_attempts: int
+) -> Optional[ShrinkOutcome]:
+    """Shrink, tolerating flaky predicates (never mask the failure)."""
+    with current_tracer().span(
+        "checkkit.shrink", spec=inst.spec, seed=inst.seed
+    ):
+        try:
+            return shrink(
+                inst.dfg,
+                inst.table,
+                inst.deadline,
+                predicate,
+                max_attempts=shrink_attempts,
+            )
+        except CheckError:
+            # the predicate no longer reproduces on the pristine
+            # instance (e.g. a crash inside non-deterministic state);
+            # report the unshrunk failure rather than hiding it
+            return None

@@ -1,0 +1,416 @@
+"""Greedy delta-debugging minimizer for failing fuzz instances.
+
+Given an instance on which some check fails, :func:`shrink` searches
+for a locally-minimal reproducer by repeatedly trying reductions and
+keeping any that still fail:
+
+* dropping a node (with its incident edges and table row),
+* dropping a single edge,
+* tightening the deadline,
+* canonicalizing a node's table row to the unit ladder,
+* dropping the last FU type column from every row.
+
+The loop runs to a fixpoint (no single reduction keeps the failure)
+under a hard attempt budget, so it terminates even on adversarial
+predicates.  Minimal reproducers serialize to a JSON artifact and a
+runnable pytest snippet via :func:`to_json` / :func:`to_pytest`;
+:func:`replay_json` re-runs the recorded oracle/relation chains on the
+stored instance, which is exactly what a regression test needs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CheckError, ReproError
+from ..fu.table import TimeCostTable
+from ..graph.dfg import DFG
+from .generators import Instance
+from .metamorphic import run_relations
+from .oracles import BRUTE_FORCE_LIMIT, run_oracles
+
+__all__ = [
+    "Predicate",
+    "ShrinkOutcome",
+    "shrink",
+    "oracle_predicate",
+    "relation_predicate",
+    "to_json",
+    "from_json",
+    "to_pytest",
+    "replay_json",
+]
+
+#: A failure predicate: the failure message when the instance still
+#: fails, ``None`` when it passes.  Predicates must contain their own
+#: error handling; any :class:`ReproError` escaping one is treated as
+#: "does not reproduce" (shrinking routinely produces degenerate
+#: inputs the original failure cannot survive).
+Predicate = Callable[[DFG, TimeCostTable, int], Optional[str]]
+
+#: Default cap on predicate evaluations per shrink run.
+MAX_ATTEMPTS = 2000
+
+
+@dataclass(frozen=True)
+class ShrinkOutcome:
+    """A locally-minimal failing instance."""
+
+    dfg: DFG
+    table: TimeCostTable
+    deadline: int
+    message: str
+    rounds: int
+    attempts: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.dfg)
+
+
+def oracle_predicate(
+    names: Sequence[str],
+    brute_force_limit: int = BRUTE_FORCE_LIMIT,
+) -> Predicate:
+    """A predicate that fails iff the given oracle chain fails."""
+
+    def predicate(
+        dfg: DFG, table: TimeCostTable, deadline: int
+    ) -> Optional[str]:
+        try:
+            run_oracles(
+                dfg,
+                table,
+                deadline,
+                names=names,
+                brute_force_limit=brute_force_limit,
+            )
+        except CheckError as exc:
+            return str(exc)
+        except ReproError:
+            return None
+        return None
+
+    return predicate
+
+
+def relation_predicate(names: Sequence[str], seed: int = 0) -> Predicate:
+    """A predicate that fails iff the given metamorphic chain fails.
+
+    ``seed`` feeds the relations that draw randomness (relabelling), so
+    shrinking replays the same transform the campaign used.
+    """
+
+    def predicate(
+        dfg: DFG, table: TimeCostTable, deadline: int
+    ) -> Optional[str]:
+        inst = Instance(
+            spec="shrink", seed=seed, dfg=dfg, table=table, deadline=deadline
+        )
+        try:
+            run_relations(inst, names=names)
+        except CheckError as exc:
+            return str(exc)
+        except ReproError:
+            return None
+        return None
+
+    return predicate
+
+
+def _rows_for(table: TimeCostTable, dfg: DFG) -> TimeCostTable:
+    """The table restricted to ``dfg``'s nodes."""
+    return TimeCostTable.from_rows(
+        {
+            node: (
+                [int(t) for t in table.times(node)],
+                [float(c) for c in table.costs(node)],
+            )
+            for node in dfg.nodes()
+        }
+    )
+
+
+def _without_node(dfg: DFG, victim: object) -> DFG:
+    remaining = [n for n in dfg.nodes() if n != victim]
+    return dfg.subgraph(remaining, name=dfg.name)
+
+
+def _without_edge(dfg: DFG, index: int) -> DFG:
+    out = DFG(name=dfg.name)
+    for n in dfg.nodes():
+        out.add_node(n, op=dfg.op(n))
+    for i, (u, v, d) in enumerate(dfg.edges()):
+        if i != index:
+            out.add_edge(u, v, d)
+    return out
+
+
+def _canonical_row(num_types: int) -> Tuple[List[int], List[float]]:
+    times = list(range(1, num_types + 1))
+    costs = [float(num_types - i) for i in range(num_types)]
+    return times, costs
+
+
+class _Shrinker:
+    """Mutable shrink state: current instance plus the attempt budget."""
+
+    def __init__(
+        self,
+        dfg: DFG,
+        table: TimeCostTable,
+        deadline: int,
+        predicate: Predicate,
+        max_attempts: int,
+    ):
+        self.dfg = dfg
+        self.table = table
+        self.deadline = deadline
+        self.predicate = predicate
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.message = ""
+
+    def _still_fails(
+        self, dfg: DFG, table: TimeCostTable, deadline: int
+    ) -> Optional[str]:
+        if self.attempts >= self.max_attempts:
+            return None
+        self.attempts += 1
+        try:
+            return self.predicate(dfg, table, deadline)
+        except ReproError:
+            return None
+
+    def _accept(
+        self, dfg: DFG, table: TimeCostTable, deadline: int
+    ) -> bool:
+        message = self._still_fails(dfg, table, deadline)
+        if message is None:
+            return False
+        self.dfg, self.table, self.deadline = dfg, table, deadline
+        self.message = message
+        return True
+
+    def _pass_nodes(self) -> bool:
+        changed = False
+        for node in list(self.dfg.nodes()):
+            if len(self.dfg) <= 1:
+                break
+            candidate = _without_node(self.dfg, node)
+            if self._accept(
+                candidate, _rows_for(self.table, candidate), self.deadline
+            ):
+                changed = True
+        return changed
+
+    def _pass_edges(self) -> bool:
+        changed = False
+        index = 0
+        while index < self.dfg.num_edges():
+            if self._accept(
+                _without_edge(self.dfg, index), self.table, self.deadline
+            ):
+                changed = True
+            else:
+                index += 1
+        return changed
+
+    def _pass_deadline(self) -> bool:
+        changed = False
+        while self.deadline > 0 and self._accept(
+            self.dfg, self.table, self.deadline - 1
+        ):
+            changed = True
+        return changed
+
+    def _pass_rows(self) -> bool:
+        changed = False
+        times, costs = _canonical_row(self.table.num_types)
+        for node in self.dfg.nodes():
+            if [int(t) for t in self.table.times(node)] == times and [
+                float(c) for c in self.table.costs(node)
+            ] == costs:
+                continue
+            candidate = self.table.copy()
+            candidate.set_row(node, times, costs)
+            if self._accept(self.dfg, candidate, self.deadline):
+                changed = True
+        return changed
+
+    def _pass_types(self) -> bool:
+        changed = False
+        while self.table.num_types > 1:
+            keep = self.table.num_types - 1
+            candidate = TimeCostTable.from_rows(
+                {
+                    node: (
+                        [int(t) for t in self.table.times(node)[:keep]],
+                        [float(c) for c in self.table.costs(node)[:keep]],
+                    )
+                    for node in self.dfg.nodes()
+                }
+            )
+            if not self._accept(self.dfg, candidate, self.deadline):
+                break
+            changed = True
+        return changed
+
+
+def shrink(
+    dfg: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    predicate: Predicate,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> ShrinkOutcome:
+    """Greedily minimize a failing instance under ``predicate``.
+
+    Raises :class:`CheckError` if the starting instance does not fail —
+    a shrink without a failure is a harness bug, not a reduction.
+    """
+    message = predicate(dfg, table, deadline)
+    if message is None:
+        raise CheckError(
+            "shrink() called on a passing instance; the predicate must "
+            "fail on the input it is asked to minimize"
+        )
+    state = _Shrinker(dfg, table, deadline, predicate, max_attempts)
+    state.message = message
+    rounds = 0
+    while state.attempts < max_attempts:
+        rounds += 1
+        changed = state._pass_nodes()
+        changed = state._pass_edges() or changed
+        changed = state._pass_deadline() or changed
+        changed = state._pass_types() or changed
+        changed = state._pass_rows() or changed
+        if not changed:
+            break
+    return ShrinkOutcome(
+        dfg=state.dfg,
+        table=state.table,
+        deadline=state.deadline,
+        message=state.message,
+        rounds=rounds,
+        attempts=state.attempts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reproducer artifacts
+# ----------------------------------------------------------------------
+
+_FORMAT_VERSION = 1
+
+
+def to_json(
+    dfg: DFG,
+    table: TimeCostTable,
+    deadline: int,
+    *,
+    spec: str = "manual",
+    seed: int = 0,
+    oracles: Sequence[str] = (),
+    relations: Sequence[str] = (),
+    message: str = "",
+) -> str:
+    """Serialize a reproducer instance to a stable JSON document."""
+    for node in dfg.nodes():
+        if not isinstance(node, str):
+            raise CheckError(
+                f"only string node ids serialize to reproducers, got {node!r}"
+            )
+    doc: Dict[str, Any] = {
+        "checkkit_reproducer": _FORMAT_VERSION,
+        "spec": spec,
+        "seed": seed,
+        "message": message,
+        "oracles": list(oracles),
+        "relations": list(relations),
+        "deadline": deadline,
+        "nodes": [[n, dfg.op(n)] for n in dfg.nodes()],
+        "edges": [[u, v, d] for u, v, d in dfg.edges()],
+        "rows": {
+            str(node): {
+                "times": [int(t) for t in table.times(node)],
+                "costs": [float(c) for c in table.costs(node)],
+            }
+            for node in dfg.nodes()
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> Tuple[DFG, TimeCostTable, int, Dict[str, Any]]:
+    """Rebuild ``(dfg, table, deadline, metadata)`` from :func:`to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckError(f"malformed reproducer JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "checkkit_reproducer" not in doc:
+        raise CheckError("not a checkkit reproducer document")
+    dfg = DFG(name=f"repro_{doc.get('spec', 'manual')}_{doc.get('seed', 0)}")
+    for name, op in doc["nodes"]:
+        dfg.add_node(name, op=op)
+    for u, v, d in doc["edges"]:
+        dfg.add_edge(u, v, int(d))
+    table = TimeCostTable.from_rows(
+        {
+            name: (row["times"], row["costs"])
+            for name, row in doc["rows"].items()
+        }
+    )
+    return dfg, table, int(doc["deadline"]), doc
+
+
+def replay_json(text: str) -> List[str]:
+    """Re-run the recorded oracle/relation chains on a stored reproducer.
+
+    Returns the check lines when everything passes (the bug is fixed);
+    raises :class:`CheckError` while the bug still reproduces — exactly
+    the assertion a regression test wants.
+    """
+    dfg, table, deadline, doc = from_json(text)
+    checks: List[str] = []
+    oracles = doc.get("oracles") or []
+    if oracles:
+        checks.extend(
+            run_oracles(dfg, table, deadline, names=oracles).checks
+        )
+    relations = doc.get("relations") or []
+    if relations:
+        inst = Instance(
+            spec=str(doc.get("spec", "manual")),
+            seed=int(doc.get("seed", 0)),
+            dfg=dfg,
+            table=table,
+            deadline=deadline,
+        )
+        checks.extend(run_relations(inst, names=relations))
+    return checks
+
+
+def to_pytest(reproducer_json: str, test_name: str) -> str:
+    """A runnable pytest snippet asserting the reproducer passes.
+
+    Drop the emitted module into ``tests/regressions/`` once the
+    underlying bug is fixed; until then the test fails with the
+    original :class:`CheckError`.
+    """
+    if not test_name.isidentifier():
+        raise CheckError(f"test name {test_name!r} is not a valid identifier")
+    return (
+        '"""Auto-generated checkkit reproducer (see docs/testing.md)."""\n'
+        "\n"
+        "from repro.checkkit.shrink import replay_json\n"
+        "\n"
+        "REPRODUCER = r'''\n"
+        f"{reproducer_json}\n"
+        "'''\n"
+        "\n"
+        f"def test_{test_name}():\n"
+        "    assert replay_json(REPRODUCER)\n"
+    )

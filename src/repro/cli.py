@@ -9,6 +9,7 @@ Subcommands::
     repro-hls table1 / table2           # regenerate the paper tables
     repro-hls headline                  # the average-reduction summary
     repro-hls lint src/repro            # static-analysis gate (lintkit)
+    repro-hls fuzz --budget 200         # differential fuzzing (checkkit)
 
 Every command accepts ``--seed`` for the randomized time/cost tables,
 defaulting to the seed of record used in EXPERIMENTS.md.
@@ -216,6 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
         "lint_args",
         nargs=argparse.REMAINDER,
         help="arguments forwarded to repro.lintkit (paths, --select, ...)",
+    )
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized differential/metamorphic fuzzing "
+        "(see `repro-hls fuzz --help`)",
+        add_help=False,
+    )
+    p_fuzz.add_argument(
+        "fuzz_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.checkkit "
+        "(--budget, --seed, --suite, --out, ...)",
     )
     return parser
 
@@ -442,13 +456,19 @@ def _cmd_sweep(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command == "lint":
-        # forwarded wholesale: lintkit owns its own argparse surface and
-        # the 0/1/2 exit-code convention
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    # lintkit/checkkit own their argparse surfaces and the 0/1/2 exit
+    # codes; forward before parsing, since argparse.REMAINDER drops the
+    # tail when its first token is an option (python bug bpo-17050)
+    if raw and raw[0] == "lint":
         from .lintkit.cli import main as lint_main
 
-        return lint_main(args.lint_args)
+        return lint_main(raw[1:])
+    if raw and raw[0] == "fuzz":
+        from .checkkit.cli import main as fuzz_main
+
+        return fuzz_main(raw[1:])
+    args = build_parser().parse_args(raw)
     try:
         if args.command == "list":
             for name in benchmark_names():

@@ -31,6 +31,7 @@ __all__ = [
     "LintError",
     "ObsError",
     "EngineError",
+    "CheckError",
 ]
 
 
@@ -104,3 +105,15 @@ class ObsError(ReproError):
 
 class EngineError(ReproError):
     """An execution-engine request is invalid (bad worker count, ...)."""
+
+
+class CheckError(ReproError):
+    """A :mod:`repro.checkkit` correctness relation was violated.
+
+    Raised by the differential oracles and metamorphic relations when
+    two algorithms that must agree disagree, or a known answer relation
+    fails.  Distinct from the usage errors (:class:`AssignError` & co.):
+    a ``CheckError`` always means *the library computed something
+    wrong*, which is why the fuzz runner treats it as a bug to shrink
+    rather than an input to reject.
+    """

@@ -5,8 +5,8 @@ not validate inputs with ``assert``:
 
 * ``print`` / ``sys.stdout.write`` in a library module corrupts the
   output of every CLI command and pipe built on top of it — only the
-  presentation layers (``report/``, ``cli``, the lintkit CLI) may
-  write to stdout;
+  presentation layers (``report/``, ``cli``, the lintkit and checkkit
+  CLIs) may write to stdout;
 * ``assert`` on a function *parameter* is validation that silently
   vanishes under ``python -O``; real input checks must raise a
   :class:`~repro.errors.ReproError` subclass.  Asserts on local
@@ -32,6 +32,8 @@ EXEMPT_MODULES: Tuple[str, ...] = (
     "repro.__main__",
     "repro.lintkit.cli",
     "repro.lintkit.__main__",
+    "repro.checkkit.cli",
+    "repro.checkkit.__main__",
 )
 
 

@@ -3,7 +3,7 @@
 The package is a DAG of layers::
 
     errors → graph → fu/engine → assign → sched/retiming
-           → sim/suite/synthesis → report/cli/verify/lintkit
+           → sim/suite/synthesis → report/cli/verify/lintkit/checkkit
            → __main__/root
 
 An import from a lower layer into a higher one ("upward") couples the
@@ -44,6 +44,7 @@ LAYERS: Dict[str, int] = {
     "report": 6,
     "cli": 6,
     "lintkit": 6,
+    "checkkit": 6,
     "__main__": 7,
     "<root>": 7,
 }

@@ -6,7 +6,9 @@ on — the machine version of "did everything agree where theory says it
 must".  Used by the CLI's ``verify`` command and by the integration
 tests as a single high-level oracle.
 
-Relations checked (when applicable to the instance's shape/size):
+The relations themselves live in the :mod:`repro.checkkit.oracles`
+registry (one named :class:`~repro.checkkit.oracles.Oracle` each);
+this module is the thin historical facade over the certify chain:
 
 * all results are feasible and `AssignResult.verify`-clean;
 * ``exact == brute force`` (small graphs);
@@ -15,176 +17,33 @@ Relations checked (when applicable to the instance's shape/size):
   (shared expansion);
 * the ILP model accepts every produced assignment at its own cost;
 * both schedulers return valid schedules within the deadline, at or
-  above `Lower_Bound_R`.
+  above `Lower_Bound_R`;
+* replaying each schedule computes the reference simulation's values.
+
+The fuzz runner (``repro-hls fuzz``) evaluates the same registry plus
+the kernel/parallel/incremental differential oracles on thousands of
+generated instances — see ``docs/testing.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
-
-from .assign import (
-    brute_force_assign,
-    dfg_assign_once,
-    dfg_assign_repeat,
-    downgrade_assign,
-    exact_assign,
-    greedy_assign,
-    path_assign,
-    tree_assign,
+from .checkkit.oracles import (
+    BRUTE_FORCE_LIMIT,
+    CERTIFY_CHAIN,
+    Certificate,
+    run_oracles,
 )
-from .assign.dfg_assign import choose_expansion
-from .assign.ilp_model import build_ilp, check_solution
-from .errors import ReproError
 from .fu.table import TimeCostTable
-from .graph.classify import is_in_forest, is_out_forest, is_simple_path
 from .graph.dfg import DFG
-from .sched import (
-    force_directed_schedule,
-    lower_bound_configuration,
-    min_resource_schedule,
-)
 
-__all__ = ["Certificate", "certify"]
-
-#: brute force is only attempted at or below this node count
-BRUTE_FORCE_LIMIT = 10
-
-
-@dataclass(frozen=True)
-class Certificate:
-    """Evidence from one :func:`certify` run."""
-
-    deadline: int
-    costs: Dict[str, float]
-    checks: List[str] = field(default_factory=list)
-
-    def describe(self) -> str:
-        lines = [f"deadline {self.deadline}"]
-        for name, cost in sorted(self.costs.items()):
-            lines.append(f"  {name:<12} cost {cost:.2f}")
-        lines.extend(f"  [ok] {c}" for c in self.checks)
-        return "\n".join(lines)
+__all__ = ["BRUTE_FORCE_LIMIT", "Certificate", "certify"]
 
 
 def certify(dfg: DFG, table: TimeCostTable, deadline: int) -> Certificate:
     """Run the portfolio and verify every cross-algorithm relation.
 
-    Raises :class:`ReproError` (or the offending check's own error) on
-    the first violated relation; returns a :class:`Certificate`
-    otherwise.
+    Raises :class:`~repro.errors.CheckError` (or the offending check's
+    own error) on the first violated relation; returns a
+    :class:`Certificate` otherwise.
     """
-    dag = dfg.dag()
-    checks: List[str] = []
-    costs: Dict[str, float] = {}
-
-    expansion = choose_expansion(dag)
-    results = {
-        "greedy": greedy_assign(dag, table, deadline),
-        "downgrade": downgrade_assign(dag, table, deadline),
-        "once": dfg_assign_once(dag, table, deadline, expansion=expansion),
-        "repeat": dfg_assign_repeat(dag, table, deadline, expansion=expansion),
-    }
-    try:
-        results["exact"] = exact_assign(dag, table, deadline)
-    except ReproError:
-        # Branch-and-bound exceeded its budget — the same scale limit the
-        # paper reports for the ILP.  Optimality relations are skipped;
-        # everything else is still certified.
-        checks.append(
-            "exact search skipped (budget exceeded at this graph size, "
-            "as for the paper's ILP)"
-        )
-    if is_simple_path(dag):
-        results["path"] = path_assign(dag, table, deadline)
-    if is_out_forest(dag) or is_in_forest(dag):
-        results["tree"] = tree_assign(dag, table, deadline)
-
-    for name, result in results.items():
-        result.verify(dag, table)
-        costs[name] = result.cost
-    checks.append(f"{len(results)} algorithms feasible and self-consistent")
-
-    if "exact" in costs:
-        exact_cost = costs["exact"]
-        if len(dag) <= BRUTE_FORCE_LIMIT:
-            bf = brute_force_assign(dag, table, deadline)
-            if abs(bf.cost - exact_cost) > 1e-9:
-                raise ReproError(
-                    f"branch-and-bound {exact_cost} != brute force {bf.cost}"
-                )
-            checks.append("exact == brute force")
-        for name in ("tree", "path"):
-            if name in costs and abs(costs[name] - exact_cost) > 1e-9:
-                raise ReproError(
-                    f"{name} DP {costs[name]} != exact {exact_cost}"
-                )
-        if "tree" in costs or "path" in costs:
-            checks.append("structure DP == exact")
-        for name in ("greedy", "downgrade", "once", "repeat"):
-            if costs[name] < exact_cost - 1e-9:
-                raise ReproError(
-                    f"{name} {costs[name]} beat the optimum {exact_cost}"
-                )
-    if "tree" in costs:
-        # on trees the heuristics must reach the DP optimum exactly
-        for name in ("once", "repeat"):
-            if abs(costs[name] - costs["tree"]) > 1e-9:
-                raise ReproError(
-                    f"{name} {costs[name]} != tree optimum {costs['tree']}"
-                )
-        checks.append("heuristics optimal on the tree-shaped instance")
-    if costs["repeat"] > costs["once"] + 1e-9:
-        raise ReproError(
-            f"repeat {costs['repeat']} worse than once {costs['once']} "
-            "on a shared expansion"
-        )
-    checks.append("heuristic ordering: repeat <= once; baselines bounded below")
-
-    model = build_ilp(dag, table, deadline)
-    for name, result in results.items():
-        objective = check_solution(model, dag, table, result.assignment)
-        if abs(objective - result.cost) > 1e-9:
-            raise ReproError(
-                f"ILP objective {objective} != {name} cost {result.cost}"
-            )
-    checks.append("every assignment ILP-feasible at its reported cost")
-
-    assignment = results["repeat"].assignment
-    lb = lower_bound_configuration(dag, table, assignment, deadline)
-    schedules = {}
-    for sched_name, scheduler in (
-        ("min_resource", min_resource_schedule),
-        ("force_directed", force_directed_schedule),
-    ):
-        schedule = scheduler(dag, table, assignment=assignment, deadline=deadline)
-        schedule.validate(dag, table, assignment)
-        if schedule.makespan(table) > deadline:
-            raise ReproError(f"{sched_name} overran the deadline")
-        if not lb.dominates(schedule.configuration):
-            raise ReproError(
-                f"{sched_name} configuration {schedule.configuration.counts} "
-                f"below lower bound {lb.counts}"
-            )
-        schedules[sched_name] = schedule
-    checks.append("both schedulers valid, within deadline, above Lower_Bound_R")
-
-    # Semantic equivalence: replaying each schedule computes exactly the
-    # reference evaluation's values on a shared stimulus.
-    from .sim.functional import simulate, simulate_schedule
-
-    iterations = 3
-    inputs = {n: [1.0, -2.0, 0.5] for n in dag.roots()}
-    reference = simulate(dag, iterations, inputs=inputs)
-    for sched_name, schedule in schedules.items():
-        replay = simulate_schedule(
-            dag, table, assignment, schedule, iterations, inputs=inputs
-        )
-        if replay != reference:
-            raise ReproError(
-                f"{sched_name} schedule computes different values than the "
-                "reference evaluation"
-            )
-    checks.append("schedule replay matches the reference simulation")
-
-    return Certificate(deadline=deadline, costs=costs, checks=checks)
+    return run_oracles(dfg, table, deadline, names=CERTIFY_CHAIN)

@@ -1,0 +1,82 @@
+"""Unit tests for the fuzz instance generators."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.checkkit.generators import (
+    SPECS,
+    generate,
+    instance_stream,
+    mix_seed,
+)
+from repro.errors import CheckError
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_every_spec_builds_a_valid_instance(self, spec):
+        inst = generate(spec, 42)
+        assert inst.spec == spec
+        assert inst.seed == 42
+        assert len(inst.dfg) >= 1
+        dag = inst.dag()
+        # the table covers every node and the deadline is feasible
+        assert inst.deadline >= min_completion_time(dag, inst.table)
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_replayable(self, spec):
+        """Equal (spec, seed) pairs yield structurally equal instances."""
+        a = generate(spec, 7)
+        b = generate(spec, 7)
+        assert a.describe() == b.describe()
+        assert a.dfg.nodes() == b.dfg.nodes()
+        assert a.dfg.edges() == b.dfg.edges()
+        assert a.deadline == b.deadline
+        for node in a.dfg.nodes():
+            assert list(a.table.times(node)) == list(b.table.times(node))
+            assert list(a.table.costs(node)) == list(b.table.costs(node))
+
+    def test_different_seeds_differ(self):
+        described = {generate("dag", s).describe() for s in range(8)}
+        assert len(described) > 1
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(CheckError, match="unknown generator spec"):
+            generate("nope", 0)
+
+    def test_delay_cycle_has_delays(self):
+        inst = generate("delay_cycle", 3)
+        assert inst.dfg.total_delays() >= 1
+        # the DAG part is still extractable (every cycle is delayed)
+        inst.dag()
+
+    def test_multi_type_varies_type_count(self):
+        counts = {generate("multi_type", s).table.num_types for s in range(10)}
+        assert counts <= {2, 4, 5}
+        assert len(counts) > 1
+
+
+class TestStream:
+    def test_budget_and_round_robin(self):
+        instances = list(instance_stream(len(SPECS) * 2, seed=2004))
+        assert len(instances) == len(SPECS) * 2
+        assert [i.spec for i in instances] == list(SPECS) * 2
+
+    def test_seed_mixing_is_positional(self):
+        """Any campaign instance regenerates without replaying the stream."""
+        instances = list(instance_stream(5, seed=11))
+        for i, inst in enumerate(instances):
+            assert inst.seed == mix_seed(11, i)
+            assert generate(inst.spec, inst.seed).describe() == inst.describe()
+
+    def test_spec_restriction(self):
+        instances = list(instance_stream(4, seed=1, specs=["path"]))
+        assert [i.spec for i in instances] == ["path"] * 4
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(CheckError, match="budget must be >= 0"):
+            list(instance_stream(-1, seed=0))
+
+    def test_unknown_spec_in_stream_raises(self):
+        with pytest.raises(CheckError, match="unknown generator spec"):
+            list(instance_stream(1, seed=0, specs=["bogus"]))

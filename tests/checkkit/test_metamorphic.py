@@ -1,0 +1,73 @@
+"""Unit tests for the metamorphic relations."""
+
+import pytest
+
+import repro.checkkit.metamorphic as metamorphic_mod
+from repro.checkkit.generators import generate
+from repro.checkkit.metamorphic import (
+    RELATION_CHAIN,
+    get_relation,
+    relation_names,
+    run_relations,
+)
+from repro.errors import CheckError
+
+
+class TestRegistry:
+    def test_chain_is_registered(self):
+        names = relation_names()
+        assert list(RELATION_CHAIN) == names
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(CheckError, match="unknown metamorphic relation"):
+            get_relation("nope")
+
+
+class TestRelationsHold:
+    @pytest.mark.parametrize("spec", ["path", "out_tree", "dag", "layered"])
+    def test_full_chain_clean(self, spec):
+        checks = run_relations(generate(spec, 17))
+        assert checks  # at least one relation applied
+
+    def test_retiming_applies_only_with_delays(self):
+        cyclic = generate("delay_cycle", 5)
+        assert cyclic.dfg.total_delays() > 0
+        checks = run_relations(cyclic, names=["retiming"])
+        assert checks == [
+            "retiming preserves feasibility at the original deadline"
+        ]
+        acyclic = generate("dag", 5)
+        assert run_relations(acyclic, names=["retiming"]) == []
+
+    def test_exact_relations_label_the_optimum(self):
+        checks = run_relations(generate("out_tree", 1), names=["cost_scaling"])
+        assert checks == ["cost scaling by 3.5 scales the optimal cost exactly"]
+
+    def test_single_relation_selection(self):
+        checks = run_relations(generate("path", 2), names=["transpose"])
+        assert checks == ["transposition preserves the optimal cost"]
+
+
+class TestViolationsAreCaught:
+    def test_broken_optimum_fails_cost_scaling(self, monkeypatch):
+        # a constant "optimum" cannot scale with the costs
+        monkeypatch.setattr(
+            metamorphic_mod, "_optimal_cost", lambda dag, table, deadline: 7.0
+        )
+        inst = generate("out_tree", 3)
+        with pytest.raises(CheckError, match="cost scaling broke"):
+            run_relations(inst, names=["cost_scaling"])
+
+    def test_broken_optimum_fails_relabel(self, monkeypatch):
+        real = metamorphic_mod._optimal_cost
+        calls = []
+
+        def skewed(dag, table, deadline):
+            calls.append(dag.name)
+            base = real(dag, table, deadline)
+            return base + (1.0 if len(calls) > 1 else 0.0)
+
+        monkeypatch.setattr(metamorphic_mod, "_optimal_cost", skewed)
+        inst = generate("out_tree", 6)
+        with pytest.raises(CheckError, match="relabelling changed"):
+            run_relations(inst, names=["relabel"])

@@ -1,0 +1,188 @@
+"""Auto-generated checkkit reproducer (see docs/testing.md)."""
+
+from repro.checkkit.shrink import replay_json
+
+REPRODUCER = r'''
+{
+  "checkkit_reproducer": 1,
+  "deadline": 13,
+  "edges": [
+    [
+      "v0",
+      "v1",
+      0
+    ],
+    [
+      "v1",
+      "v2",
+      0
+    ],
+    [
+      "v1",
+      "v0",
+      1
+    ],
+    [
+      "v2",
+      "v4",
+      0
+    ],
+    [
+      "v3",
+      "v6",
+      0
+    ],
+    [
+      "v4",
+      "v6",
+      0
+    ],
+    [
+      "v5",
+      "v6",
+      0
+    ],
+    [
+      "v5",
+      "v2",
+      1
+    ],
+    [
+      "v6",
+      "v5",
+      2
+    ]
+  ],
+  "message": "example artifact (healthy instance; documents the format)",
+  "nodes": [
+    [
+      "v0",
+      "add"
+    ],
+    [
+      "v1",
+      "add"
+    ],
+    [
+      "v2",
+      "cmp"
+    ],
+    [
+      "v3",
+      "add"
+    ],
+    [
+      "v4",
+      "mul"
+    ],
+    [
+      "v5",
+      "cmp"
+    ],
+    [
+      "v6",
+      "cmp"
+    ]
+  ],
+  "oracles": [
+    "portfolio",
+    "ordering",
+    "schedulers"
+  ],
+  "relations": [
+    "cost_scaling",
+    "retiming"
+  ],
+  "rows": {
+    "v0": {
+      "costs": [
+        4.0,
+        3.0,
+        1.0
+      ],
+      "times": [
+        2,
+        5,
+        7
+      ]
+    },
+    "v1": {
+      "costs": [
+        18.0,
+        14.0,
+        7.0
+      ],
+      "times": [
+        2,
+        3,
+        5
+      ]
+    },
+    "v2": {
+      "costs": [
+        15.0,
+        12.0,
+        6.0
+      ],
+      "times": [
+        2,
+        5,
+        6
+      ]
+    },
+    "v3": {
+      "costs": [
+        24.0,
+        15.0,
+        7.0
+      ],
+      "times": [
+        3,
+        4,
+        5
+      ]
+    },
+    "v4": {
+      "costs": [
+        17.0,
+        11.0,
+        4.0
+      ],
+      "times": [
+        3,
+        5,
+        7
+      ]
+    },
+    "v5": {
+      "costs": [
+        20.0,
+        13.0,
+        7.0
+      ],
+      "times": [
+        1,
+        2,
+        3
+      ]
+    },
+    "v6": {
+      "costs": [
+        13.0,
+        12.0,
+        4.0
+      ],
+      "times": [
+        2,
+        4,
+        6
+      ]
+    }
+  },
+  "seed": 2004,
+  "spec": "delay_cycle"
+}
+'''
+
+def test_example_delay_cycle_2004():
+    assert replay_json(REPRODUCER)

@@ -89,3 +89,43 @@ class TestDelaySemantics:
         deadline = min_completion_time(dag, table) + 5
         result = synthesize(dag, table, deadline)
         result.verify(dag, table)
+
+
+class TestEdgeCases:
+    def test_single_node_no_edges(self):
+        one = DFG(name="one")
+        one.add_node("x", op="mul")
+        u = unfold(one, 3)
+        assert sorted(u.nodes()) == ["x@0", "x@1", "x@2"]
+        assert u.num_edges() == 0
+        assert u.dag().num_edges() == 0
+
+    def test_single_node_factor_one_is_identity_up_to_renaming(self):
+        one = DFG(name="one")
+        one.add_node("x", op="mul")
+        u = unfold(one, 1)
+        assert u.nodes() == [unfolded_name("x", 0)]
+        assert u.op(unfolded_name("x", 0)) == "mul"
+
+    def test_factor_below_one_raises(self):
+        one = DFG(name="one")
+        one.add_node("x", op="add")
+        for factor in (0, -1):
+            with pytest.raises(GraphError, match="unfolding factor"):
+                unfold(one, factor)
+
+    def test_zero_delay_cycle_rejected_by_dag_extraction(self):
+        from repro.errors import CyclicDependencyError
+
+        bad = DFG.from_edges([("a", "b", 0), ("b", "a", 0)], name="bad")
+        with pytest.raises(CyclicDependencyError, match="zero-delay cycle"):
+            bad.dag()
+        # unfolding cannot launder the cycle into a schedulable graph:
+        # every copy keeps a zero-delay cycle of its own
+        with pytest.raises(CyclicDependencyError, match="zero-delay cycle"):
+            unfold(bad, 2).dag()
+
+    def test_delayed_self_loop_round_trips_through_dag(self):
+        loop = DFG.from_edges([("x", "x", 1)])
+        assert unfold(loop, 1).total_delays() == 1
+        assert unfold(loop, 1).dag().num_edges() == 0

@@ -142,3 +142,63 @@ class TestAllocate:
             # every allocated node has a lifetime
             for node in alloc.registers:
                 assert node in alloc.lifetimes
+
+
+class TestEdgeCases:
+    def test_single_node_schedule_needs_no_registers(self):
+        one = DFG(name="one")
+        one.add_node("x", op="mul")
+        table = TimeCostTable.from_rows({"x": ([2], [1.0])})
+        assignment = Assignment.of({"x": 0})
+        schedule = Schedule(
+            ops={"x": ScheduledOp(start=0, fu_type=0, fu_index=0)},
+            configuration=Configuration.of([1]),
+            deadline=5,
+        )
+        alloc = allocate_registers(one, table, assignment, schedule)
+        # a pure sink's value dies at birth: no register consumed
+        assert alloc.num_registers == 0
+        assert alloc.registers == {}
+        lt = alloc.lifetimes["x"]
+        assert (lt.birth, lt.death) == (2, 2)
+
+    def test_empty_schedule_has_zero_makespan(self):
+        table = TimeCostTable.from_rows({"x": ([1], [1.0])})
+        empty = Schedule(
+            ops={}, configuration=Configuration.of([1]), deadline=0
+        )
+        assert empty.makespan(table) == 0
+
+    def test_empty_schedule_fails_validation_on_nonempty_graph(self):
+        one = DFG(name="one")
+        one.add_node("x", op="mul")
+        table = TimeCostTable.from_rows({"x": ([1], [1.0])})
+        assignment = Assignment.of({"x": 0})
+        empty = Schedule(
+            ops={}, configuration=Configuration.of([1]), deadline=0
+        )
+        with pytest.raises(ScheduleError, match="unscheduled nodes"):
+            empty.validate(one, table, assignment)
+
+    def test_delayed_self_loop_value_lives_to_makespan(self):
+        # all of x's out-edges are delayed -> its value must survive to
+        # the end of the iteration (the next iteration's prologue reads
+        # it), here until y finishes at step 5
+        dfg = DFG.from_edges([("x", "x", 1)])
+        dfg.add_node("y", op="add")
+        table = TimeCostTable.from_rows(
+            {"x": ([2], [1.0]), "y": ([1], [1.0])}
+        )
+        assignment = Assignment.of({"x": 0, "y": 0})
+        schedule = Schedule(
+            ops={
+                "x": ScheduledOp(start=0, fu_type=0, fu_index=0),
+                "y": ScheduledOp(start=4, fu_type=0, fu_index=0),
+            },
+            configuration=Configuration.of([1]),
+            deadline=6,
+        )
+        alloc = allocate_registers(dfg, table, assignment, schedule)
+        lt = alloc.lifetimes["x"]
+        assert (lt.birth, lt.death) == (2, schedule.makespan(table))
+        assert alloc.num_registers == 1

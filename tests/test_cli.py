@@ -211,3 +211,47 @@ class TestLintSubcommand:
     def test_lint_usage_error_exits_two(self, capsys, tmp_path):
         assert main(["lint", str(tmp_path / "missing")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestVerifySubcommand:
+    """Pinned exit codes and messages for `repro-hls verify`."""
+
+    def test_verify_clean_exits_zero(self, capsys):
+        assert main(["verify", "diffeq", "-L", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline 12" in out
+        assert "[ok]" in out
+
+    def test_verify_infeasible_deadline_exits_one(self, capsys):
+        assert main(["verify", "diffeq", "-L", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "minimum feasible" in err
+
+    def test_verify_unknown_benchmark_exits_one(self, capsys):
+        assert main(["verify", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFuzzSubcommand:
+    """`repro-hls fuzz` forwards to checkkit with its 0/1/2 convention."""
+
+    def test_fuzz_clean_exits_zero(self, capsys):
+        assert main(["fuzz", "--budget", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "checkkit fuzz: budget 2, seed 5" in out
+        assert out.strip().endswith("verdict: clean")
+
+    def test_fuzz_flags_forward_even_when_first(self, capsys):
+        # the forwarded tail starts with an option; the top-level parser
+        # must not swallow or reject it
+        assert main(["fuzz", "--list-suites"]) == 0
+        assert "generator specs:" in capsys.readouterr().out
+
+    def test_fuzz_usage_error_exits_two(self, capsys):
+        assert main(["fuzz", "--budget", "-1"]) == 2
+        assert "error: budget must be >= 0, got -1" in capsys.readouterr().err
+
+    def test_fuzz_replay_round_trips(self, capsys):
+        assert main(["fuzz", "--replay", "out_tree", "3"]) == 0
+        assert capsys.readouterr().out.startswith("out_tree/3:")
