@@ -1,0 +1,176 @@
+"""Metaheuristic portfolio bench: gap-vs-budget curve + never-worse gate.
+
+Two claims, both checked here:
+
+* **Never worse** — on every registered benchmark the portfolio winner
+  costs at most `DFG_Assign_Repeat` (its population seed) under the
+  default evaluation budget.  This is the PR 6 acceptance gate.
+* **Anytime progress** — the optimality gap (winner cost minus the
+  timing-aware frontier lower bound, tightened by certified exact runs)
+  is non-increasing as the budget grows, and reaches 0 wherever the
+  budgeted exact solver certifies an optimum.
+
+Runs under pytest (``pytest benchmarks/bench_portfolio.py``) or
+standalone (``python benchmarks/bench_portfolio.py [--quick]``); quick
+mode shrinks the budget ladder and the graph set for CI.  Artifacts:
+``benchmarks/results/bench_portfolio.txt`` and ``BENCH_portfolio.json``
+at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent / "src"))
+sys.path.insert(0, str(_HERE))
+
+from conftest import write_bench_json  # noqa: E402
+
+from repro.assign import dfg_assign_repeat, min_completion_time, portfolio_assign
+from repro.fu.random_tables import random_table
+from repro.report.experiments import DEFAULT_SEED
+from repro.suite.registry import benchmark_names, get_benchmark
+
+RESULTS_DIR = _HERE / "results"
+
+_ATOL = 1e-9
+
+#: Evaluation-budget ladder for the gap curve (full mode).
+BUDGETS = (50, 200, 1000, 4000)
+QUICK_BUDGETS = (20, 100)
+
+#: Slack over the minimum feasible deadline, as in the headline bench.
+SLACK = 4
+
+
+def _quick() -> bool:
+    return os.environ.get("BENCH_PORTFOLIO_QUICK", "") == "1"
+
+
+def _setup(name: str):
+    dag = get_benchmark(name).dag()
+    table = random_table(dag, num_types=3, seed=DEFAULT_SEED)
+    deadline = min_completion_time(dag, table) + SLACK
+    return dag, table, deadline
+
+
+def gap_curves(quick: bool) -> Dict[str, List[dict]]:
+    """Per-benchmark records: one row per budget rung."""
+    names = ["diffeq", "elliptic", "lattice4"] if quick else benchmark_names()
+    budgets = QUICK_BUDGETS if quick else BUDGETS
+    curves: Dict[str, List[dict]] = {}
+    for name in names:
+        dag, table, deadline = _setup(name)
+        seed_cost = dfg_assign_repeat(dag, table, deadline).cost
+        rows = []
+        for budget in budgets:
+            result = portfolio_assign(
+                dag, table, deadline, evaluations=budget, seed=DEFAULT_SEED
+            )
+            result.best.verify(dag, table)
+            rows.append(
+                {
+                    "budget": budget,
+                    "best_cost": result.best.cost,
+                    "seed_cost": seed_cost,
+                    "gap": result.gap,
+                    "winner": result.winner,
+                    "certified": result.certified,
+                }
+            )
+        curves[name] = rows
+    return curves
+
+
+def check_gates(curves: Dict[str, List[dict]]) -> List[str]:
+    """Assert the two bench claims; return rendered report lines."""
+    lines = []
+    for name, rows in curves.items():
+        prev_gap = float("inf")
+        for r in rows:
+            # acceptance gate: never worse than the paper's heuristic
+            assert r["best_cost"] <= r["seed_cost"] + _ATOL, (
+                f"{name}: portfolio cost {r['best_cost']} beats seed "
+                f"{r['seed_cost']} the wrong way at budget {r['budget']}"
+            )
+            # anytime gate: more budget never widens the gap
+            assert r["gap"] <= prev_gap + _ATOL, (
+                f"{name}: gap widened from {prev_gap} to {r['gap']} at "
+                f"budget {r['budget']}"
+            )
+            # certification gate: a certified run means gap 0
+            if r["certified"]:
+                assert r["gap"] <= _ATOL, (
+                    f"{name}: certified at budget {r['budget']} but gap "
+                    f"{r['gap']} != 0"
+                )
+            prev_gap = r["gap"]
+            flag = "*" if r["certified"] else " "
+            lines.append(
+                f"{name:>14} budget={r['budget']:<6} "
+                f"best={r['best_cost']:<9.2f} seed={r['seed_cost']:<9.2f} "
+                f"gap={r['gap']:<8.2f} winner={r['winner']}{flag}"
+            )
+    return lines
+
+
+def _save(lines: List[str]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_portfolio.txt").write_text("\n".join(lines) + "\n")
+
+
+def _run(quick: bool) -> List[str]:
+    t_all = time.perf_counter()
+    curves = gap_curves(quick)
+    lines = [
+        f"mode: {'quick' if quick else 'full'}",
+        "",
+        "== gap-vs-budget (winner cost vs frontier lower bound; "
+        "* = certified optimum) ==",
+    ] + check_gates(curves)
+    _save(lines)
+    certified = sum(
+        1 for rows in curves.values() if rows[-1]["certified"]
+    )
+    write_bench_json(
+        "portfolio",
+        wall_s=time.perf_counter() - t_all,
+        config={
+            "quick": quick,
+            "budgets": list(QUICK_BUDGETS if quick else BUDGETS),
+            "graphs": len(curves),
+            "certified_at_top_budget": certified,
+            "final_gaps": {
+                name: round(rows[-1]["gap"], 4)
+                for name, rows in curves.items()
+            },
+        },
+    )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def test_portfolio_never_worse_and_anytime():
+    _run(_quick())
+
+
+if __name__ == "__main__":
+    flags = sys.argv[1:]
+    unknown = [f for f in flags if f != "--quick"]
+    if unknown:
+        sys.exit(
+            f"usage: {sys.argv[0]} [--quick]  (unknown: {' '.join(unknown)})"
+        )
+    started = time.perf_counter()
+    for line in _run("--quick" in flags):
+        print(line)
+    print(f"\nOK in {time.perf_counter() - started:.1f}s "
+          f"(artifacts: {RESULTS_DIR / 'bench_portfolio.txt'}, "
+          f"BENCH_portfolio.json)")

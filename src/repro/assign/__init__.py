@@ -8,7 +8,11 @@ Public surface:
 * :func:`dfg_expand`, :func:`dfg_assign_once`, :func:`dfg_assign_repeat`
   — the paper's general-DAG heuristics;
 * :func:`greedy_assign` — the comparator baseline;
-* :func:`exact_assign`, :func:`brute_force_assign` — certified optima;
+* :func:`exact_assign`, :func:`brute_force_assign` — certified optima
+  (`exact_assign` is anytime: truncated runs keep their incumbent,
+  flagged ``optimal=False``);
+* :func:`portfolio_assign` — the metaheuristic portfolio (GA / SA /
+  hybrid / HEFT-rank / anytime exact) raced under one budget;
 * :mod:`~repro.assign.knapsack` — the NP-completeness reduction.
 """
 
@@ -24,8 +28,14 @@ from .downgrade import downgrade_assign
 from .frontier import FrontierPoint, dfg_frontier, frontier_knees, tree_frontier
 from .ilp_model import ILPModel, build_ilp, check_solution, to_lp_format
 from .incremental import DPStats, IncrementalTreeDP
-from .exact import brute_force_assign, exact_assign
+from .exact import brute_force_assign, cost_lower_bound, exact_assign
 from .greedy import greedy_assign
+from .portfolio import (
+    PORTFOLIO_SOLVERS,
+    PortfolioResult,
+    SolverStats,
+    portfolio_assign,
+)
 from .knapsack import KnapsackInstance, hap_from_knapsack, solve_knapsack_via_hap
 from .minmax import MinMaxResult, max_cost, tree_minmax_assign
 from .path_assign import chain_order, path_assign
@@ -82,6 +92,11 @@ __all__ = [
     "greedy_assign",
     "exact_assign",
     "brute_force_assign",
+    "cost_lower_bound",
+    "PORTFOLIO_SOLVERS",
+    "PortfolioResult",
+    "SolverStats",
+    "portfolio_assign",
     "KnapsackInstance",
     "hap_from_knapsack",
     "solve_knapsack_via_hap",

@@ -35,7 +35,67 @@ from ..graph.paths import longest_path_time
 from .assignment import Assignment, min_completion_time
 from .result import AssignResult
 
-__all__ = ["exact_assign", "brute_force_assign"]
+__all__ = ["exact_assign", "brute_force_assign", "cost_lower_bound"]
+
+
+class _BudgetExhausted(Exception):
+    """Internal unwind signal: the node budget ran out mid-search."""
+
+
+def _timing_aware_suffix(
+    dfg: DFG, table: TimeCostTable, deadline: int, order: List[Node]
+) -> List[float]:
+    """Suffix sums of per-node cost floors under the slack-window relaxation.
+
+    Each node must individually fit its slack window even when every
+    neighbour runs at its fastest, so the cheapest *eligible* type
+    lower-bounds its contribution.  ``suffix[i]`` is the bound over
+    ``order[i:]``; ``suffix[0]`` is a valid lower bound on any feasible
+    assignment's total cost.
+    """
+    from ..graph.paths import min_path_to_leaf
+
+    min_times = {n: table.min_time(n) for n in order}
+    down = min_path_to_leaf(dfg, min_times)
+    tail_min = {n: down[n] - min_times[n] for n in order}
+    head_min: Dict[Node, int] = {}
+    for n in order:
+        parents = dfg.parents(n)
+        head_min[n] = max(
+            (head_min[p] + min_times[p] for p in parents), default=0
+        )
+    suffix = [0.0] * (len(order) + 1)
+    for i in range(len(order) - 1, -1, -1):
+        n = order[i]
+        budget = deadline - head_min[n] - tail_min[n]
+        t_row = table.times(n)
+        c_row = table.costs(n)
+        eligible = [
+            float(c_row[k]) for k in range(len(t_row)) if t_row[k] <= budget
+        ]
+        floor_cost = min(eligible) if eligible else float(c_row.min())
+        suffix[i] = suffix[i + 1] + floor_cost
+    return suffix
+
+
+def cost_lower_bound(dfg: DFG, table: TimeCostTable, deadline: int) -> float:
+    """Lower bound on the optimal system cost at ``deadline``.
+
+    The branch-and-bound's root bound, exposed so anytime solvers can
+    report an optimality gap without running the search.  Raises
+    :class:`~repro.errors.InfeasibleError` below the timing floor.
+    """
+    require_acyclic(dfg)
+    table.validate_for(dfg)
+    floor = min_completion_time(dfg, table)
+    if deadline < floor:
+        raise InfeasibleError(
+            f"no assignment of {dfg.name!r} completes within {deadline} "
+            f"(minimum possible is {floor})",
+            min_feasible=floor,
+        )
+    order = topological_order(dfg)
+    return _timing_aware_suffix(dfg, table, deadline, order)[0]
 
 
 def brute_force_assign(
@@ -76,6 +136,7 @@ def brute_force_assign(
         completion_time=assignment.completion_time(dfg, table),
         deadline=deadline,
         algorithm="brute_force",
+        optimal=True,
     )
 
 
@@ -129,43 +190,27 @@ class _Search:
         self.head: Dict[Node, int] = {}
         #: chosen execution time of each decided node
         self.assigned_time: Dict[Node, int] = {}
-        # Timing-aware cost lower bound: each node must individually fit
-        # its slack window even under all-fastest neighbours, so its
-        # cheapest *eligible* type lower-bounds its contribution.
-        head_min: Dict[Node, int] = {}
-        for n in self.order:
-            parents = dfg.parents(n)
-            head_min[n] = max(
-                (head_min[p] + min_times[p] for p in parents), default=0
-            )
-        suffix = [0.0] * (len(self.order) + 1)
-        for i in range(len(self.order) - 1, -1, -1):
-            n = self.order[i]
-            budget = deadline - head_min[n] - self.tail_min[n]
-            t_row = table.times(n)
-            c_row = table.costs(n)
-            eligible = [
-                float(c_row[k]) for k in range(len(t_row)) if t_row[k] <= budget
-            ]
-            floor_cost = min(eligible) if eligible else float(c_row.min())
-            suffix[i] = suffix[i + 1] + floor_cost
-        self.min_cost_suffix = suffix
+        self.min_cost_suffix = _timing_aware_suffix(
+            dfg, table, deadline, self.order
+        )
         self.best_cost = np.inf
         self.best_mapping: Optional[Dict[Node, int]] = None
         self.mapping: Dict[Node, int] = {}
         self.nodes_visited = 0
         self.node_budget = node_budget
 
-    def run(self) -> None:
-        self._dfs(0, 0.0)
+    def run(self) -> bool:
+        """Search to completion; ``False`` if the node budget ran out."""
+        try:
+            self._dfs(0, 0.0)
+        except _BudgetExhausted:
+            return False
+        return True
 
     def _dfs(self, index: int, cost_so_far: float) -> None:
         self.nodes_visited += 1
         if self.nodes_visited > self.node_budget:
-            raise ReproError(
-                f"branch-and-bound exceeded node budget {self.node_budget}; "
-                "use the heuristics for graphs this large"
-            )
+            raise _BudgetExhausted  # lint: ignore[RL001] — private unwind signal, caught in run()
         if cost_so_far + self.min_cost_suffix[index] >= self.best_cost:
             return
         if index == len(self.order):
@@ -198,11 +243,16 @@ def exact_assign(
     deadline: int,
     node_budget: int = 2_000_000,
 ) -> AssignResult:
-    """Certified-optimal assignment by branch-and-bound (ILP stand-in).
+    """Optimal assignment by branch-and-bound (ILP stand-in), anytime.
 
-    ``node_budget`` caps the number of search-tree nodes visited;
-    exceeding it raises :class:`~repro.errors.ReproError` rather than
-    silently returning a sub-optimal answer.
+    ``node_budget`` caps the number of search-tree nodes visited.  When
+    the search completes within budget the result is certified optimal
+    (``optimal=True``); when the budget runs out mid-search the best
+    feasible incumbent found so far is returned flagged
+    ``optimal=False`` instead of being discarded.  Because the search
+    is seeded with the greedy solution, a feasible incumbent always
+    exists whenever the deadline itself is feasible; an infeasible
+    deadline still raises :class:`~repro.errors.InfeasibleError`.
     """
     require_acyclic(dfg)
     table.validate_for(dfg)
@@ -221,8 +271,12 @@ def exact_assign(
     seed = greedy_assign(dfg, table, deadline)
     search.best_cost = seed.cost
     search.best_mapping = dict(seed.assignment.items())
-    search.run()
-    assert search.best_mapping is not None, "feasible floor but empty search"
+    completed = search.run()
+    if search.best_mapping is None:
+        raise ReproError(
+            f"branch-and-bound exhausted node budget {node_budget} on "
+            f"{dfg.name!r} with no feasible incumbent"
+        )
     assignment = Assignment.of(search.best_mapping)
     return AssignResult(
         assignment=assignment,
@@ -230,4 +284,5 @@ def exact_assign(
         completion_time=assignment.completion_time(dfg, table),
         deadline=deadline,
         algorithm="exact_bb",
+        optimal=completed,
     )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ReproError
 from ..fu.table import TimeCostTable
@@ -29,6 +30,11 @@ class AssignResult:
         The timing constraint the run targeted.
     algorithm:
         Human-readable algorithm name, e.g. ``"tree_assign"``.
+    optimal:
+        Optimality claim: ``True`` when the producing algorithm
+        certifies this cost as the minimum, ``False`` when a complete
+        search was truncated (anytime result), ``None`` when the
+        algorithm makes no claim either way (heuristics).
     """
 
     assignment: Assignment
@@ -36,6 +42,7 @@ class AssignResult:
     completion_time: int
     deadline: int
     algorithm: str
+    optimal: Optional[bool] = None
 
     def verify(self, dfg: DFG, table: TimeCostTable) -> None:
         """Recompute cost/time from scratch and check internal claims.

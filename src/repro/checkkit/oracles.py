@@ -31,6 +31,7 @@ from ..assign import (
     exact_assign,
     greedy_assign,
     path_assign,
+    portfolio_assign,
     tree_assign,
     tree_frontier,
 )
@@ -38,7 +39,7 @@ from ..assign.dfg_assign import choose_expansion
 from ..assign.dfg_expand import ExpandedTree
 from ..assign.ilp_model import build_ilp, check_solution
 from ..assign.result import AssignResult
-from ..errors import CheckError, ReproError
+from ..errors import CheckError
 from ..fu.table import TimeCostTable
 from ..graph.classify import is_in_forest, is_out_forest, is_simple_path
 from ..graph.dfg import DFG
@@ -128,9 +129,10 @@ class OracleContext:
     def results(self) -> Dict[str, AssignResult]:
         """The full portfolio on this instance.
 
-        Always contains ``greedy``/``downgrade``/``once``/``repeat``;
-        ``exact`` when branch-and-bound finishes within budget,
-        ``path``/``tree`` when the shape admits the structure DPs.
+        Always contains ``greedy``/``downgrade``/``once``/``repeat``
+        and ``exact`` (anytime: only certified when ``optimal`` is
+        true); ``path``/``tree`` when the shape admits the structure
+        DPs.
         """
         if self._results is None:
             dag = self.dag
@@ -144,15 +146,15 @@ class OracleContext:
                     dag, self.table, self.deadline, expansion=self.expansion
                 ),
             }
-            try:
-                results["exact"] = exact_assign(dag, self.table, self.deadline)
-            except ReproError:
-                # Branch-and-bound exceeded its budget — the same scale
-                # limit the paper reports for the ILP.  Optimality
+            results["exact"] = exact_assign(dag, self.table, self.deadline)
+            if results["exact"].optimal is not True:
+                # Branch-and-bound exhausted its budget — the same scale
+                # limit the paper reports for the ILP.  The feasible
+                # incumbent stays in the portfolio, but optimality
                 # relations are skipped; everything else is certified.
                 self._exact_skip_note = (
-                    "exact search skipped (budget exceeded at this graph "
-                    "size, as for the paper's ILP)"
+                    "exact search truncated (budget exceeded at this graph "
+                    "size, as for the paper's ILP); incumbent kept"
                 )
             if is_simple_path(dag):
                 results["path"] = path_assign(dag, self.table, self.deadline)
@@ -245,7 +247,9 @@ def get_oracle(name: str) -> Oracle:
 
 
 def _has_exact(ctx: OracleContext) -> bool:
-    return "exact" in ctx.results
+    """The exact search finished and its cost is a certified optimum."""
+    exact = ctx.results.get("exact")
+    return exact is not None and exact.optimal is True
 
 
 def _is_forest(ctx: OracleContext) -> bool:
@@ -466,6 +470,49 @@ def _oracle_workers(ctx: OracleContext) -> List[str]:
 
 
 @_register(
+    "metaheuristics",
+    "the portfolio race never loses to DFG_Assign_Repeat and its gap is sound",
+)
+def _oracle_metaheuristics(ctx: OracleContext) -> List[str]:
+    # A small-budget race keeps fuzz throughput; the anytime contract
+    # must hold at every budget, so a tight one is the harsher test.
+    race = portfolio_assign(
+        ctx.dag,
+        ctx.table,
+        ctx.deadline,
+        evaluations=200,
+        seed=2004,
+        exact_node_budget=5_000,
+    )
+    race.best.verify(ctx.dag, ctx.table)
+    if race.best.cost > ctx.costs["repeat"] + _ATOL:
+        raise CheckError(
+            f"portfolio {race.best.cost} worse than repeat "
+            f"{ctx.costs['repeat']} despite seeding"
+        )
+    if race.gap < 0:
+        raise CheckError(f"negative optimality gap {race.gap}")
+    if race.best.cost < race.lower_bound - _ATOL:
+        raise CheckError(
+            f"portfolio cost {race.best.cost} beat its own lower bound "
+            f"{race.lower_bound}"
+        )
+    checks = ["portfolio <= repeat; gap sound"]
+    if race.certified and race.gap > _ATOL:
+        raise CheckError(
+            f"certified race reports nonzero gap {race.gap}"
+        )
+    if _has_exact(ctx):
+        if race.best.cost < ctx.costs["exact"] - _ATOL:
+            raise CheckError(
+                f"portfolio {race.best.cost} beat the certified optimum "
+                f"{ctx.costs['exact']}"
+            )
+        checks.append("portfolio bounded below by the certified optimum")
+    return checks
+
+
+@_register(
     "frontier",
     "incremental deadline sweeps equal cold per-deadline re-runs",
 )
@@ -503,6 +550,7 @@ FUZZ_CHAIN: Tuple[str, ...] = CERTIFY_CHAIN + (
     "kernels",
     "workers",
     "frontier",
+    "metaheuristics",
 )
 
 

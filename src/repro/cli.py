@@ -8,6 +8,7 @@ Subcommands::
     repro-hls synth elliptic -L 40      # both phases
     repro-hls table1 / table2           # regenerate the paper tables
     repro-hls headline                  # the average-reduction summary
+    repro-hls portfolio elliptic -L 40  # metaheuristic race + gap report
     repro-hls lint src/repro            # static-analysis gate (lintkit)
     repro-hls fuzz --budget 200         # differential fuzzing (checkkit)
 
@@ -19,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .assign import min_completion_time
 from .errors import AssignError, ReproError
@@ -38,7 +39,29 @@ from .report.tables import format_percent
 from .suite.registry import benchmark_names, get_benchmark
 from .synthesis import ALGORITHMS, synthesize
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "FORWARDED_COMMANDS"]
+
+#: Subcommands that own their whole argparse surface and 0/1/2 exit
+#: codes.  They use ``argparse.REMAINDER`` tails, which drop/steal the
+#: tail when its first token is an option (python bug bpo-17050), so
+#: :func:`main` dispatches them *before* parsing.  Every REMAINDER
+#: subcommand must be listed here — pinned by an audit test in
+#: ``tests/test_cli.py`` so a new forwarding subcommand cannot
+#: reintroduce the leading-flag bug.
+FORWARDED_COMMANDS = ("lint", "fuzz")
+
+
+def _forwarded_main(name: str) -> Callable[[List[str]], int]:
+    """The owning package's CLI entry for a forwarded subcommand."""
+    if name == "lint":
+        from .lintkit.cli import main as lint_main
+
+        return lint_main
+    if name == "fuzz":
+        from .checkkit.cli import main as fuzz_main
+
+        return fuzz_main
+    raise ReproError(f"no forwarded entry point for {name!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,6 +228,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["chrome", "jsonl", "text"],
         default="chrome",
         help="export format (default: chrome, for chrome://tracing / Perfetto)",
+    )
+
+    p_port = sub.add_parser(
+        "portfolio",
+        help="race the metaheuristic portfolio (GA/SA/hybrid/rank/exact) "
+        "under one anytime budget",
+    )
+    p_port.add_argument("benchmark")
+    p_port.add_argument("-L", "--deadline", type=int, default=None)
+    p_port.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="seed for the random table AND the solvers' generators",
+    )
+    p_port.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="shared evaluation budget across the race "
+        "(default: the portfolio's DEFAULT_EVALUATIONS)",
+    )
+    p_port.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="processes for the solver race (0 = serial, -1 = all "
+        "cores; results are identical)",
+    )
+    p_port.add_argument(
+        "--solvers",
+        default=None,
+        help="comma-separated subset of solvers to race "
+        "(default: all of genetic,annealing,hybrid,rank,exact)",
     )
 
     p_lint = sub.add_parser(
@@ -448,6 +505,32 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_portfolio(args) -> int:
+    from .assign.portfolio import DEFAULT_EVALUATIONS, portfolio_assign
+
+    dfg = get_benchmark(args.benchmark).dag()
+    table = random_table(dfg, num_types=3, seed=args.seed)
+    deadline = _resolve_deadline(dfg, table, args.deadline)
+    solvers = args.solvers.split(",") if args.solvers else None
+    result = portfolio_assign(
+        dfg,
+        table,
+        deadline,
+        evaluations=(
+            args.budget if args.budget is not None else DEFAULT_EVALUATIONS
+        ),
+        seed=args.seed,
+        workers=args.workers,
+        solvers=solvers,
+    )
+    result.best.verify(dfg, table)
+    print(f"benchmark   : {args.benchmark} ({len(dfg)} nodes)")
+    print(f"deadline    : {deadline} "
+          f"(minimum {min_completion_time(dfg, table)})")
+    print(result.describe())
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     rows = run_benchmark_rows(args.benchmark, seed=args.seed, count=args.count)
     print(render_rows(rows, title=f"{args.benchmark} (seed {args.seed})"))
@@ -457,17 +540,11 @@ def _cmd_sweep(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     raw = list(sys.argv[1:]) if argv is None else list(argv)
-    # lintkit/checkkit own their argparse surfaces and the 0/1/2 exit
-    # codes; forward before parsing, since argparse.REMAINDER drops the
-    # tail when its first token is an option (python bug bpo-17050)
-    if raw and raw[0] == "lint":
-        from .lintkit.cli import main as lint_main
-
-        return lint_main(raw[1:])
-    if raw and raw[0] == "fuzz":
-        from .checkkit.cli import main as fuzz_main
-
-        return fuzz_main(raw[1:])
+    # Table-driven forwarding (see FORWARDED_COMMANDS): these commands
+    # must be dispatched before parse_args so a leading option in the
+    # forwarded tail is not swallowed by the top-level parser.
+    if raw and raw[0] in FORWARDED_COMMANDS:
+        return _forwarded_main(raw[0])(raw[1:])
     args = build_parser().parse_args(raw)
     try:
         if args.command == "list":
@@ -521,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "portfolio":
+            return _cmd_portfolio(args)
         raise ReproError(f"unhandled command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -18,7 +18,9 @@ layers.  It has two halves:
 * **Deterministic parallelism** — :mod:`~repro.engine.parallel`
   provides :func:`pmap`, a spawn-safe, chunked, order-preserving
   process map with a serial fallback at ``workers=0`` whose results
-  are independent of the worker count.
+  are independent of the worker count; :mod:`~repro.engine.budget`
+  adds :class:`Budget`, the pre-split evaluation/wall-clock allowance
+  that anytime solvers consult when raced through ``pmap``.
 
 Layering: the engine sits beside ``fu`` (layer 2) — it may import
 ``errors``/``obs``/``apiutil``/``graph``/``fu`` and nothing above; the
@@ -26,6 +28,7 @@ Layering: the engine sits beside ``fu`` (layer 2) — it may import
 RL004).  See ``docs/performance.md``.
 """
 
+from .budget import Budget
 from .kernels import (
     NO_CHOICE,
     PackedTreeDP,
@@ -41,6 +44,7 @@ from .parallel import pmap, resolve_workers
 from .stats import DPStats
 
 __all__ = [
+    "Budget",
     "DPStats",
     "PackedForest",
     "PackedTreeDP",

@@ -1,0 +1,119 @@
+"""Shared anytime budgets for raced solvers.
+
+A :class:`Budget` is a spendable allowance that anytime solvers consult
+between steps: an **evaluation budget** (a deterministic count of
+objective evaluations) and/or a **wall-clock budget** (seconds since
+:meth:`Budget.start`).  Evaluation budgets are the default throughout
+the package because they make raced runs reproducible — two runs with
+the same seed spend the identical sequence of evaluations regardless of
+machine speed or worker count.  Wall-clock budgets are available for
+interactive use but are inherently non-deterministic.
+
+:meth:`Budget.split` divides an allowance fairly across ``parts``
+competitors before a :func:`~repro.engine.parallel.pmap` fan-out, which
+is how the portfolio layer races heterogeneous solvers under one
+contract: each child process receives its own pre-split share, so no
+cross-process coordination (and no shared mutable state) is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..errors import EngineError
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """A spendable evaluation and/or wall-clock allowance.
+
+    At least one limit must be given.  ``evaluations`` is the total
+    number of :meth:`spend` units allowed; ``wall_s`` is seconds
+    measured from :meth:`start`.  Instances are picklable, so a
+    pre-split share can travel to a spawn-pool worker.
+    """
+
+    __slots__ = ("evaluations", "wall_s", "_spent", "_started")
+
+    def __init__(
+        self,
+        evaluations: Optional[int] = None,
+        wall_s: Optional[float] = None,
+    ):
+        if evaluations is None and wall_s is None:
+            raise EngineError(
+                "a Budget needs at least one limit (evaluations or wall_s)"
+            )
+        if evaluations is not None and evaluations < 0:
+            raise EngineError(f"evaluations must be >= 0, got {evaluations}")
+        if wall_s is not None and wall_s < 0:
+            raise EngineError(f"wall_s must be >= 0, got {wall_s}")
+        self.evaluations = evaluations
+        self.wall_s = wall_s
+        self._spent = 0
+        self._started: Optional[float] = None
+
+    @property
+    def spent(self) -> int:
+        """Evaluation units spent so far."""
+        return self._spent
+
+    def start(self) -> "Budget":
+        """Start (or restart) the wall clock; returns ``self``."""
+        self._started = time.monotonic()
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 before the clock starts)."""
+        if self._started is None:
+            return 0.0
+        return time.monotonic() - self._started
+
+    def spend(self, n: int = 1) -> None:
+        """Record ``n`` evaluation units of work."""
+        if n < 0:
+            raise EngineError(f"cannot spend a negative amount ({n})")
+        self._spent += n
+
+    def exhausted(self) -> bool:
+        """Whether either limit has been reached."""
+        if self.evaluations is not None and self._spent >= self.evaluations:
+            return True
+        if self.wall_s is not None and self._started is not None:
+            if self.elapsed() >= self.wall_s:
+                return True
+        return False
+
+    def remaining(self) -> Optional[int]:
+        """Evaluation units left, or ``None`` for wall-clock-only budgets."""
+        if self.evaluations is None:
+            return None
+        return max(0, self.evaluations - self._spent)
+
+    def split(self, parts: int) -> List["Budget"]:
+        """Fair per-competitor shares for a raced fan-out.
+
+        The evaluation allowance is divided evenly (earlier parts absorb
+        the remainder); each share carries the full ``wall_s`` since
+        raced competitors run over the same wall-clock window.
+        """
+        if parts <= 0:
+            raise EngineError(f"parts must be positive, got {parts}")
+        if self.evaluations is None:
+            return [Budget(wall_s=self.wall_s) for _ in range(parts)]
+        base, extra = divmod(self.evaluations, parts)
+        return [
+            Budget(
+                evaluations=base + (1 if i < extra else 0),
+                wall_s=self.wall_s,
+            )
+            for i in range(parts)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Budget(evaluations={self.evaluations}, wall_s={self.wall_s}, "
+            f"spent={self._spent})"
+        )

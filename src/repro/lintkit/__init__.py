@@ -15,7 +15,10 @@ actually hit (see ``docs/static-analysis.md`` for the catalog):
   ``graph → fu → assign → sched/retiming → sim/suite → report/cli/verify``
   admits no upward or cyclic imports;
 * **RL005** side-effect hygiene — no stdout writes and no
-  assert-as-validation in library modules.
+  assert-as-validation in library modules;
+* **RL006** seeded-generator discipline — no stdlib ``random`` or
+  global ``np.random.<fn>`` state in the numeric layers; stochastic
+  code takes an explicit seeded ``numpy.random.Generator``.
 
 Findings can be suppressed inline (``# lint: ignore[RL002]``) or via a
 committed ``lintkit-baseline.toml``.  Run as ``python -m repro.lintkit

@@ -1,5 +1,12 @@
 """Rule catalog — importing this package registers every rule."""
 
-from . import api_sync, exceptions, floats, hygiene, layering
+from . import api_sync, exceptions, floats, hygiene, layering, randomness
 
-__all__ = ["exceptions", "floats", "api_sync", "layering", "hygiene"]
+__all__ = [
+    "exceptions",
+    "floats",
+    "api_sync",
+    "layering",
+    "hygiene",
+    "randomness",
+]

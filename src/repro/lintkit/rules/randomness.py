@@ -1,0 +1,164 @@
+"""RL006 — seeded-generator discipline.
+
+Module-state randomness (``random.*`` and the legacy ``np.random.<fn>``
+global state) makes runs irreproducible: results change under test
+reordering, process fan-out, and library-internal ``seed()`` calls made
+by *other* code.  The portfolio work (PR 6) standardised on explicit
+:class:`numpy.random.Generator` objects derived from
+``np.random.default_rng(SeedSequence([seed, index]))`` — identical at
+any worker count — and this rule keeps the numeric layers (1–5, i.e.
+``graph`` through ``synthesis``) on that contract:
+
+* ``import random`` / ``from random import ...`` are banned outright;
+* ``np.random.<call>`` on the global state (``seed``, ``rand``,
+  ``normal``, ...) is banned; only the constructors of the explicit
+  Generator API (``default_rng``, ``Generator``, ``SeedSequence``, and
+  the bit generators) are allowed.
+
+Presentation layers (6+) and the substrate layer 0 are out of scope —
+they hold no algorithmic randomness to begin with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Set
+
+from ..engine import ModuleInfo
+from ..findings import Finding
+from ..registry import Rule, register
+from .layering import layer_of
+
+__all__ = ["SeededGeneratorRule", "ALLOWED_NP_RANDOM"]
+
+#: The explicit-Generator API of :mod:`numpy.random` — everything here
+#: constructs seeded state rather than mutating the hidden global one.
+ALLOWED_NP_RANDOM: FrozenSet[str] = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+def in_scope(module: str) -> bool:
+    """True when RL006 applies: numeric layers 1–5 of the package."""
+    layer = layer_of(module)
+    return layer is not None and 1 <= layer <= 5
+
+
+def _numpy_aliases(tree: ast.AST) -> Set[str]:
+    """Local names bound to the ``numpy`` module itself."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    names.add(alias.asname or "numpy")
+    return names
+
+
+def _np_random_aliases(tree: ast.AST) -> Set[str]:
+    """Local names bound to the ``numpy.random`` submodule."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy.random" and alias.asname:
+                    names.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "random":
+                        names.add(alias.asname or "random")
+    return names
+
+
+def _banned_np_attr(
+    node: ast.Attribute,
+    numpy_names: Set[str],
+    np_random_names: Set[str],
+) -> Optional[str]:
+    """The offending attribute name when ``node`` hits global np.random."""
+    if node.attr in ALLOWED_NP_RANDOM:
+        return None
+    value = node.value
+    # np.random.<attr> via a numpy alias
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in numpy_names
+    ):
+        return node.attr
+    # <alias>.<attr> via a numpy.random alias
+    if isinstance(value, ast.Name) and value.id in np_random_names:
+        return node.attr
+    return None
+
+
+@register
+class SeededGeneratorRule(Rule):
+    """Ban module-state randomness in the numeric layers."""
+
+    code = "RL006"
+    name = "seeded-generator"
+    rationale = (
+        "global random state breaks run-to-run and worker-count "
+        "reproducibility; pass an explicit seeded "
+        "numpy.random.Generator (np.random.default_rng) instead"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(mod.module):
+            return
+        numpy_names = _numpy_aliases(mod.tree)
+        np_random_names = _np_random_aliases(mod.tree)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield mod.finding(
+                            self.code,
+                            node,
+                            "import of the stdlib random module "
+                            "(hidden global state); take a seeded "
+                            "numpy.random.Generator parameter instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield mod.finding(
+                        self.code,
+                        node,
+                        "import from the stdlib random module "
+                        "(hidden global state); take a seeded "
+                        "numpy.random.Generator parameter instead",
+                    )
+                elif node.module == "numpy.random" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name not in ALLOWED_NP_RANDOM:
+                            yield mod.finding(
+                                self.code,
+                                node,
+                                f"numpy.random.{alias.name} uses the "
+                                "global RNG state; use the explicit "
+                                "Generator API (default_rng) instead",
+                            )
+            elif isinstance(node, ast.Attribute):
+                banned = _banned_np_attr(node, numpy_names, np_random_names)
+                if banned is not None:
+                    yield mod.finding(
+                        self.code,
+                        node,
+                        f"np.random.{banned} uses the global RNG "
+                        "state; use the explicit Generator API "
+                        "(default_rng) instead",
+                    )

@@ -2,6 +2,7 @@
 
 from .force_directed import force_directed_schedule
 from .asap_alap import alap_starts, asap_starts, mobility
+from .heft import heft_schedule, upward_ranks
 from .ilp_model import SchedulingILP, build_schedule_ilp, check_schedule_solution
 from .lower_bound import lower_bound_configuration, occupancy
 from .min_resource import list_schedule, min_resource_schedule
@@ -22,6 +23,8 @@ __all__ = [
     "allocate_registers",
     "value_lifetimes",
     "force_directed_schedule",
+    "heft_schedule",
+    "upward_ranks",
     "asap_starts",
     "alap_starts",
     "mobility",

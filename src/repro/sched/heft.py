@@ -1,0 +1,143 @@
+"""HEFT-style list scheduling — the heterogeneous-computing comparator.
+
+Topcuoglu, Hariri & Wu's HEFT [THW02] is the standard reference point
+for scheduling task DAGs on heterogeneous processors: prioritize tasks
+by **upward rank** (task's mean execution cost plus the largest rank
+among its successors), then place each task, in decreasing rank order,
+where it finishes earliest.  This module adapts that recipe to the
+paper's model, where phase 1 has already fixed each node's FU *type*
+and phase 2 binds FU *instances*:
+
+* the priority list uses upward ranks under **type-averaged** execution
+  times — like HEFT's processor-averaged costs, it is independent of
+  the particular assignment, so two assignments of the same graph are
+  compared under the same order;
+* binding is earliest-finish-time over the existing instances of the
+  node's assigned type;
+* the configuration starts from `Lower_Bound_R` and grows an instance
+  only when every existing one would push the node past its ALAP start
+  — the same necessity rule as `Min_R_Scheduling`, which keeps the
+  result deadline-feasible for every feasible assignment.
+
+Registered as ``scheduler="heft"`` in :func:`repro.synthesis.synthesize`
+so benches can pit the paper's scheduler against the classical
+heterogeneous list scheduler on identical assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..assign.assignment import Assignment
+from ..errors import ScheduleError
+from ..fu.table import TimeCostTable
+from ..graph.dag import topological_order
+from ..graph.dfg import DFG, Node
+from ..obs import current_tracer
+from .asap_alap import alap_starts
+from .lower_bound import lower_bound_configuration
+from .schedule import Configuration, Schedule, ScheduledOp
+
+__all__ = ["heft_schedule", "upward_ranks"]
+
+
+def upward_ranks(dfg: DFG, table: TimeCostTable) -> Dict[Node, float]:
+    """THW02 upward ranks under type-averaged execution times.
+
+    ``rank(v) = mean_time(v) + max(rank(c) for children c)`` — the
+    length of the longest mean-time path from ``v`` to a leaf.  Higher
+    rank means more downstream work, hence higher scheduling priority.
+    """
+    order = topological_order(dfg)
+    mean_time = {
+        n: float(sum(table.times(n))) / table.num_types for n in order
+    }
+    ranks: Dict[Node, float] = {}
+    for n in reversed(order):
+        ranks[n] = mean_time[n] + max(
+            (ranks[c] for c in dfg.children(n)), default=0.0
+        )
+    return ranks
+
+
+def heft_schedule(
+    dfg: DFG,
+    table: TimeCostTable,
+    *,
+    assignment: Assignment,
+    deadline: int,
+    initial: Optional[Configuration] = None,
+) -> Schedule:
+    """Schedule ``assignment`` HEFT-style within ``deadline``.
+
+    Nodes are placed in decreasing upward-rank order (ties broken by
+    topological position, keeping the pass deterministic and
+    precedence-safe) on the earliest-finishing instance of their
+    assigned type; an instance is added only when every existing one
+    would start the node after its ALAP step.  Always succeeds for a
+    feasible assignment, for the same reason `Min_R_Scheduling` does:
+    starting at or before ALAP preserves every descendant's slack.
+
+    ``initial`` overrides the starting configuration (default:
+    `Lower_Bound_R`).
+    """
+    assignment.validate_for(dfg, table)
+    with current_tracer().span(
+        "heft_schedule", nodes=len(dfg), deadline=deadline
+    ):
+        return _heft_schedule(dfg, table, assignment, deadline, initial)
+
+
+def _heft_schedule(
+    dfg: DFG,
+    table: TimeCostTable,
+    assignment: Assignment,
+    deadline: int,
+    initial: Optional[Configuration],
+) -> Schedule:
+    times = assignment.execution_times(dfg, table)
+    alap = alap_starts(dfg, times, deadline)  # raises if infeasible
+
+    if initial is None:
+        initial = lower_bound_configuration(dfg, table, assignment, deadline)
+    if initial.num_types != table.num_types:
+        raise ScheduleError(
+            f"initial configuration has {initial.num_types} types, "
+            f"table has {table.num_types}"
+        )
+    #: free_at[j][i] = first step instance i of type j is idle
+    free_at: List[List[int]] = [[0] * c for c in initial.counts]
+
+    ranks = upward_ranks(dfg, table)
+    topo_pos = {n: i for i, n in enumerate(topological_order(dfg))}
+    # Decreasing rank is a topological order up to zero-time ties;
+    # the topo_pos tie-break makes it one unconditionally.
+    priority = sorted(dfg.nodes(), key=lambda n: (-ranks[n], topo_pos[n]))
+
+    finish: Dict[Node, int] = {}
+    ops: Dict[Node, ScheduledOp] = {}
+    for node in priority:
+        j = assignment[node]
+        t = times[node]
+        ready = max((finish[p] for p in dfg.parents(node)), default=0)
+        units = free_at[j]
+        # earliest-finish-time binding: lowest (start, index) wins
+        choice: Optional[int] = None
+        start = 0
+        for i, free in enumerate(units):
+            s = max(ready, free)
+            if choice is None or s < start:
+                choice, start = i, s
+        if choice is None or start > alap[node]:
+            # waiting would miss the constraint — grow out of necessity
+            units.append(0)
+            choice, start = len(units) - 1, ready
+        units[choice] = start + t
+        finish[node] = start + t
+        ops[node] = ScheduledOp(start=start, fu_type=j, fu_index=choice)
+
+    return Schedule(
+        ops=ops,
+        configuration=Configuration.of([len(u) for u in free_at]),
+        deadline=deadline,
+    )

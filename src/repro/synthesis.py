@@ -30,6 +30,7 @@ from .assign import (
     dfg_assign_repeat,
     downgrade_assign,
     exact_assign,
+    portfolio_assign,
     sp_assign,
     greedy_assign,
     path_assign,
@@ -44,6 +45,13 @@ from .sched import Configuration, Schedule, lower_bound_configuration, min_resou
 
 __all__ = ["SynthesisResult", "synthesize", "ALGORITHMS", "auto_algorithm"]
 
+def _portfolio_best(
+    dfg: DFG, table: TimeCostTable, deadline: int
+) -> AssignResult:
+    """Phase-1 adapter: race the metaheuristic portfolio, keep the winner."""
+    return portfolio_assign(dfg, table, deadline).best
+
+
 #: Name → phase-1 algorithm; all share the (dfg, table, deadline) call shape.
 ALGORITHMS: Dict[str, Callable[[DFG, TimeCostTable, int], AssignResult]] = {
     "path": path_assign,
@@ -54,6 +62,7 @@ ALGORITHMS: Dict[str, Callable[[DFG, TimeCostTable, int], AssignResult]] = {
     "downgrade": downgrade_assign,
     "sp": sp_assign,
     "exact": exact_assign,
+    "portfolio": _portfolio_best,
 }
 
 
@@ -127,6 +136,7 @@ def synthesize(
     algorithm: Optional[str] = None,
     scheduler: str = "min_resource",
     workers: int = 0,
+    strategy: str = "paper",
 ) -> SynthesisResult:
     """Run the full two-phase flow on the DAG part of ``dfg``.
 
@@ -136,9 +146,17 @@ def synthesize(
     be cyclic (a loop-carried DSP graph); assignment and scheduling
     constrain only its zero-delay DAG part, per the paper.
 
+    ``strategy`` selects the phase-1 policy: ``"paper"`` (default)
+    keeps the structural auto-selection table above, while
+    ``"portfolio"`` races the metaheuristic portfolio
+    (:func:`repro.assign.portfolio_assign`) and keeps the winner —
+    never worse than `DFG_Assign_Repeat` by construction.  The knob
+    conflicts with an explicit ``algorithm=``: pass one or the other.
+
     ``scheduler`` selects phase 2: ``"min_resource"`` (the paper's
-    `Min_R_Scheduling`, default) or ``"force_directed"`` (the classical
-    Paulin–Knight alternative, for comparison studies).
+    `Min_R_Scheduling`, default), ``"force_directed"`` (the classical
+    Paulin–Knight alternative, for comparison studies), or ``"heft"``
+    (the THW02-style heterogeneous list scheduler).
 
     ``workers`` fans the `DFG_Assign_Repeat` pin evaluations out across
     processes via :func:`repro.engine.pmap` (0 = serial, the default;
@@ -161,6 +179,17 @@ def synthesize(
         dag = dfg.dag()
     except CyclicDependencyError:
         raise
+    if strategy not in ("paper", "portfolio"):
+        raise ReproError(
+            f"unknown strategy {strategy!r}; choose 'paper' or 'portfolio'"
+        )
+    if strategy == "portfolio":
+        if algorithm is not None and algorithm != "portfolio":
+            raise ReproError(
+                "strategy='portfolio' conflicts with an explicit "
+                f"algorithm={algorithm!r}; pass one or the other"
+            )
+        algorithm = "portfolio"
     name = algorithm or auto_algorithm(dag)
     try:
         algo = ALGORITHMS[name]
@@ -212,10 +241,20 @@ def synthesize(
                 schedule = force_directed_schedule(
                     dag, table, assign_result.assignment, deadline
                 )
+            elif scheduler == "heft":
+                from .sched import heft_schedule
+
+                schedule = heft_schedule(
+                    dag,
+                    table,
+                    assignment=assign_result.assignment,
+                    deadline=deadline,
+                    initial=lower,
+                )
             else:
                 raise ReproError(
-                    f"unknown scheduler {scheduler!r}; choose 'min_resource' or "
-                    "'force_directed'"
+                    f"unknown scheduler {scheduler!r}; choose 'min_resource', "
+                    "'force_directed', or 'heft'"
                 )
         timings["schedule"] = perf_counter() - t0
         if tracer.enabled:

@@ -41,11 +41,42 @@ class TestGuards:
         with pytest.raises(ReproError, match="max_nodes"):
             brute_force_assign(dfg, table, 100, max_nodes=12)
 
-    def test_bb_node_budget(self, wide_dag):
+    def test_bb_node_budget_returns_incumbent(self, wide_dag):
+        """Exhausting the budget keeps the best-so-far, flagged anytime."""
+        from repro.assign.greedy import greedy_assign
+
         table = random_table(wide_dag, seed=1)
         floor = min_completion_time(wide_dag, table)
-        with pytest.raises(ReproError, match="budget"):
-            exact_assign(wide_dag, table, floor + 5, node_budget=2)
+        result = exact_assign(wide_dag, table, floor + 5, node_budget=2)
+        result.verify(wide_dag, table)
+        assert result.optimal is False
+        # never worse than the greedy seed it started from
+        greedy = greedy_assign(wide_dag, table, floor + 5)
+        assert result.cost <= greedy.cost + 1e-9
+
+    def test_bb_mid_search_budget_keeps_improvements(self, wide_dag):
+        """A budget that exhausts mid-search still returns a feasible,
+        verified incumbent no worse than with a smaller budget."""
+        table = random_table(wide_dag, seed=4)
+        floor = min_completion_time(wide_dag, table)
+        deadline = floor + 5
+        full = exact_assign(wide_dag, table, deadline)
+        assert full.optimal is True
+        prev_cost = None
+        for budget in (2, 50, 500):
+            partial = exact_assign(
+                wide_dag, table, deadline, node_budget=budget
+            )
+            partial.verify(wide_dag, table)
+            assert partial.cost >= full.cost - 1e-9
+            if prev_cost is not None:
+                assert partial.cost <= prev_cost + 1e-9
+            prev_cost = partial.cost
+
+    def test_full_search_is_certified(self, wide_dag):
+        table = random_table(wide_dag, seed=1)
+        floor = min_completion_time(wide_dag, table)
+        assert exact_assign(wide_dag, table, floor + 5).optimal is True
 
     def test_infeasible(self, wide_dag):
         table = random_table(wide_dag, seed=2)

@@ -1,0 +1,148 @@
+"""Unit tests for the metaheuristic portfolio assigner."""
+
+import pytest
+
+from repro.assign.assignment import min_completion_time
+from repro.assign.dfg_assign import dfg_assign_repeat
+from repro.assign.exact import cost_lower_bound, exact_assign
+from repro.assign.portfolio import (
+    PORTFOLIO_SOLVERS,
+    PortfolioResult,
+    SolverStats,
+    portfolio_assign,
+)
+from repro.errors import InfeasibleError, ReproError
+from repro.fu.random_tables import random_table
+from repro.suite.synthetic import random_dag
+
+ATOL = 1e-9
+
+
+def _case(seed, nodes=10, slack=3):
+    dfg = random_dag(nodes, edge_prob=0.3, seed=seed)
+    table = random_table(dfg, num_types=3, seed=seed)
+    deadline = min_completion_time(dfg, table) + slack
+    return dfg, table, deadline
+
+
+class TestNeverWorseThanRepeat:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_beats_or_ties_repeat(self, seed):
+        dfg, table, deadline = _case(seed)
+        repeat = dfg_assign_repeat(dfg, table, deadline)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=400, seed=seed
+        )
+        result.best.verify(dfg, table)
+        assert result.best.cost <= repeat.cost + ATOL
+        assert result.seed_cost == pytest.approx(repeat.cost)
+
+    def test_matches_certified_optimum_on_small_graph(self):
+        dfg, table, deadline = _case(7, nodes=7)
+        exact = exact_assign(dfg, table, deadline)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=400, seed=7
+        )
+        assert result.certified
+        assert result.gap == pytest.approx(0.0, abs=ATOL)
+        assert result.best.cost == pytest.approx(exact.cost)
+
+
+class TestAnytimeContract:
+    def test_tiny_budget_still_feasible(self):
+        dfg, table, deadline = _case(3)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=1, seed=3
+        )
+        result.best.verify(dfg, table)
+        assert result.best.cost <= result.seed_cost + ATOL
+
+    def test_gap_never_negative_and_bounded_by_floor(self):
+        dfg, table, deadline = _case(5)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=300, seed=5
+        )
+        assert result.gap >= 0.0
+        floor = cost_lower_bound(dfg, table, deadline)
+        assert result.best.cost >= floor - ATOL
+        assert result.lower_bound >= floor - ATOL
+
+    def test_winner_optimal_flag_matches_certification(self):
+        dfg, table, deadline = _case(2, nodes=7)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=300, seed=2
+        )
+        if result.certified:
+            assert result.best.optimal is True
+        else:
+            assert result.best.optimal is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        dfg, table, deadline = _case(4)
+        a = portfolio_assign(dfg, table, deadline, evaluations=300, seed=4)
+        b = portfolio_assign(dfg, table, deadline, evaluations=300, seed=4)
+        assert a == b
+        assert a.best.assignment.mapping == b.best.assignment.mapping
+
+    def test_worker_count_does_not_change_result(self):
+        dfg, table, deadline = _case(6)
+        serial = portfolio_assign(
+            dfg, table, deadline, evaluations=200, seed=6, workers=0
+        )
+        fanned = portfolio_assign(
+            dfg, table, deadline, evaluations=200, seed=6, workers=2
+        )
+        assert serial == fanned
+
+
+class TestSolverSelection:
+    def test_unknown_solver_rejected(self):
+        dfg, table, deadline = _case(1)
+        with pytest.raises(ReproError, match="unknown portfolio solver"):
+            portfolio_assign(dfg, table, deadline, solvers=["tabu"])
+
+    @pytest.mark.parametrize("name", PORTFOLIO_SOLVERS)
+    def test_each_solver_alone_is_feasible(self, name):
+        dfg, table, deadline = _case(8)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=150, seed=8, solvers=[name]
+        )
+        result.best.verify(dfg, table)
+        assert {s.name for s in result.solvers} == {name}
+
+    def test_stats_cover_all_default_solvers(self):
+        dfg, table, deadline = _case(9)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=200, seed=9
+        )
+        assert {s.name for s in result.solvers} == set(PORTFOLIO_SOLVERS)
+        assert all(isinstance(s, SolverStats) for s in result.solvers)
+        assert result.evaluations <= 200 + len(PORTFOLIO_SOLVERS)
+
+    def test_winner_is_reported_in_algorithm_tag(self):
+        dfg, table, deadline = _case(0)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=200, seed=0
+        )
+        assert result.best.algorithm == f"portfolio[{result.winner}]"
+
+
+class TestValidation:
+    def test_infeasible_deadline_raises(self):
+        dfg, table, _ = _case(1)
+        with pytest.raises(InfeasibleError):
+            portfolio_assign(
+                dfg, table, min_completion_time(dfg, table) - 1
+            )
+
+    def test_describe_is_readable(self):
+        dfg, table, deadline = _case(2)
+        result = portfolio_assign(
+            dfg, table, deadline, evaluations=100, seed=2
+        )
+        text = result.describe()
+        assert "portfolio: best cost" in text
+        assert "optimality gap" in text
+        assert isinstance(result, PortfolioResult)

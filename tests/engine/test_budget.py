@@ -1,0 +1,100 @@
+"""Unit tests for the shared anytime Budget."""
+
+import pickle
+
+import pytest
+
+from repro.engine import Budget
+from repro.errors import EngineError
+
+
+class TestConstruction:
+    def test_needs_at_least_one_limit(self):
+        with pytest.raises(EngineError, match="at least one limit"):
+            Budget()
+
+    def test_negative_evaluations_rejected(self):
+        with pytest.raises(EngineError, match="evaluations"):
+            Budget(evaluations=-1)
+
+    def test_negative_wall_rejected(self):
+        with pytest.raises(EngineError, match="wall_s"):
+            Budget(wall_s=-0.5)
+
+    def test_zero_evaluations_is_a_valid_empty_budget(self):
+        b = Budget(evaluations=0)
+        assert b.exhausted()
+        assert b.remaining() == 0
+
+
+class TestSpending:
+    def test_spend_until_exhausted(self):
+        b = Budget(evaluations=3)
+        assert not b.exhausted()
+        b.spend()
+        b.spend(2)
+        assert b.spent == 3
+        assert b.exhausted()
+        assert b.remaining() == 0
+
+    def test_overspend_clamps_remaining(self):
+        b = Budget(evaluations=2)
+        b.spend(5)
+        assert b.remaining() == 0
+        assert b.exhausted()
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(EngineError, match="negative"):
+            Budget(evaluations=1).spend(-1)
+
+    def test_wall_only_budget_has_no_eval_remaining(self):
+        b = Budget(wall_s=10.0)
+        assert b.remaining() is None
+        b.spend(100)
+        assert not b.exhausted()  # clock never started
+
+    def test_wall_clock_exhaustion(self):
+        b = Budget(wall_s=0.0).start()
+        assert b.exhausted()
+
+    def test_elapsed_zero_before_start(self):
+        assert Budget(wall_s=5.0).elapsed() == 0.0
+
+
+class TestSplit:
+    def test_even_split(self):
+        shares = Budget(evaluations=9).split(3)
+        assert [s.evaluations for s in shares] == [3, 3, 3]
+
+    def test_remainder_goes_to_earlier_parts(self):
+        shares = Budget(evaluations=10).split(4)
+        assert [s.evaluations for s in shares] == [3, 3, 2, 2]
+        assert sum(s.evaluations for s in shares) == 10
+
+    def test_wall_copied_to_each_share(self):
+        shares = Budget(evaluations=4, wall_s=2.5).split(2)
+        assert all(s.wall_s == 2.5 for s in shares)
+
+    def test_wall_only_split(self):
+        shares = Budget(wall_s=1.0).split(3)
+        assert len(shares) == 3
+        assert all(s.evaluations is None and s.wall_s == 1.0 for s in shares)
+
+    def test_more_parts_than_units(self):
+        shares = Budget(evaluations=2).split(5)
+        assert [s.evaluations for s in shares] == [1, 1, 0, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(EngineError, match="parts"):
+            Budget(evaluations=1).split(0)
+
+
+class TestPickling:
+    def test_roundtrip_preserves_state(self):
+        b = Budget(evaluations=7, wall_s=3.0)
+        b.spend(2)
+        clone = pickle.loads(pickle.dumps(b))
+        assert clone.evaluations == 7
+        assert clone.wall_s == 3.0
+        assert clone.spent == 2
+        assert clone.remaining() == 5

@@ -1,0 +1,14 @@
+"""Fixture: module-state randomness in a numeric layer (5 findings)."""
+
+import random  # finding 1: stdlib random import
+
+import numpy as np
+from random import choice  # finding 2: stdlib random import-from
+from numpy.random import rand  # finding 3: global-state helper
+
+
+def jitter(values):
+    np.random.seed(0)  # finding 4: global RNG mutation
+    noise = np.random.normal(0.0, 1.0, len(values))  # finding 5
+    random.shuffle(values)  # not re-flagged: the import is the finding
+    return [v + n + choice([0, 1]) + rand() for v, n in zip(values, noise)]

@@ -1,0 +1,10 @@
+"""Fixture: explicit seeded-Generator discipline (no findings)."""
+
+import numpy as np
+from numpy.random import Generator, SeedSequence, default_rng
+
+
+def sample(seed: int, index: int) -> int:
+    rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+    alt: Generator = default_rng(SeedSequence([seed]))
+    return int(rng.integers(10) + alt.integers(10))

@@ -92,7 +92,7 @@ class TestDiscovery:
 class TestRuleSelection:
     def test_all_rules_registered(self):
         codes = [r.code for r in resolve_rules()]
-        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
 
     def test_select_subset(self):
         codes = [r.code for r in resolve_rules(["RL002", "RL004"])]
@@ -100,7 +100,7 @@ class TestRuleSelection:
 
     def test_ignore_subset(self):
         codes = [r.code for r in resolve_rules(None, ["RL003"])]
-        assert codes == ["RL001", "RL002", "RL004", "RL005"]
+        assert codes == ["RL001", "RL002", "RL004", "RL005", "RL006"]
 
     def test_unknown_code_raises(self):
         with pytest.raises(LintError):

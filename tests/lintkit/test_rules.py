@@ -159,3 +159,48 @@ class TestRL005SideEffectHygiene:
                        "repro.lintkit.cli"):
             mod = load_fixture("rl005_bad.py", module=module)
             assert run_rule("RL005", [mod]) == []
+
+
+class TestRL006SeededGenerator:
+    def test_bad_fixture_triggers(self):
+        mod = load_fixture("rl006_bad.py", module="repro.assign.fixture")
+        findings = run_rule("RL006", [mod])
+        assert len(findings) == 5
+        assert all(f.code == "RL006" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "stdlib random" in messages
+        assert "np.random.seed" in messages
+        assert "np.random.normal" in messages
+        assert "numpy.random.rand" in messages
+
+    def test_clean_fixture_passes(self):
+        mod = load_fixture("rl006_clean.py", module="repro.assign.fixture")
+        assert run_rule("RL006", [mod]) == []
+
+    def test_out_of_scope_layers_exempt(self):
+        """Presentation (6+) and substrate (0) layers are not scanned."""
+        for module in ("repro.report.fixture", "repro.checkkit.fixture",
+                       "repro.obs.fixture", "foreign.module"):
+            mod = load_fixture("rl006_bad.py", module=module)
+            assert run_rule("RL006", [mod]) == []
+
+    def test_all_numeric_layers_in_scope(self):
+        for module in ("repro.graph.fixture", "repro.fu.fixture",
+                       "repro.engine.fixture", "repro.sched.fixture",
+                       "repro.sim.fixture", "repro.synthesis"):
+            mod = load_fixture("rl006_bad.py", module=module)
+            assert len(run_rule("RL006", [mod])) == 5
+
+    def test_numpy_random_alias_tracked(self):
+        from repro.lintkit import module_from_source
+
+        mod = module_from_source(
+            "from numpy import random as npr\n"
+            "def f():\n"
+            "    return npr.rand()\n",
+            module="repro.assign.user",
+            path="user.py",
+        )
+        findings = run_rule("RL006", [mod])
+        assert len(findings) == 1
+        assert "np.random.rand" in findings[0].message

@@ -1,0 +1,85 @@
+"""Property-based tests for the metaheuristic portfolio.
+
+The load-bearing guarantees of PR 6:
+
+* **never worse than the paper**: on every registered benchmark the
+  portfolio winner costs at most `DFG_Assign_Repeat` (its population
+  seed), so racing metaheuristics can only improve on the paper's
+  heuristic;
+* **anytime**: interrupting the race at any budget — including a single
+  evaluation — still yields a deadline-feasible, verified assignment;
+* **deterministic**: identical seeds give identical
+  :class:`~repro.assign.portfolio.PortfolioResult` objects at any
+  worker count, and on arbitrary hypothesis-generated instances.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.assignment import min_completion_time
+from repro.assign.dfg_assign import dfg_assign_repeat
+from repro.assign.portfolio import portfolio_assign
+from repro.fu.random_tables import random_table
+from repro.suite import benchmark_names, get_benchmark
+
+from .strategies import dag_with_table
+
+ATOL = 1e-9
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _benchmark_case(name, slack=4):
+    dag = get_benchmark(name).dag()
+    table = random_table(dag, num_types=3, seed=2004)
+    return dag, table, min_completion_time(dag, table) + slack
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_portfolio_never_worse_than_repeat_on_benchmarks(name):
+    dag, table, deadline = _benchmark_case(name)
+    repeat = dfg_assign_repeat(dag, table, deadline)
+    result = portfolio_assign(
+        dag, table, deadline, evaluations=300, seed=2004
+    )
+    result.best.verify(dag, table)
+    assert result.best.cost <= repeat.cost + ATOL
+    assert result.gap >= 0.0
+
+
+@pytest.mark.parametrize("budget", [1, 2, 5, 17])
+@pytest.mark.parametrize("name", ["diffeq", "elliptic", "fft4"])
+def test_budget_interruption_stays_feasible(name, budget):
+    dag, table, deadline = _benchmark_case(name)
+    result = portfolio_assign(
+        dag, table, deadline, evaluations=budget, seed=2004
+    )
+    result.best.verify(dag, table)
+    assert result.best.cost <= result.seed_cost + ATOL
+
+
+@given(dag_with_table(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(**SETTINGS)
+def test_same_seed_same_result_across_worker_counts(data, seed):
+    dfg, table = data
+    deadline = min_completion_time(dfg, table) + 3
+    serial = portfolio_assign(
+        dfg, table, deadline, evaluations=60, seed=seed, workers=0
+    )
+    again = portfolio_assign(
+        dfg, table, deadline, evaluations=60, seed=seed, workers=0
+    )
+    assert serial == again
+    serial.best.verify(dfg, table)
+
+
+@pytest.mark.parametrize("name", ["diffeq", "lattice4"])
+def test_workers_two_matches_serial_on_benchmarks(name):
+    dag, table, deadline = _benchmark_case(name)
+    serial = portfolio_assign(
+        dag, table, deadline, evaluations=120, seed=7, workers=0
+    )
+    fanned = portfolio_assign(
+        dag, table, deadline, evaluations=120, seed=7, workers=2
+    )
+    assert serial == fanned

@@ -1,8 +1,10 @@
 """Unit tests for the command-line interface."""
 
+import argparse
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import FORWARDED_COMMANDS, build_parser, main
 
 
 class TestParser:
@@ -174,6 +176,91 @@ class TestCommands:
         dump(path, get_benchmark("diffeq"))
         assert main(["run", path, "--seed", "3"]) == 0
         assert "seeded random table" in capsys.readouterr().out
+
+
+class TestForwardingAudit:
+    """Every REMAINDER subcommand must be dispatched before parse_args.
+
+    argparse.REMAINDER drops/steals the forwarded tail when its first
+    token is an option (python bug bpo-17050); PR 5 fixed lint/fuzz by
+    pre-parse dispatch.  This audit pins the fix structurally: the set
+    of REMAINDER subcommands in the parser must exactly equal the
+    table-driven FORWARDED_COMMANDS, so adding a forwarding subcommand
+    without registering it (or vice versa) fails here, not in the field.
+    """
+
+    @staticmethod
+    def _remainder_commands():
+        parser = build_parser()
+        found = set()
+        for action in parser._actions:
+            if not isinstance(action, argparse._SubParsersAction):
+                continue
+            for name, sub in action.choices.items():
+                if any(a.nargs == argparse.REMAINDER for a in sub._actions):
+                    found.add(name)
+        return found
+
+    def test_remainder_commands_all_forwarded(self):
+        assert self._remainder_commands() == set(FORWARDED_COMMANDS)
+
+    def test_forwarded_commands_have_entry_points(self):
+        from repro.cli import _forwarded_main
+
+        for name in FORWARDED_COMMANDS:
+            assert callable(_forwarded_main(name))
+
+    def test_lint_flags_forward_even_when_first(self, capsys):
+        # leading option in the forwarded tail must reach lintkit (which
+        # lints its default path cleanly), not be rejected by the
+        # top-level parser as an unknown flag (SystemExit 2, pre-fix)
+        assert main(["lint", "--select", "RL001"]) == 0
+        assert "finding" in capsys.readouterr().out
+
+
+class TestPortfolioSubcommand:
+    """Pinned exit codes and output for `repro-hls portfolio`."""
+
+    def test_portfolio_runs_clean(self, capsys):
+        assert main(
+            ["portfolio", "diffeq", "-L", "12", "--budget", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "portfolio: best cost" in out
+        assert "seed (repeat) cost" in out
+        assert "optimality gap" in out
+
+    def test_portfolio_flags_before_positional(self, capsys):
+        # a regular (non-REMAINDER) subcommand: leading flags parse fine
+        assert main(
+            ["portfolio", "--budget", "200", "diffeq", "-L", "12"]
+        ) == 0
+        assert "portfolio: best cost" in capsys.readouterr().out
+
+    def test_portfolio_unknown_benchmark_exits_one(self, capsys):
+        assert main(["portfolio", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_portfolio_infeasible_deadline_exits_one(self, capsys):
+        assert main(["portfolio", "diffeq", "-L", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "minimum feasible" in err
+
+    def test_portfolio_unknown_solver_exits_one(self, capsys):
+        assert main(
+            ["portfolio", "diffeq", "-L", "12", "--solvers", "tabu"]
+        ) == 1
+        assert "unknown portfolio solver" in capsys.readouterr().err
+
+    def test_portfolio_solver_subset(self, capsys):
+        assert main(
+            ["portfolio", "diffeq", "-L", "12", "--budget", "100",
+             "--solvers", "annealing,rank"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "annealing" in out and "rank" in out
+        assert "genetic" not in out
 
 
 class TestLintSubcommand:

@@ -88,6 +88,7 @@ class TestSynthesize:
             "greedy",
             "downgrade",
             "exact",
+            "portfolio",
         }
 
     def test_force_directed_scheduler_option(self, wide_dag):
