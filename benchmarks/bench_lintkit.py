@@ -1,0 +1,116 @@
+"""lintkit result-cache bench: warm reruns must be >= 3x faster.
+
+The content-hash cache exists so the lint gate is cheap to run on
+every save: a warm run hashes every file but parses none and skips
+both rule passes entirely.  This bench times a cold full-tree lint of
+``src/repro`` (all ten rules) against a warm rerun from the same cache
+directory, asserts the results are identical, and gates the speedup.
+
+Runs under pytest (``pytest benchmarks/bench_lintkit.py``) or
+standalone (``python benchmarks/bench_lintkit.py [--quick]``); quick
+mode lints only ``src/repro/assign``.  Artifacts:
+``benchmarks/results/bench_lintkit.txt`` and ``BENCH_lintkit.json`` at
+the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent / "src"))
+sys.path.insert(0, str(_HERE))
+
+from conftest import write_bench_json  # noqa: E402
+
+from repro.lintkit import LintCache, lint_paths  # noqa: E402
+
+RESULTS_DIR = _HERE / "results"
+SRC_REPRO = _HERE.parent / "src" / "repro"
+
+#: Warm-over-cold speedup the cache promises on an unchanged tree.
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _quick() -> bool:
+    return os.environ.get("BENCH_LINTKIT_QUICK", "") == "1"
+
+
+def _target(quick: bool) -> str:
+    return str(SRC_REPRO / "assign") if quick else str(SRC_REPRO)
+
+
+def _timed_lint(target: str, cache_dir: str) -> Tuple[float, object]:
+    cache = LintCache.load(cache_dir)
+    started = time.perf_counter()
+    report = lint_paths([target], use_baseline=False, cache=cache)
+    elapsed = time.perf_counter() - started
+    cache.save()
+    return elapsed, report
+
+
+def _run(quick: bool) -> List[str]:
+    target = _target(quick)
+    with tempfile.TemporaryDirectory(prefix="lintkit-bench-") as tmp:
+        cold_s, cold = _timed_lint(target, tmp)
+        warm_s, warm = _timed_lint(target, tmp)
+    assert warm.findings == cold.findings, "warm findings diverged"
+    assert warm.suppressed_inline == cold.suppressed_inline, (
+        "warm suppression counts diverged"
+    )
+    assert warm.modules_scanned == cold.modules_scanned
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"(expected >= {MIN_WARM_SPEEDUP}x)"
+    )
+
+    lines = [
+        f"lintkit cache bench on {target}"
+        f" ({'quick' if quick else 'full'} mode)",
+        f"  modules scanned : {cold.modules_scanned}",
+        f"  findings        : {len(cold.findings)}",
+        f"  cold run        : {cold_s * 1000:.1f} ms",
+        f"  warm run        : {warm_s * 1000:.1f} ms",
+        f"  speedup         : {speedup:.1f}x (gate: >= {MIN_WARM_SPEEDUP}x)",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_lintkit.txt").write_text("\n".join(lines) + "\n")
+    config: Dict[str, object] = {
+        "target": target,
+        "quick": quick,
+        "modules": cold.modules_scanned,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "gate": MIN_WARM_SPEEDUP,
+    }
+    write_bench_json(
+        "lintkit", wall_s=cold_s + warm_s, speedup=speedup, config=config
+    )
+    return lines
+
+
+def test_warm_lint_speedup_gate():
+    _run(_quick())
+
+
+if __name__ == "__main__":
+    flags = sys.argv[1:]
+    unknown = [f for f in flags if f != "--quick"]
+    if unknown:
+        sys.exit(
+            f"usage: {sys.argv[0]} [--quick]  (unknown: {' '.join(unknown)})"
+        )
+    started = time.perf_counter()
+    for line in _run("--quick" in flags):
+        print(line)
+    print(
+        f"\nOK in {time.perf_counter() - started:.1f}s "
+        f"(artifacts: {RESULTS_DIR / 'bench_lintkit.txt'}, "
+        "BENCH_lintkit.json)"
+    )

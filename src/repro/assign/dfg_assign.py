@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..engine import pmap
 from ..errors import GraphError
+from ..apiutil import deprecated_positionals
 from ..fu.table import TimeCostTable
 from ..graph.dag import require_acyclic
 from ..graph.dfg import DFG, Node
@@ -49,6 +50,20 @@ __all__ = [
 ]
 
 
+#: Fixed metric name per DPStats counter.  A literal table (not an
+#: f-string) keeps the metric namespace closed and statically checkable
+#: (lintkit RL009); the keys mirror ``DPStats.as_dict()``.
+_DP_METRICS: Dict[str, str] = {
+    "refreshes": "dp.refreshes",
+    "tracebacks": "dp.tracebacks",
+    "nodes_visited": "dp.nodes_visited",
+    "nodes_recomputed": "dp.nodes_recomputed",
+    "cache_hits": "dp.cache_hits",
+    "seconds_refresh": "dp.seconds_refresh",
+    "seconds_traceback": "dp.seconds_traceback",
+}
+
+
 def _emit_dp_metrics(before: Dict[str, float], stats: DPStats) -> None:
     """Publish ``stats`` deltas since ``before`` as ``dp.*`` counters.
 
@@ -59,7 +74,7 @@ def _emit_dp_metrics(before: Dict[str, float], stats: DPStats) -> None:
     for name, value in stats.as_dict().items():
         delta = value - before.get(name, 0.0)
         if delta:
-            add_metric(f"dp.{name}", delta)
+            add_metric(_DP_METRICS[name], delta)
 
 
 def expansion_candidates(
@@ -177,10 +192,12 @@ def _finish(
     )
 
 
+@deprecated_positionals("expansion", "node_limit", "kernel", keep=3)
 def dfg_assign_once(
     dfg: DFG,
     table: TimeCostTable,
     deadline: int,
+    *,
     expansion: Optional[ExpandedTree] = None,
     node_limit: int = 200_000,
     kernel: str = "packed",
@@ -261,10 +278,21 @@ def _repeat_rounds(
     return best
 
 
+@deprecated_positionals(
+    "expansion",
+    "node_limit",
+    "fix_order",
+    "incremental",
+    "stats",
+    "kernel",
+    "workers",
+    keep=3,
+)
 def dfg_assign_repeat(
     dfg: DFG,
     table: TimeCostTable,
     deadline: int,
+    *,
     expansion: Optional[ExpandedTree] = None,
     node_limit: int = 200_000,
     fix_order: Optional[List[Node]] = None,

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..errors import GraphError
+from ..apiutil import deprecated_positionals
 from ..graph.dag import require_acyclic, reverse_topological_order
 from ..graph.dfg import DFG, Node
 
@@ -84,8 +85,9 @@ def _fresh_id(base: Node, serial: int) -> Node:
     return (base, serial)
 
 
+@deprecated_positionals("node_limit", "transposed", keep=1)
 def dfg_expand(
-    dfg: DFG, node_limit: int = 200_000, transposed: bool = False
+    dfg: DFG, *, node_limit: int = 200_000, transposed: bool = False
 ) -> ExpandedTree:
     """Expand the DAG ``dfg`` into a critical-path out-forest.
 

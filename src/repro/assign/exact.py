@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import InfeasibleError, ReproError
+from ..apiutil import deprecated_positionals
 from ..fu.table import TimeCostTable
 from ..graph.dag import require_acyclic, topological_order
 from ..graph.dfg import DFG, Node
@@ -98,8 +99,9 @@ def cost_lower_bound(dfg: DFG, table: TimeCostTable, deadline: int) -> float:
     return _timing_aware_suffix(dfg, table, deadline, order)[0]
 
 
+@deprecated_positionals("max_nodes", keep=3)
 def brute_force_assign(
-    dfg: DFG, table: TimeCostTable, deadline: int, max_nodes: int = 12
+    dfg: DFG, table: TimeCostTable, deadline: int, *, max_nodes: int = 12
 ) -> AssignResult:
     """Optimal assignment by exhaustive enumeration (test oracle only).
 
@@ -237,10 +239,12 @@ class _Search:
         self.assigned_time.pop(node, None)
 
 
+@deprecated_positionals("node_budget", keep=3)
 def exact_assign(
     dfg: DFG,
     table: TimeCostTable,
     deadline: int,
+    *,
     node_budget: int = 2_000_000,
 ) -> AssignResult:
     """Optimal assignment by branch-and-bound (ILP stand-in), anytime.

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import InfeasibleError, NotATreeError
+from ..apiutil import deprecated_positionals
 from ..fu.table import TimeCostTable
 from ..graph.classify import is_in_forest, is_out_forest
 from ..graph.dag import reverse_topological_order
@@ -129,10 +130,12 @@ def tree_dp(
     )
 
 
+@deprecated_positionals("node_key", "kernel", keep=3)
 def tree_assign(
     tree: DFG,
     table: TimeCostTable,
     deadline: int,
+    *,
     node_key: Optional[NodeKey] = None,
     kernel: str = "packed",
 ) -> AssignResult:

@@ -20,14 +20,46 @@ actually hit (see ``docs/static-analysis.md`` for the catalog):
   global ``np.random.<fn>`` state in the numeric layers; stochastic
   code takes an explicit seeded ``numpy.random.Generator``.
 
+Four rules run on the *whole tree* through the two-pass analysis core
+(per-module symbol tables → conservative call graph; see
+:mod:`repro.lintkit.project` and :mod:`repro.lintkit.callgraph`):
+
+* **RL007** spawn-safety — callables shipped to ``engine.pmap`` (or a
+  pool), including through helper forwarding, must be module-level
+  functions; lambdas, closures, and methods bound to locals fail to
+  pickle only on the parallel path;
+* **RL008** shared-state race — no writes to module-level mutable
+  state or class attributes in functions reachable from a pmap
+  payload (lost under spawn, racy under fork/threads);
+* **RL009** observability hygiene — span/metric names must be static
+  literals matching ``repro.obs.OBS_NAME_PATTERN``, and ``span()``
+  must be used as a context manager;
+* **RL010** API-contract drift — root-facade functions take optional
+  knobs keyword-only, and ``deprecated_positionals`` shims must match
+  the signatures they wrap.
+
 Findings can be suppressed inline (``# lint: ignore[RL002]``) or via a
-committed ``lintkit-baseline.toml``.  Run as ``python -m repro.lintkit
-[paths]`` or ``repro-hls lint [paths]``; exit codes are 0 (clean),
-1 (findings), 2 (usage error).
+committed ``lintkit-baseline.toml`` (``--check-baseline`` fails on
+stale entries; ``--prune-baseline`` rewrites them away).  Run as
+``python -m repro.lintkit [paths]`` or ``repro-hls lint [paths]``;
+exit codes are 0 (clean), 1 (findings), 2 (usage error).  ``--format
+sarif`` emits SARIF 2.1.0 for CI annotation upload, ``--changed``
+restricts per-file rules to the merge-base diff, and a content-hash
+result cache (``.lintkit_cache/``) makes warm CLI reruns skip
+unchanged work.
 """
 
 from .api import LintReport, lint_paths
-from .baseline import Baseline, BaselineEntry, format_baseline, load_baseline
+from .baseline import (
+    Baseline,
+    BaselineEntry,
+    format_baseline,
+    format_baseline_entries,
+    load_baseline,
+)
+from .cache import DEFAULT_CACHE_DIR, LintCache
+from .callgraph import CallGraph, classify_payload
+from .changed import changed_paths
 from .engine import (
     ModuleInfo,
     Project,
@@ -37,7 +69,9 @@ from .engine import (
     run_rules,
 )
 from .findings import Finding, render_json, render_text
+from .project import FunctionId, FunctionInfo, ModuleSymbols, ProjectContext
 from .registry import Rule, all_rules, register, resolve_rules
+from .sarif import render_sarif
 
 __all__ = [
     "LintReport",
@@ -45,8 +79,15 @@ __all__ = [
     "Finding",
     "render_text",
     "render_json",
+    "render_sarif",
     "ModuleInfo",
     "Project",
+    "ProjectContext",
+    "CallGraph",
+    "classify_payload",
+    "FunctionId",
+    "FunctionInfo",
+    "ModuleSymbols",
     "discover",
     "module_from_path",
     "module_from_source",
@@ -59,4 +100,8 @@ __all__ = [
     "BaselineEntry",
     "load_baseline",
     "format_baseline",
+    "format_baseline_entries",
+    "LintCache",
+    "DEFAULT_CACHE_DIR",
+    "changed_paths",
 ]

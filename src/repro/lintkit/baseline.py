@@ -25,7 +25,13 @@ except ModuleNotFoundError:  # pragma: no cover - version-dependent
     except ModuleNotFoundError:
         _toml = None  # type: ignore[assignment]
 
-__all__ = ["BaselineEntry", "Baseline", "load_baseline", "format_baseline"]
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "format_baseline",
+    "format_baseline_entries",
+]
 
 
 @dataclass(frozen=True)
@@ -115,31 +121,50 @@ def _toml_string(value: str) -> str:
     return f'"{escaped}"'
 
 
-def format_baseline(
-    findings: Sequence[Finding], *, reason: str = "TODO: justify"
-) -> str:
-    """Serialize findings as a baseline file (``--update-baseline``).
+def format_baseline_entries(entries: Sequence[BaselineEntry]) -> str:
+    """Serialize baseline entries, preserving their written reasons.
 
-    :mod:`tomllib` is read-only, so the writer is hand-rolled; entries
-    are deduplicated on their match key and sorted for stable diffs.
+    This is the writer behind ``--prune-baseline``: entries survive the
+    round-trip verbatim (reason included), deduplicated on their match
+    key and sorted for stable diffs.  :mod:`tomllib` is read-only, so
+    the writer is hand-rolled.
     """
     lines = [
         "# lintkit baseline — grandfathered findings with justification.",
         "# Regenerate with: python -m repro.lintkit --update-baseline",
+        "# Drop stale entries with: python -m repro.lintkit --prune-baseline",
         "version = 1",
     ]
     seen: Set[Tuple[str, str, str]] = set()
-    for f in sorted(findings, key=Finding.sort_key):
-        key = (f.code, f.module, f.snippet)
+    for entry in sorted(entries, key=BaselineEntry.key):
+        key = entry.key()
         if key in seen:
             continue
         seen.add(key)
         lines += [
             "",
             "[[suppress]]",
-            f"rule = {_toml_string(f.code)}",
-            f"module = {_toml_string(f.module)}",
-            f"snippet = {_toml_string(f.snippet)}",
-            f"reason = {_toml_string(reason)}",
+            f"rule = {_toml_string(entry.rule)}",
+            f"module = {_toml_string(entry.module)}",
+            f"snippet = {_toml_string(entry.snippet)}",
+            f"reason = {_toml_string(entry.reason)}",
         ]
     return "\n".join(lines) + "\n"
+
+
+def format_baseline(
+    findings: Sequence[Finding], *, reason: str = "TODO: justify"
+) -> str:
+    """Serialize findings as a baseline file (``--update-baseline``).
+
+    Every finding becomes an entry carrying the placeholder ``reason``
+    for a human to fill in; see :func:`format_baseline_entries` for the
+    underlying writer.
+    """
+    entries = [
+        BaselineEntry(
+            rule=f.code, module=f.module, snippet=f.snippet, reason=reason
+        )
+        for f in findings
+    ]
+    return format_baseline_entries(entries)

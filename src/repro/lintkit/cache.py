@@ -1,0 +1,212 @@
+"""Content-hash result cache — warm reruns skip unchanged work.
+
+Two granularities, matching the two rule passes in
+:func:`repro.lintkit.engine.run_rules`:
+
+* **per-file** (``check_module``): results are keyed by the file's
+  SHA-256 content hash plus the signature of the rule codes that ran,
+  so an unchanged file is never re-parsed, let alone re-checked;
+* **project-wide** (``check_project``): results are keyed by a *tree
+  signature* — the hash of every scanned module's (name, content hash)
+  pair — so the whole two-pass analysis core (symbol tables, call
+  graph, payload fixpoint) is skipped when no file changed.
+
+Cached findings are stored *after* inline-suppression filtering, which
+is content-derived and therefore as stable as the hash itself.  The
+cache file is plain JSON under ``.lintkit_cache/`` (self-ignoring: the
+directory carries its own ``.gitignore``).  Entries not touched by the
+current run are pruned on :meth:`LintCache.save`, so the cache tracks
+the live tree instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["LintCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".lintkit_cache"
+
+_CACHE_VERSION = 1
+_CACHE_FILENAME = "results.json"
+
+
+def _decode_findings(raw: object) -> Optional[List[Finding]]:
+    """Rebuild findings from cached dicts; ``None`` on any shape drift."""
+    if not isinstance(raw, list):
+        return None
+    out: List[Finding] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            return None
+        try:
+            out.append(Finding.from_dict(item))
+        except (KeyError, TypeError, ValueError):
+            return None
+    return out
+
+
+class LintCache:
+    """On-disk result cache keyed by content hashes.
+
+    The engine talks to this through four duck-typed methods
+    (:meth:`get_file`/:meth:`put_file` and
+    :meth:`get_project`/:meth:`put_project` plus
+    :meth:`tree_signature`); anything implementing the same protocol
+    can be passed as ``run_rules(..., cache=...)``.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._files: Dict[str, dict] = {}
+        self._projects: Dict[str, dict] = {}
+        self._touched_files: Set[str] = set()
+        self._touched_projects: Set[str] = set()
+        #: cache-read outcomes of this run, for ``--format`` summaries
+        self.hits = 0
+        self.misses = 0
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "LintCache":
+        """Open (or initialise) the cache under ``directory``.
+
+        A missing, unreadable, malformed, or version-mismatched cache
+        file degrades to an empty cache — the linter never fails
+        because of its cache.
+        """
+        cache = cls(Path(directory) / _CACHE_FILENAME)
+        try:
+            data = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict) or data.get("version") != _CACHE_VERSION:
+            return cache
+        files = data.get("files")
+        projects = data.get("projects")
+        if isinstance(files, dict):
+            cache._files = files
+        if isinstance(projects, dict):
+            cache._projects = projects
+        return cache
+
+    # -- per-file results ---------------------------------------------
+
+    @staticmethod
+    def _file_key(content_hash: str, codes_sig: str) -> str:
+        return f"{content_hash}|{codes_sig}"
+
+    def get_file(
+        self, content_hash: str, codes_sig: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """Cached ``(findings, inline_suppressed)`` for one file, or None.
+
+        ``content_hash`` is the engine's module-qualified key
+        (``<module>:<sha256>``): findings embed module and path, so two
+        files with identical content must not share an entry.
+        """
+        key = self._file_key(content_hash, codes_sig)
+        entry = self._files.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        findings = _decode_findings(entry.get("findings"))
+        suppressed = entry.get("suppressed")
+        if findings is None or not isinstance(suppressed, int):
+            self.misses += 1
+            return None
+        self._touched_files.add(key)
+        self.hits += 1
+        return findings, suppressed
+
+    def put_file(
+        self,
+        content_hash: str,
+        codes_sig: str,
+        findings: List[Finding],
+        suppressed: int,
+    ) -> None:
+        """Record one file's post-suppression results."""
+        key = self._file_key(content_hash, codes_sig)
+        self._files[key] = {
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": suppressed,
+        }
+        self._touched_files.add(key)
+
+    # -- project-wide results -----------------------------------------
+
+    @staticmethod
+    def tree_signature(modules: Iterable, codes_sig: str) -> str:
+        """Hash of the whole scanned tree (module name + content hash)."""
+        digest = hashlib.sha256()
+        for mod in sorted(modules, key=lambda m: m.module):
+            digest.update(f"{mod.module}={mod.content_hash}\n".encode())
+        digest.update(f"|{codes_sig}".encode())
+        return digest.hexdigest()
+
+    def get_project(
+        self, tree_sig: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """Cached project-wide results for an identical tree, or None."""
+        entry = self._projects.get(tree_sig)
+        if entry is None:
+            self.misses += 1
+            return None
+        findings = _decode_findings(entry.get("findings"))
+        suppressed = entry.get("suppressed")
+        if findings is None or not isinstance(suppressed, int):
+            self.misses += 1
+            return None
+        self._touched_projects.add(tree_sig)
+        self.hits += 1
+        return findings, suppressed
+
+    def put_project(
+        self, tree_sig: str, findings: List[Finding], suppressed: int
+    ) -> None:
+        """Record the project-wide pass for this tree signature."""
+        self._projects[tree_sig] = {
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": suppressed,
+        }
+        self._touched_projects.add(tree_sig)
+
+    # -- persistence --------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache back, pruned to entries this run touched.
+
+        Write failures are swallowed: a read-only checkout still lints,
+        it just stays cold.
+        """
+        payload = {
+            "version": _CACHE_VERSION,
+            "files": {
+                k: v
+                for k, v in self._files.items()
+                if k in self._touched_files
+            },
+            "projects": {
+                k: v
+                for k, v in self._projects.items()
+                if k in self._touched_projects
+            },
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            ignore = self.path.parent / ".gitignore"
+            if not ignore.exists():
+                ignore.write_text("*\n", encoding="utf-8")
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass

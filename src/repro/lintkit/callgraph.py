@@ -1,0 +1,557 @@
+"""Pass 2 of the project analysis: a conservative call graph.
+
+Built from the :class:`~repro.lintkit.project.ProjectContext` symbol
+tables, the graph records every call site in the scanned tree together
+with the scanned function it provably dispatches to (unresolvable
+callees — stdlib, numpy, dynamic dispatch — stay ``None``).  Edges are
+added both for direct calls and for scanned functions passed as call
+arguments (callbacks may run), which makes :meth:`CallGraph.reachable`
+a sound over-approximation for "code that may execute inside a worker".
+
+On top of the graph sits the **payload-forwarding fixpoint** that
+powers RL007/RL008: any call to ``engine.pmap`` (or a pool ``submit``/
+``map``) marks its ``fn`` argument as a *payload*; when a payload
+expression is merely a parameter of the enclosing function, that
+parameter becomes a payload sink itself and the search continues at
+the function's callers — so a lambda handed to a helper that hands it
+to ``pmap`` two calls deep is still found at the original call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .project import (
+    FunctionId,
+    FunctionInfo,
+    ProjectContext,
+    dotted_path,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallInfo",
+    "PayloadSite",
+    "PayloadProblem",
+    "POOL_MODULE",
+    "classify_payload",
+]
+
+#: Canonical home of the spawn-safe parallel map.
+POOL_MODULE = "repro.engine.parallel"
+
+#: Pool/executor submission methods whose first argument is a callable.
+_POOL_METHODS = frozenset({"submit", "map", "apply_async", "map_async", "starmap"})
+
+#: Constructors whose results cannot be pickled to a spawn worker.
+_UNPICKLABLE_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore", "local"}
+)
+
+
+def _is_pmap_def(fn: FunctionInfo) -> bool:
+    """Is this def the spawn-safe ``pmap`` entry point (or a test stand-in)?"""
+    return fn.name == "pmap" and (
+        fn.id.module == POOL_MODULE or fn.id.module.endswith("engine.parallel")
+    )
+
+
+@dataclass
+class CallInfo:
+    """One call site: where it is, who makes it, what it dispatches to."""
+
+    module: str
+    caller: Optional[FunctionInfo]  #: None → module level
+    call: ast.Call
+    callee: Optional[FunctionInfo]  #: None → not provably a scanned def
+
+
+@dataclass
+class PayloadSite:
+    """A callable expression that ends up inside a spawn worker."""
+
+    module: str
+    caller: Optional[FunctionInfo]  #: function containing the call (None = module level)
+    call: ast.Call  #: the pmap/pool/forwarding call
+    expr: ast.expr  #: the payload expression handed over
+    entry: str  #: display name of the sink (``pmap``, ``pool.submit``, a forwarder)
+
+
+@dataclass
+class PayloadProblem:
+    """One reason a payload expression cannot survive spawn pickling."""
+
+    node: ast.AST
+    reason: str
+
+
+class CallGraph:
+    """Conservative call graph + payload tracking over a scanned tree."""
+
+    def __init__(self, ctx: ProjectContext):
+        self.ctx = ctx
+        self.calls: List[CallInfo] = []
+        self.edges: Dict[FunctionId, Set[FunctionId]] = {}
+        self._locals: Dict[FunctionId, Dict[str, Optional[ast.expr]]] = {}
+        self._payload_sites: Optional[List[PayloadSite]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def of(cls, ctx: ProjectContext) -> "CallGraph":
+        """The call graph for ``ctx``, built once and memoized on it.
+
+        Mirrors ``ProjectContext.of``: the memo slot lives on the
+        context, the builder lives here, so the pass-1 module never
+        imports pass 2 (no cycle in the layer DAG).
+        """
+        graph = ctx._call_graph
+        if not isinstance(graph, cls):
+            graph = cls.build(ctx)
+            ctx._call_graph = graph
+        return graph
+
+    @classmethod
+    def build(cls, ctx: ProjectContext) -> "CallGraph":
+        graph = cls(ctx)
+        for symbols in ctx.symbols.values():
+            for call in graph._module_level_calls(symbols.info.tree):
+                graph._record(symbols.module, None, call)
+            for fn in symbols.functions.values():
+                graph._locals[fn.id] = _local_bindings(fn)
+                for call in _function_calls(fn):
+                    graph._record(symbols.module, fn, call)
+        return graph
+
+    @staticmethod
+    def _module_level_calls(tree: ast.Module) -> Iterator[ast.Call]:
+        """Calls that run at import time (function bodies excluded)."""
+        stack: List[ast.AST] = [tree]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # bodies belong to their FunctionInfo
+                if isinstance(child, ast.Call):
+                    yield child
+                stack.append(child)
+
+    def _record(
+        self, module: str, caller: Optional[FunctionInfo], call: ast.Call
+    ) -> None:
+        callee = self._resolve_callee(module, caller, call)
+        self.calls.append(CallInfo(module, caller, call, callee))
+        if caller is None:
+            return
+        targets: List[FunctionInfo] = []
+        if callee is not None:
+            targets.append(callee)
+        # functions passed as arguments may be invoked by the callee
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            passed = self._resolve_function_expr(module, caller, arg)
+            if passed is not None:
+                targets.append(passed)
+        bucket = self.edges.setdefault(caller.id, set())
+        for target in targets:
+            bucket.add(target.id)
+
+    def _resolve_callee(
+        self, module: str, caller: Optional[FunctionInfo], call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        return self._resolve_function_expr(module, caller, call.func)
+
+    def _resolve_function_expr(
+        self, module: str, caller: Optional[FunctionInfo], expr: ast.expr
+    ) -> Optional[FunctionInfo]:
+        """The scanned function an expression names, honouring scopes."""
+        path = dotted_path(expr)
+        if path is None:
+            return None
+        parts = path.split(".")
+        head = parts[0]
+        if caller is not None:
+            # self.method() inside a method body
+            pos = caller.positional_params
+            if (
+                caller.is_method
+                and pos
+                and head == pos[0]
+                and len(parts) == 2
+                and caller.parent_class is not None
+            ):
+                resolved = self.ctx.resolve_name(
+                    module, f"{caller.parent_class}.{parts[1]}"
+                )
+                if resolved is not None and resolved[0] == "function":
+                    fn = resolved[1]
+                    assert isinstance(fn, FunctionInfo)
+                    return fn
+                return None
+            if head in caller.all_params:
+                return None  # dynamic: dispatches through an argument
+            nested = self.ctx.symbols[module].functions.get(
+                f"{caller.id.qualname}.{head}"
+            )
+            if nested is not None and len(parts) == 1:
+                return nested
+            if head in self._locals.get(caller.id, {}):
+                return None  # rebound locally; not provable
+        resolved = self.ctx.resolve_name(module, path)
+        if resolved is not None and resolved[0] == "function":
+            fn = resolved[1]
+            assert isinstance(fn, FunctionInfo)
+            return fn
+        return None
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def reachable(self, roots: Iterable[FunctionId]) -> Set[FunctionId]:
+        """Every function transitively callable from ``roots`` (incl. roots)."""
+        seen: Set[FunctionId] = set()
+        frontier = [fid for fid in roots]
+        while frontier:
+            fid = frontier.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            frontier.extend(self.edges.get(fid, ()))
+        return seen
+
+    def calls_in(self, fid: FunctionId) -> List[CallInfo]:
+        """All call sites lexically inside one function."""
+        return [c for c in self.calls if c.caller is not None and c.caller.id == fid]
+
+    def local_binding(
+        self, caller: FunctionInfo, name: str
+    ) -> Tuple[bool, Optional[ast.expr]]:
+        """``(is_locally_bound, last_assigned_value_or_None)`` for a name."""
+        bindings = self._locals.get(caller.id, {})
+        if name in bindings:
+            return True, bindings[name]
+        return False, None
+
+    # ------------------------------------------------------------------
+    # payload tracking (the RL007/RL008 substrate)
+
+    @property
+    def payload_sites(self) -> List[PayloadSite]:
+        """Every expression handed to ``pmap``/a pool, forwarding included."""
+        if self._payload_sites is None:
+            self._payload_sites = self._compute_payload_sites()
+        return self._payload_sites
+
+    def _seed_sinks(self) -> Dict[FunctionId, Set[str]]:
+        sinks: Dict[FunctionId, Set[str]] = {}
+        for fn in self.ctx.iter_functions():
+            if _is_pmap_def(fn) and fn.positional_params:
+                sinks[fn.id] = {fn.positional_params[0]}
+        return sinks
+
+    def _compute_payload_sites(self) -> List[PayloadSite]:
+        sinks = self._seed_sinks()
+        # fixpoint: a payload that is just a parameter of its enclosing
+        # function turns that parameter into a sink for *its* callers
+        changed = True
+        while changed:
+            changed = False
+            for info in self.calls:
+                for expr, _entry in self._payload_exprs(info, sinks):
+                    caller = info.caller
+                    if (
+                        caller is not None
+                        and isinstance(expr, ast.Name)
+                        and expr.id in caller.all_params
+                    ):
+                        bucket = sinks.setdefault(caller.id, set())
+                        if expr.id not in bucket:
+                            bucket.add(expr.id)
+                            changed = True
+        sites: List[PayloadSite] = []
+        for info in self.calls:
+            for expr, entry in self._payload_exprs(info, sinks):
+                caller = info.caller
+                if (
+                    caller is not None
+                    and isinstance(expr, ast.Name)
+                    and expr.id in caller.all_params
+                ):
+                    continue  # flagged at the forwarding caller instead
+                sites.append(
+                    PayloadSite(info.module, caller, info.call, expr, entry)
+                )
+        return sites
+
+    def _payload_exprs(
+        self, info: CallInfo, sinks: Dict[FunctionId, Set[str]]
+    ) -> List[Tuple[ast.expr, str]]:
+        """Payload expressions this call ships toward a worker, if any."""
+        out: List[Tuple[ast.expr, str]] = []
+        call = info.call
+        if info.callee is not None and info.callee.id in sinks:
+            for param in sinks[info.callee.id]:
+                expr = _argument_for(call, info.callee, param)
+                if expr is not None:
+                    out.append((expr, info.callee.name))
+            return out
+        if info.callee is None:
+            path = dotted_path(call.func)
+            tail = path.rsplit(".", 1)[-1] if path else None
+            if tail == "pmap":
+                # unscanned import of the real pmap (single-file runs)
+                expr = _first_arg(call, keyword="fn")
+                if expr is not None:
+                    out.append((expr, "pmap"))
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _POOL_METHODS
+            ):
+                base = dotted_path(call.func.value)
+                last = base.rsplit(".", 1)[-1].lower() if base else ""
+                if "pool" in last or "executor" in last:
+                    expr = _first_arg(call)
+                    if expr is not None:
+                        out.append((expr, f"{last}.{call.func.attr}"))
+        return out
+
+
+def _argument_for(
+    call: ast.Call, callee: FunctionInfo, param: str
+) -> Optional[ast.expr]:
+    """The expression bound to ``param`` at this call site (if static)."""
+    try:
+        index = callee.positional_params.index(param)
+    except ValueError:
+        index = -1
+    if 0 <= index < len(call.args):
+        arg = call.args[index]
+        if not any(isinstance(a, ast.Starred) for a in call.args[: index + 1]):
+            return arg
+    for kw in call.keywords:
+        if kw.arg == param:
+            return kw.value
+    return None
+
+
+def _first_arg(call: ast.Call, keyword: Optional[str] = None) -> Optional[ast.expr]:
+    if call.args and not isinstance(call.args[0], ast.Starred):
+        return call.args[0]
+    if keyword is not None:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+    return None
+
+
+def _function_calls(fn: FunctionInfo) -> Iterator[ast.Call]:
+    """Call nodes lexically in ``fn``, excluding nested def bodies."""
+    stack: List[ast.AST] = [fn.node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            stack.append(child)
+
+
+def _local_bindings(fn: FunctionInfo) -> Dict[str, Optional[ast.expr]]:
+    """Names bound in a function body → last statically known value."""
+    bindings: Dict[str, Optional[ast.expr]] = {}
+
+    def bind_target(target: ast.expr, value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            bindings[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element, None)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value, None)
+
+    stack: List[ast.AST] = [fn.node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    bind_target(target, child.value)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                bind_target(child.target, child.value)
+            elif isinstance(child, ast.AugAssign):
+                bind_target(child.target, None)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                bind_target(child.target, None)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars, None)
+            elif isinstance(child, ast.comprehension):
+                bind_target(child.target, None)
+            stack.append(child)
+    return bindings
+
+
+# ----------------------------------------------------------------------
+# payload classification (shared by RL007 and RL008)
+
+
+def classify_payload(
+    ctx: ProjectContext, site: PayloadSite
+) -> Tuple[List[PayloadProblem], List[FunctionInfo]]:
+    """Judge one payload expression for spawn-pickle safety.
+
+    Returns ``(problems, roots)``: ``problems`` are provable pickling
+    failures; ``roots`` are the module-level functions the payload
+    resolves to (empty when unresolvable — which is treated as *clean*,
+    so the analysis only reports what it can prove).
+    """
+    graph = CallGraph.of(ctx)
+    problems: List[PayloadProblem] = []
+    roots: List[FunctionInfo] = []
+
+    def check_pickled_value(expr: ast.expr) -> None:
+        """An expression whose *value* crosses the pickle boundary."""
+        if isinstance(expr, ast.Lambda):
+            problems.append(
+                PayloadProblem(expr, "a lambda cannot be pickled to a spawn worker")
+            )
+            return
+        path = dotted_path(expr)
+        if path is None:
+            return
+        resolved = ctx.resolve_name(site.module, path)
+        if resolved is not None and resolved[0] == "constant":
+            mod, name = resolved[1]  # type: ignore[misc]
+            value = ctx.symbols[mod].constants[name]
+            if isinstance(value, ast.Lambda):
+                problems.append(
+                    PayloadProblem(
+                        expr,
+                        f"'{name}' is a module-level lambda; pickling it "
+                        "to a spawn worker fails",
+                    )
+                )
+            elif _is_unpicklable_ctor(value):
+                problems.append(
+                    PayloadProblem(
+                        expr,
+                        f"'{name}' holds an unpicklable synchronisation "
+                        "object; it cannot cross the spawn boundary",
+                    )
+                )
+
+    def evaluate(expr: ast.expr, depth: int = 0) -> None:
+        if depth > 8:
+            return
+        if isinstance(expr, ast.Lambda):
+            problems.append(
+                PayloadProblem(
+                    expr,
+                    "lambda passed to a spawn worker; spawn pickles the "
+                    "callable by qualified name — use a module-level def",
+                )
+            )
+            return
+        if isinstance(expr, ast.Call):
+            path = dotted_path(expr.func)
+            tail = path.rsplit(".", 1)[-1] if path else None
+            if tail == "partial":
+                target = _first_arg(expr)
+                if target is not None:
+                    evaluate(target, depth + 1)
+                for bound in expr.args[1:]:
+                    check_pickled_value(bound)
+                for kw in expr.keywords:
+                    check_pickled_value(kw.value)
+            # other calls (factories) are not statically provable: skip
+            return
+        path = dotted_path(expr)
+        if path is None:
+            return
+        parts = path.split(".")
+        head = parts[0]
+        caller = site.caller
+        if caller is not None:
+            if head in caller.all_params:
+                if len(parts) > 1:
+                    # a method bound to an argument object — unknowable
+                    return
+                return  # forwarded params were already turned into sinks
+            nested = ctx.symbols[site.module].functions.get(
+                f"{caller.id.qualname}.{head}"
+            )
+            if nested is not None and len(parts) == 1:
+                problems.append(
+                    PayloadProblem(
+                        expr,
+                        f"'{head}' is a nested function (closure); spawn "
+                        "workers cannot import it — move it to module level",
+                    )
+                )
+                return
+            is_local, value = graph.local_binding(caller, head)
+            if is_local:
+                if len(parts) > 1:
+                    problems.append(
+                        PayloadProblem(
+                            expr,
+                            f"'{path}' is a method bound to a locally-created "
+                            "object; the instance would have to be pickled — "
+                            "pass a module-level function instead",
+                        )
+                    )
+                elif value is not None:
+                    evaluate(value, depth + 1)
+                return
+        resolved = ctx.resolve_name(site.module, path)
+        if resolved is None:
+            return  # stdlib/third-party/dynamic: not provable, not flagged
+        kind, payload = resolved
+        if kind == "function":
+            fn = payload
+            assert isinstance(fn, FunctionInfo)
+            if fn.is_nested:
+                problems.append(
+                    PayloadProblem(
+                        expr,
+                        f"'{path}' is a nested function (closure) and cannot "
+                        "be pickled to a spawn worker",
+                    )
+                )
+            else:
+                roots.append(fn)
+        elif kind == "constant":
+            mod, name = payload  # type: ignore[misc]
+            value = ctx.symbols[mod].constants[name]
+            if isinstance(value, ast.Lambda):
+                problems.append(
+                    PayloadProblem(
+                        expr,
+                        f"'{path}' is a module-level name bound to a lambda; "
+                        "spawn pickles callables by qualified name — use a def",
+                    )
+                )
+            elif value is not None and dotted_path(value) is not None and depth < 8:
+                # alias chain: NAME = other_name
+                alias_site = PayloadSite(
+                    mod, None, site.call, value, site.entry
+                )
+                sub_problems, sub_roots = classify_payload(ctx, alias_site)
+                problems.extend(sub_problems)
+                roots.extend(sub_roots)
+
+    def _is_unpicklable_ctor(value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        path = dotted_path(value.func)
+        tail = path.rsplit(".", 1)[-1] if path else None
+        return tail in _UNPICKLABLE_CONSTRUCTORS
+
+    evaluate(site.expr)
+    return problems, roots

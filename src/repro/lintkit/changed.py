@@ -1,0 +1,82 @@
+"""``--changed``: the set of files touched since the merge base.
+
+Per-file rules only need to re-examine files the current branch
+actually changed; project-wide rules (call graph, layering) always see
+the full tree because a one-line edit can change reachability three
+modules away.  This module computes the changed set the same way a
+review does: everything different from ``git merge-base HEAD
+origin/main`` — committed, staged, unstaged, or untracked.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Optional, Sequence, Set
+
+from ..errors import LintError
+
+__all__ = ["changed_paths", "DEFAULT_BASE_REFS"]
+
+#: Merge-base candidates, tried in order (CI checkouts often lack the
+#: remote-tracking ref a local clone has, and vice versa).
+DEFAULT_BASE_REFS = ("origin/main", "main")
+
+
+def _git(args: Sequence[str], cwd: Path) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+        )
+    except OSError as exc:
+        raise LintError(f"--changed needs git: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit {proc.returncode}"
+        raise LintError(f"git {' '.join(args)} failed: {detail}")
+    return proc.stdout
+
+
+def changed_paths(
+    repo_root: Optional[str] = None,
+    *,
+    base_refs: Sequence[str] = DEFAULT_BASE_REFS,
+) -> Set[str]:
+    """Resolved paths of every file changed relative to the merge base.
+
+    Includes committed changes since ``merge-base(HEAD, base)``, the
+    working tree's staged and unstaged edits, and untracked files.
+    Raises :class:`~repro.errors.LintError` when no base ref resolves
+    (e.g. a detached shallow clone with no ``main``).
+    """
+    root = Path(repo_root) if repo_root is not None else Path(".")
+    merge_base = None
+    for ref in base_refs:
+        try:
+            merge_base = _git(["merge-base", "HEAD", ref], root).strip()
+            break
+        except LintError:
+            continue
+    if not merge_base:
+        raise LintError(
+            "--changed: no merge base found (tried: "
+            + ", ".join(base_refs)
+            + ")"
+        )
+    top = Path(_git(["rev-parse", "--show-toplevel"], root).strip())
+    names: Set[str] = set()
+    names.update(
+        _git(["diff", "--name-only", merge_base, "HEAD"], root).splitlines()
+    )
+    # staged + unstaged edits in one query
+    names.update(_git(["diff", "--name-only", "HEAD"], root).splitlines())
+    names.update(
+        _git(
+            ["ls-files", "--others", "--exclude-standard"], root
+        ).splitlines()
+    )
+    return {
+        str((top / name).resolve()) for name in names if name.strip()
+    }

@@ -3,8 +3,12 @@
 Exit codes follow the usual linter convention:
 
 * **0** — clean (possibly via suppressions/baseline),
-* **1** — findings,
+* **1** — findings (or, under ``--check-baseline``, stale entries),
 * **2** — usage error (bad path, unknown rule code, bad baseline).
+
+The result cache is **on by default** here (``.lintkit_cache/``, a
+self-ignoring directory) and off by default in the programmatic API —
+interactive reruns are the case the cache exists for.
 """
 
 from __future__ import annotations
@@ -12,13 +16,16 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..errors import LintError
 from .api import BASELINE_FILENAME, find_default_baseline, lint_paths
-from .baseline import format_baseline
+from .baseline import format_baseline, format_baseline_entries, load_baseline
+from .cache import DEFAULT_CACHE_DIR, LintCache
+from .changed import changed_paths
 from .findings import render_json, render_text
-from .registry import all_rules
+from .registry import all_rules, resolve_rules
+from .sarif import render_sarif
 
 __all__ = ["build_parser", "main"]
 
@@ -47,10 +54,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--exclude",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="file or directory to skip (repeatable)",
+    )
+    parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "restrict per-file rules to files changed since the merge "
+            "base with origin/main (project-wide rules still see the "
+            "full tree)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -66,6 +94,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline to grandfather all current findings",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail (exit 1) when the baseline has stale entries",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline dropping entries that no longer match "
+            "a finding (written reasons are preserved)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--list-rules",
@@ -95,12 +147,47 @@ def _baseline_target(args, paths: List[str]) -> Path:
     return found if found is not None else Path(BASELINE_FILENAME)
 
 
+def _render(args, report) -> str:
+    """Render ``report`` in the requested ``--format``."""
+    if args.format == "json":
+        return render_json(
+            report.findings,
+            suppressed_inline=report.suppressed_inline,
+            suppressed_baseline=report.suppressed_baseline,
+            unused_baseline=[e.describe() for e in report.unused_baseline],
+        )
+    if args.format == "sarif":
+        rules = resolve_rules(
+            _split_codes(args.select), _split_codes(args.ignore)
+        )
+        return render_sarif(report.findings, rules=rules)
+    text = render_text(report.findings)
+    if report.suppressed_inline or report.suppressed_baseline:
+        text += (
+            f"\n(suppressed: {report.suppressed_inline} inline, "
+            f"{report.suppressed_baseline} baselined)"
+        )
+    for entry in report.unused_baseline:
+        text += f"\nwarning: unused baseline entry: {entry.describe()}"
+    return text
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code (0/1/2)."""
     args = build_parser().parse_args(argv)
     if args.list_rules:
         return _cmd_list_rules()
+    if args.changed and (
+        args.update_baseline or args.prune_baseline or args.check_baseline
+    ):
+        print(
+            "error: --changed skips per-file findings on unchanged files, "
+            "so baseline maintenance flags need a full run",
+            file=sys.stderr,
+        )
+        return 2
     paths = args.paths or list(_DEFAULT_PATHS)
+    cache = None if args.no_cache else LintCache.load(args.cache_dir)
     try:
         if args.update_baseline:
             report = lint_paths(
@@ -108,46 +195,74 @@ def main(argv: Optional[List[str]] = None) -> int:
                 select=_split_codes(args.select),
                 ignore=_split_codes(args.ignore),
                 use_baseline=False,
+                exclude=args.exclude,
+                cache=cache,
             )
             target = _baseline_target(args, paths)
             target.write_text(
                 format_baseline(report.findings), encoding="utf-8"
             )
+            if cache is not None:
+                cache.save()
             print(
                 f"wrote {len(report.findings)} suppression(s) to {target}"
             )
             return 0
+        per_file: Optional[Set[str]] = None
+        if args.changed:
+            per_file = changed_paths()
         report = lint_paths(
             paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
             baseline=args.baseline,
             use_baseline=not args.no_baseline,
+            exclude=args.exclude,
+            cache=cache,
+            per_file_paths=per_file,
         )
+        if args.prune_baseline:
+            target = _baseline_target(args, paths)
+            loaded = load_baseline(target)
+            stale = {e.key() for e in report.unused_baseline}
+            kept = [e for e in loaded.entries if e.key() not in stale]
+            target.write_text(
+                format_baseline_entries(kept), encoding="utf-8"
+            )
+            if cache is not None:
+                cache.save()
+            print(
+                f"pruned {len(loaded.entries) - len(kept)} stale "
+                f"entry(ies) from {target}; {len(kept)} kept"
+            )
+            return 0
+        rendered = _render(args, report)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.format == "json":
+    if cache is not None:
+        cache.save()
+    if args.out:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + "\n", encoding="utf-8")
+        n = len(report.findings)
         print(
-            render_json(
-                report.findings,
-                suppressed_inline=report.suppressed_inline,
-                suppressed_baseline=report.suppressed_baseline,
-                unused_baseline=[
-                    e.describe() for e in report.unused_baseline
-                ],
-            )
+            f"wrote {n} finding{'s' if n != 1 else ''} "
+            f"({args.format}) to {out}"
         )
     else:
-        print(render_text(report.findings))
-        if report.suppressed_inline or report.suppressed_baseline:
-            print(
-                f"(suppressed: {report.suppressed_inline} inline, "
-                f"{report.suppressed_baseline} baselined)"
-            )
-        for entry in report.unused_baseline:
-            print(f"warning: unused baseline entry: {entry.describe()}")
-    return report.exit_code
+        print(rendered)
+    exit_code = report.exit_code
+    if args.check_baseline and report.unused_baseline:
+        n = len(report.unused_baseline)
+        print(
+            f"error: {n} stale baseline entry(ies); run --prune-baseline",
+            file=sys.stderr,
+        )
+        exit_code = max(exit_code, 1)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,17 +3,24 @@
 The engine is import-free by design: modules are *parsed*, never
 executed, so linting a broken tree (or one with heavy import-time side
 effects) is always safe.
+
+Parsing is *lazy*: a :class:`ModuleInfo` holds the raw source (and its
+content hash) from construction, but the AST and the suppression map
+are only materialized on first access.  The per-file result cache
+(:mod:`repro.lintkit.cache`) leans on this — a warm full-tree run
+hashes every file but parses none of them.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import LintError
 from .findings import Finding
@@ -66,17 +73,76 @@ def _extract_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
     return out
 
 
-@dataclass
-class ModuleInfo:
-    """One parsed source module, ready for rules to inspect."""
+_UNSET = object()
 
-    path: str  #: display path (as discovered or as given by the caller)
-    module: str  #: dotted module name, e.g. ``repro.assign.frontier``
-    is_package: bool  #: True for an ``__init__.py``
-    source: str
-    tree: ast.Module
-    lines: List[str] = field(default_factory=list)
-    suppressions: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+class ModuleInfo:
+    """One source module, parsed on demand, ready for rules to inspect."""
+
+    __slots__ = (
+        "path",
+        "module",
+        "is_package",
+        "source",
+        "_tree",
+        "_lines",
+        "_suppressions",
+        "_effective_suppressions",
+        "_content_hash",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        is_package: bool,
+        source: str,
+        tree: Optional[ast.Module] = None,
+    ):
+        #: display path (as discovered or as given by the caller)
+        self.path = path
+        #: dotted module name, e.g. ``repro.assign.frontier``
+        self.module = module
+        #: True for an ``__init__.py``
+        self.is_package = is_package
+        self.source = source
+        self._tree = tree
+        self._lines: Optional[List[str]] = None
+        self._suppressions: object = _UNSET
+        self._effective_suppressions: object = _UNSET
+        self._content_hash: Optional[str] = None
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed AST (parsed and memoized on first access)."""
+        if self._tree is None:
+            try:
+                self._tree = ast.parse(self.source, filename=self.path)
+            except SyntaxError as exc:
+                raise LintError(f"{self.path}: cannot parse: {exc}") from exc
+        return self._tree
+
+    @property
+    def lines(self) -> List[str]:
+        """Source split into lines (memoized)."""
+        if self._lines is None:
+            self._lines = self.source.splitlines()
+        return self._lines
+
+    @property
+    def suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        """Raw ``# lint: ignore`` directives by comment line (memoized)."""
+        if self._suppressions is _UNSET:
+            self._suppressions = _extract_suppressions(self.source)
+        return self._suppressions  # type: ignore[return-value]
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 of the source text (the cache key for this file)."""
+        if self._content_hash is None:
+            digest = hashlib.sha256(self.source.encode("utf-8"))
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     def line_at(self, lineno: int) -> str:
         """Stripped source text of a 1-based line ('' out of range)."""
@@ -98,9 +164,57 @@ class ModuleInfo:
             snippet=self.line_at(line),
         )
 
+    def _suppression_spans(self) -> Dict[int, Optional[Set[str]]]:
+        """Directives expanded over multi-line statements.
+
+        A trailing ``# lint: ignore[...]`` anywhere on a multi-line
+        statement suppresses findings reported on any line of its
+        *smallest* enclosing statement — rules anchor findings at inner
+        nodes (a call argument, a comparison) whose ``lineno`` may be a
+        different line than the one carrying the comment, and the
+        directive should still win.  Using the smallest enclosing span
+        keeps a directive inside a function body from silencing the
+        whole function.
+        """
+        if self._effective_suppressions is not _UNSET:
+            return self._effective_suppressions  # type: ignore[return-value]
+        raw = self.suppressions
+        expanded: Dict[int, Optional[Set[str]]] = {
+            line: (None if codes is None else set(codes))
+            for line, codes in raw.items()
+        }
+        if raw:
+            # smallest statement span containing each directive line
+            spans: Dict[int, Tuple[int, int]] = {}
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                start = getattr(node, "lineno", None)
+                end = getattr(node, "end_lineno", None)
+                if start is None or end is None:
+                    continue
+                for directive in raw:
+                    if not start <= directive <= end:
+                        continue
+                    best = spans.get(directive)
+                    if best is None or (end - start) < (best[1] - best[0]):
+                        spans[directive] = (start, end)
+            for directive, (start, end) in spans.items():
+                codes = raw[directive]
+                for line in range(start, end + 1):
+                    existing = expanded.get(line, _MISSING)
+                    if existing is _MISSING:
+                        expanded[line] = None if codes is None else set(codes)
+                    elif existing is None or codes is None:
+                        expanded[line] = None
+                    else:
+                        expanded[line] = existing | codes  # type: ignore[operator]
+        self._effective_suppressions = expanded
+        return expanded
+
     def is_suppressed(self, finding: Finding) -> bool:
         """True when an inline directive silences ``finding``."""
-        codes = self.suppressions.get(finding.line, _MISSING)
+        codes = self._suppression_spans().get(finding.line, _MISSING)
         if codes is _MISSING:
             return False
         return codes is None or finding.code in codes
@@ -127,8 +241,6 @@ def module_from_source(
         is_package=is_package,
         source=source,
         tree=tree,
-        lines=source.splitlines(),
-        suppressions=_extract_suppressions(source),
     )
 
 
@@ -149,21 +261,47 @@ def _dotted_name(path: Path) -> Tuple[str, bool]:
     return ".".join(reversed(parts)), is_package
 
 
-def module_from_path(path: Path, display: Optional[str] = None) -> ModuleInfo:
-    """Load and parse one file from disk."""
+def module_from_path(
+    path: Path, display: Optional[str] = None, *, lazy: bool = False
+) -> ModuleInfo:
+    """Load (and, unless ``lazy``, parse) one file from disk."""
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise LintError(f"cannot read {path}: {exc}") from exc
     module, is_package = _dotted_name(path)
-    info = module_from_source(
-        source, module=module, path=display or str(path), is_package=is_package
+    info = ModuleInfo(
+        path=display or str(path),
+        module=module,
+        is_package=is_package,
+        source=source,
     )
+    if not lazy:
+        info.tree  # noqa: B018 — force the parse so syntax errors surface now
     return info
 
 
-def discover(paths: Sequence[str]) -> List[ModuleInfo]:
-    """Collect every ``*.py`` under ``paths`` (files or directories)."""
+def discover(
+    paths: Sequence[str],
+    *,
+    exclude: Sequence[str] = (),
+    lazy: bool = False,
+) -> List[ModuleInfo]:
+    """Collect every ``*.py`` under ``paths`` (files or directories).
+
+    ``exclude`` lists files or directories to skip (compared by resolved
+    path, so ``tests/lintkit/fixtures`` works from any cwd).  With
+    ``lazy=True`` files are read and hashed but not parsed — syntax
+    errors then surface when a rule first touches the module's AST.
+    """
+    excluded: List[Path] = [Path(e).resolve() for e in exclude]
+
+    def is_excluded(resolved: Path) -> bool:
+        for ex in excluded:
+            if resolved == ex or ex in resolved.parents:
+                return True
+        return False
+
     files: List[Path] = []
     for raw in paths:
         p = Path(raw)
@@ -177,18 +315,29 @@ def discover(paths: Sequence[str]) -> List[ModuleInfo]:
     modules: List[ModuleInfo] = []
     for f in files:
         key = f.resolve()
-        if key in seen:
+        if key in seen or is_excluded(key):
             continue
         seen.add(key)
-        modules.append(module_from_path(f, display=str(f)))
+        modules.append(module_from_path(f, display=str(f), lazy=lazy))
     return modules
 
 
 @dataclass
 class Project:
-    """The whole scanned tree, for cross-module rules (RL001, RL004)."""
+    """The whole scanned tree, for cross-module rules.
+
+    Project-wide rules that need symbol tables, the conservative call
+    graph, or reachability queries get them through
+    ``ProjectContext.of(project)`` (:mod:`repro.lintkit.project`),
+    which builds the two-pass analysis core once per run and memoizes
+    it on this object.  The memo lives here; the builder lives there —
+    keeping this module free of upward imports into the analysis core.
+    """
 
     modules: List[ModuleInfo]
+
+    def __post_init__(self) -> None:
+        self._context: Optional[object] = None
 
     def by_name(self) -> Dict[str, ModuleInfo]:
         """Index modules by dotted name."""
@@ -198,26 +347,82 @@ class Project:
 def run_rules(
     modules: Iterable[ModuleInfo],
     rules: Sequence[Rule],
+    *,
+    cache: Optional["object"] = None,
+    per_file_paths: Optional[Set[str]] = None,
 ) -> Tuple[List[Finding], int]:
     """Run ``rules`` over ``modules``.
 
     Returns ``(findings, inline_suppressed_count)`` — findings already
     filtered through ``# lint: ignore`` directives, sorted.
+
+    ``cache`` is an optional :class:`~repro.lintkit.cache.LintCache`:
+    per-file (``check_module``) results are reused per content hash,
+    project-wide (``check_project``) results are reused when no file in
+    the tree changed.  ``per_file_paths`` (resolved paths) restricts the
+    per-file pass to a subset of files (``--changed``); project-wide
+    rules always see the full tree.
     """
     project = Project(list(modules))
     by_name = project.by_name()
-    raw: List[Finding] = []
-    for rule in rules:
-        for mod in project.modules:
-            raw.extend(rule.check_module(mod))
-        raw.extend(rule.check_project(project))
-    kept: List[Finding] = []
-    suppressed = 0
-    for finding in raw:
-        mod = by_name.get(finding.module)
-        if mod is not None and mod.is_suppressed(finding):
-            suppressed += 1
+    codes_sig = ",".join(sorted(r.code for r in rules))
+
+    def keep_suppressed(
+        raw: Iterable[Finding],
+    ) -> Tuple[List[Finding], int]:
+        kept: List[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            mod = by_name.get(finding.module)
+            if mod is not None and mod.is_suppressed(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    findings: List[Finding] = []
+    total_suppressed = 0
+
+    # --- pass 1: per-file rules (cacheable per content hash) ---
+    for mod in project.modules:
+        if per_file_paths is not None:
+            if str(Path(mod.path).resolve()) not in per_file_paths:
+                continue
+        # the module name qualifies the key: findings embed module/path,
+        # so two identical files must not share a cache entry
+        file_key = f"{mod.module}:{mod.content_hash}"
+        cached = None
+        if cache is not None:
+            cached = cache.get_file(file_key, codes_sig)
+        if cached is not None:
+            file_findings, suppressed = cached
         else:
-            kept.append(finding)
-    kept.sort(key=Finding.sort_key)
-    return kept, suppressed
+            raw = [
+                f for rule in rules for f in rule.check_module(mod)
+            ]
+            file_findings, suppressed = keep_suppressed(raw)
+            if cache is not None:
+                cache.put_file(
+                    file_key, codes_sig, file_findings, suppressed
+                )
+        findings.extend(file_findings)
+        total_suppressed += suppressed
+
+    # --- pass 2: project-wide rules (cacheable per tree hash) ---
+    tree_sig = None
+    cached_project = None
+    if cache is not None:
+        tree_sig = cache.tree_signature(project.modules, codes_sig)
+        cached_project = cache.get_project(tree_sig)
+    if cached_project is not None:
+        project_findings, suppressed = cached_project
+    else:
+        raw = [f for rule in rules for f in rule.check_project(project)]
+        project_findings, suppressed = keep_suppressed(raw)
+        if cache is not None and tree_sig is not None:
+            cache.put_project(tree_sig, project_findings, suppressed)
+    findings.extend(project_findings)
+    total_suppressed += suppressed
+
+    findings.sort(key=Finding.sort_key)
+    return findings, total_suppressed

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
@@ -30,8 +31,22 @@ class Finding:
         """Stable ordering: by file, then position, then rule."""
         return (self.path, self.line, self.col, self.code, self.message)
 
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity hash of this finding.
+
+        Derived from the same ``(code, module, snippet)`` triple the
+        baseline matches on, so it survives unrelated edits that shift
+        code around; used as SARIF's ``partialFingerprints`` and
+        exposed in the JSON report for external diffing tools.
+        """
+        digest = hashlib.sha256(
+            f"{self.code}|{self.module}|{self.snippet}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready representation (``--format json``)."""
+        """JSON-ready representation (``--format json`` and the cache)."""
         return {
             "module": self.module,
             "path": self.path,
@@ -40,7 +55,26 @@ class Finding:
             "code": self.code,
             "message": self.message,
             "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (cache round-trip).
+
+        ``fingerprint`` is derived, so it is ignored on input; missing
+        required keys raise :class:`KeyError` for the caller to treat
+        as a cache miss.
+        """
+        return cls(
+            module=str(data["module"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            code=str(data["code"]),
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+        )
 
 
 def render_text(findings: Sequence[Finding]) -> str:

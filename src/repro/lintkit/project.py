@@ -1,0 +1,412 @@
+"""Pass 1 of the project analysis: per-module symbol tables.
+
+:class:`ProjectContext` is the whole-program analysis core behind the
+cross-module rules (RL007–RL010).  It is built in two passes over the
+scanned tree:
+
+1. **symbol pass** (this module) — every module gets a
+   :class:`ModuleSymbols`: its functions (top-level, methods, nested),
+   classes, import-alias map, module-level constants, module-level
+   *mutable* bindings, and ``__all__``;
+2. **call-graph pass** (:mod:`repro.lintkit.callgraph`) — a
+   conservative call graph with reachability queries, built lazily on
+   first use from the symbol tables.
+
+Name resolution follows import aliases *through* package ``__init__``
+re-exports (``from ..engine import pmap`` resolves to the def in
+``repro.engine.parallel``), so rules reason about the functions that
+actually run, not the names at the call site.  Everything is resolved
+by dotted-name matching over the scanned tree only — nothing is
+imported or executed, and anything the resolver cannot prove is left
+unresolved (rules treat unresolved as "no finding": conservative in
+the no-false-positives direction).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from .astutil import all_literal_strings, iter_body_statements, resolve_import
+from .engine import ModuleInfo, Project
+
+__all__ = [
+    "FunctionId",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectContext",
+    "Resolved",
+    "dotted_path",
+    "module_symbols",
+]
+
+#: Constructors whose result is a mutable container (module-level
+#: bindings made with these are flagged as shared mutable state).
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "deque",
+        "OrderedDict",
+        "Counter",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FunctionId:
+    """Stable identity of one function definition in the scanned tree."""
+
+    module: str  #: dotted module name
+    qualname: str  #: e.g. ``pmap``, ``Tracer.span``, ``outer.inner``
+
+    def label(self) -> str:
+        """Human-readable ``module:qualname`` form for messages."""
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition plus the facts rules ask about."""
+
+    id: FunctionId
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    is_method: bool = False  #: defined directly inside a class body
+    is_nested: bool = False  #: defined inside another function
+    parent_class: Optional[str] = None  #: enclosing class name for methods
+
+    @property
+    def name(self) -> str:
+        """Bare function name (last qualname segment)."""
+        return self.node.name
+
+    @property
+    def positional_params(self) -> List[str]:
+        """Positional-capable parameter names, in order."""
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args]
+
+    @property
+    def keyword_only_params(self) -> List[str]:
+        """Keyword-only parameter names, in order."""
+        return [a.arg for a in self.node.args.kwonlyargs]
+
+    @property
+    def all_params(self) -> Set[str]:
+        """Every parameter name, including ``*args``/``**kwargs``."""
+        args = self.node.args
+        names = set(self.positional_params) | set(self.keyword_only_params)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names
+
+    def param_default(self, name: str) -> Optional[ast.expr]:
+        """Default-value expression of parameter ``name`` (or ``None``)."""
+        args = self.node.args
+        pos = args.posonlyargs + args.args
+        # defaults align with the *last* len(defaults) positional params
+        offset = len(pos) - len(args.defaults)
+        for i, a in enumerate(pos):
+            if a.arg == name and i >= offset:
+                return args.defaults[i - offset]
+        for a, d in zip(args.kwonlyargs, args.kw_defaults):
+            if a.arg == name and d is not None:
+                return d
+        return None
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    """Does this module-level value expression build a mutable object?"""
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        tail = node.func
+        name = (
+            tail.id
+            if isinstance(tail, ast.Name)
+            else tail.attr
+            if isinstance(tail, ast.Attribute)
+            else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@dataclass
+class ModuleSymbols:
+    """Symbol table of one module (pass 1 of the project analysis)."""
+
+    module: str
+    info: ModuleInfo
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: bound local name → absolute dotted import target
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level name → last assigned value expression
+    constants: Dict[str, ast.expr] = field(default_factory=dict)
+    #: module-level names bound to mutable containers
+    mutable_globals: Set[str] = field(default_factory=set)
+    #: ``__all__`` string entries (None when absent), and whether the
+    #: literal was fully statically readable
+    exports: Optional[Set[str]] = None
+    exports_exact: bool = True
+
+    def top_level_function(self, name: str) -> Optional[FunctionInfo]:
+        """The module-level function bound to ``name``, if any."""
+        fn = self.functions.get(name)
+        if fn is not None and not fn.is_method and not fn.is_nested:
+            return fn
+        return None
+
+
+def _collect_functions(symbols: ModuleSymbols, tree: ast.Module) -> None:
+    """Index every def (module-level, method, nested) by qualname."""
+
+    def visit(node: ast.AST, prefix: str, in_class: Optional[str], in_fn: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                symbols.functions[qual] = FunctionInfo(
+                    id=FunctionId(symbols.module, qual),
+                    node=child,
+                    is_method=in_class is not None and not in_fn,
+                    is_nested=in_fn,
+                    parent_class=in_class if not in_fn else None,
+                )
+                visit(child, f"{qual}.", None, True)
+            elif isinstance(child, ast.ClassDef):
+                symbols.classes.setdefault(child.name, child)
+                visit(child, f"{prefix}{child.name}.", child.name, in_fn)
+            else:
+                visit(child, prefix, in_class, in_fn)
+
+    visit(tree, "", None, False)
+
+
+def _collect_imports(symbols: ModuleSymbols, mod: ModuleInfo) -> None:
+    """Map every bound import name (any scope) to its absolute target."""
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    symbols.imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    symbols.imports.setdefault(root, root)
+        elif isinstance(node, ast.ImportFrom):
+            targets = resolve_import(mod.module, mod.is_package, node)
+            if not targets:
+                continue
+            if node.module is None:
+                # ``from . import a, b`` — resolve_import yields one
+                # submodule target per alias, in order
+                for alias, target in zip(node.names, targets):
+                    if alias.name != "*":
+                        symbols.imports[alias.asname or alias.name] = target
+            else:
+                base = targets[0]
+                for alias in node.names:
+                    if alias.name != "*":
+                        symbols.imports[alias.asname or alias.name] = (
+                            f"{base}.{alias.name}"
+                        )
+
+
+def _collect_module_bindings(symbols: ModuleSymbols, tree: ast.Module) -> None:
+    """Record module-level assignments, mutable bindings, and __all__."""
+    for stmt in iter_body_statements(tree):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "__all__":
+                strings, exact = all_literal_strings(value)
+                symbols.exports = (symbols.exports or set()) | strings
+                symbols.exports_exact = symbols.exports_exact and exact
+                continue
+            symbols.constants[target.id] = value
+            if _is_mutable_value(value):
+                symbols.mutable_globals.add(target.id)
+
+
+def module_symbols(mod: ModuleInfo) -> ModuleSymbols:
+    """Build the pass-1 symbol table for a single module.
+
+    Also usable standalone by per-file rules (RL009) that want the
+    symbol machinery without a whole-project scan.
+    """
+    symbols = ModuleSymbols(module=mod.module, info=mod)
+    _collect_functions(symbols, mod.tree)
+    _collect_imports(symbols, mod)
+    _collect_module_bindings(symbols, mod.tree)
+    return symbols
+
+
+#: Resolution result: ``("function", FunctionInfo)``,
+#: ``("class", module, name)``, ``("module", module)``, or
+#: ``("constant", module, name)``.
+Resolved = Tuple[str, object]
+
+
+def dotted_path(node: ast.expr) -> Optional[str]:
+    """Flatten a ``Name``/``Attribute`` chain to ``a.b.c`` (else None)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class ProjectContext:
+    """The two-pass whole-program view given to project-wide rules."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.symbols: Dict[str, ModuleSymbols] = {}
+        self._call_graph: Optional[object] = None
+
+    @classmethod
+    def build(cls, project: Project) -> "ProjectContext":
+        """Run the symbol pass over every scanned module."""
+        ctx = cls(project)
+        for mod in project.modules:
+            ctx.symbols[mod.module] = module_symbols(mod)
+        return ctx
+
+    @classmethod
+    def of(cls, project: Project) -> "ProjectContext":
+        """The analysis core for ``project``, built once and memoized.
+
+        Every project-wide rule goes through here, so one lint run
+        pays for the symbol tables and call graph exactly once no
+        matter how many rules consult them.
+        """
+        ctx = project._context
+        if not isinstance(ctx, cls):
+            ctx = cls.build(project)
+            project._context = ctx
+        return ctx
+
+    def function(self, fid: FunctionId) -> Optional[FunctionInfo]:
+        """Look up a :class:`FunctionInfo` by id."""
+        symbols = self.symbols.get(fid.module)
+        if symbols is None:
+            return None
+        return symbols.functions.get(fid.qualname)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every function definition in the scanned tree."""
+        for symbols in self.symbols.values():
+            yield from symbols.functions.values()
+
+    # ------------------------------------------------------------------
+    # name resolution
+
+    def resolve_absolute(
+        self, dotted: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[Resolved]:
+        """Resolve an absolute dotted path against the scanned tree.
+
+        Follows import aliases through package ``__init__`` re-exports;
+        returns ``None`` for anything outside the scanned module set.
+        """
+        if _seen is None:
+            _seen = set()
+        if dotted in _seen:
+            return None  # import cycle in aliases
+        _seen.add(dotted)
+        parts = dotted.split(".")
+        # try binding interpretations longest-prefix-first: a name bound
+        # in a package __init__ (``from .tree_assign import tree_assign``)
+        # shadows the same-named submodule, exactly as at runtime
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.symbols:
+                resolved = self._resolve_in_module(prefix, parts[cut:], _seen)
+                if resolved is not None:
+                    return resolved
+        if dotted in self.symbols:
+            return ("module", dotted)
+        return None
+
+    def _resolve_in_module(
+        self, module: str, rest: List[str], _seen: Set[str]
+    ) -> Optional[Resolved]:
+        symbols = self.symbols[module]
+        if not rest:
+            return ("module", module)
+        head, tail = rest[0], rest[1:]
+        fn = symbols.top_level_function(head)
+        if fn is not None and not tail:
+            return ("function", fn)
+        if head in symbols.classes:
+            if not tail:
+                return ("class", (module, head))
+            method = symbols.functions.get(f"{head}.{tail[0]}")
+            if method is not None and len(tail) == 1:
+                return ("function", method)
+            return None
+        if head in symbols.imports:
+            target = ".".join([symbols.imports[head], *tail])
+            return self.resolve_absolute(target, _seen)
+        if head in symbols.constants and not tail:
+            return ("constant", (module, head))
+        return None
+
+    def resolve_name(self, module: str, dotted: str) -> Optional[Resolved]:
+        """Resolve ``dotted`` as seen from inside ``module``.
+
+        ``dotted`` is a local name or attribute chain (``pmap``,
+        ``engine.pmap``, ``np.asarray``); local bindings and import
+        aliases of ``module`` are consulted first.
+        """
+        symbols = self.symbols.get(module)
+        if symbols is None:
+            return None
+        parts = dotted.split(".")
+        head, tail = parts[0], parts[1:]
+        fn = symbols.top_level_function(head)
+        if fn is not None and not tail:
+            return ("function", fn)
+        if head in symbols.classes:
+            return self._resolve_in_module(module, parts, {dotted})
+        if head in symbols.imports:
+            target = ".".join([symbols.imports[head], *tail])
+            return self.resolve_absolute(target)
+        if head in symbols.constants and not tail:
+            return ("constant", (module, head))
+        return None
+
+    def resolve_call(
+        self, module: str, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The scanned function a call dispatches to, if provable."""
+        path = dotted_path(call.func)
+        if path is None:
+            return None
+        resolved = self.resolve_name(module, path)
+        if resolved is not None and resolved[0] == "function":
+            fn = resolved[1]
+            assert isinstance(fn, FunctionInfo)
+            return fn
+        return None

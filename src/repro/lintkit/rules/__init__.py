@@ -1,6 +1,17 @@
 """Rule catalog — importing this package registers every rule."""
 
-from . import api_sync, exceptions, floats, hygiene, layering, randomness
+from . import (
+    api_contract,
+    api_sync,
+    exceptions,
+    floats,
+    hygiene,
+    layering,
+    obs_hygiene,
+    randomness,
+    shared_state,
+    spawn_safety,
+)
 
 __all__ = [
     "exceptions",
@@ -9,4 +20,8 @@ __all__ = [
     "layering",
     "hygiene",
     "randomness",
+    "spawn_safety",
+    "shared_state",
+    "obs_hygiene",
+    "api_contract",
 ]

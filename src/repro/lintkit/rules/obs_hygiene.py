@@ -1,0 +1,253 @@
+"""RL009 — observability hygiene: span/metric naming and span lifetime.
+
+Exporters group, sort and prefix-filter on span/metric names
+(``dp.refreshes``, ``engine.pmap``, ``portfolio.race``): a name outside
+the registered grammar (:data:`repro.obs.OBS_NAME_PATTERN` — lowercase
+``snake_case`` segments, optionally dotted) silently falls out of every
+dashboard, and a *dynamic* name (f-string, ``str.format``) makes the
+metric namespace unbounded, which is how tracing backends die.  So the
+first argument of :func:`repro.obs.span` / :func:`repro.obs.add_metric`
+must be statically resolvable to conforming literals: a string literal,
+a module-level string constant, a parameter whose *default* is a
+conforming literal (``pmap``'s ``label``), or a subscript into a
+module-level dict/tuple of conforming literals (the sanctioned way to
+emit a family of related metrics, cf. ``_DP_METRICS``).
+
+Separately, ``span()`` returns a context manager whose ``__exit__``
+records the duration and pops the span stack; calling it anywhere but
+a ``with`` header means an exception path can skip the exit and leave
+the tracer's stack corrupted for every later span.  The rule flags
+``span(...)`` calls that are not ``with`` context expressions.
+
+``repro.obs`` itself is exempt — it is the layer being policed, and
+its facade functions forward ``name`` parameters by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from ...obs.tracer import OBS_NAME_PATTERN
+from ..engine import ModuleInfo
+from ..findings import Finding
+from ..project import ModuleSymbols, module_symbols
+from ..registry import Rule, register
+
+__all__ = ["ObsHygieneRule", "EXEMPT_PREFIXES"]
+
+#: The obs layer itself forwards names by design.
+EXEMPT_PREFIXES = ("repro.obs",)
+
+_NAME_RE = re.compile(rf"^{OBS_NAME_PATTERN}$")
+_OBS_PACKAGE = "repro.obs"
+_NAME_TAKING = frozenset({"span", "add_metric"})
+
+
+def _is_exempt(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in EXEMPT_PREFIXES
+    )
+
+
+def _obs_call_name(symbols: ModuleSymbols, call: ast.Call) -> Optional[str]:
+    """``span``/``add_metric`` when this call provably targets obs."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = symbols.imports.get(func.id)
+        if target is None:
+            return None
+        tail = target.rsplit(".", 1)[-1]
+        if tail in _NAME_TAKING and (
+            target.startswith(_OBS_PACKAGE + ".") or target == _OBS_PACKAGE
+        ):
+            return tail
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in _NAME_TAKING:
+        if isinstance(func.value, ast.Name):
+            target = symbols.imports.get(func.value.id)
+            if target is not None and (
+                target == _OBS_PACKAGE or target.startswith(_OBS_PACKAGE + ".")
+            ):
+                return func.attr
+        # ``tracer.span(...)`` on an unresolvable receiver: still a span
+        # for lifetime purposes — Tracer.span is the only ``.span`` in
+        # this codebase
+        if func.attr == "span":
+            return "span"
+    return None
+
+
+def _conforming_literal(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Constant)
+        and isinstance(expr.value, str)
+        and _NAME_RE.match(expr.value) is not None
+    )
+
+
+def _literal_values(expr: ast.expr) -> Optional[List[ast.expr]]:
+    """Value expressions of a dict/tuple/list literal (None if not one)."""
+    if isinstance(expr, ast.Dict):
+        return [v for v in expr.values if v is not None]
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return list(expr.elts)
+    return None
+
+
+@register
+class ObsHygieneRule(Rule):
+    """Span/metric names are vetted literals; spans only via ``with``."""
+
+    code = "RL009"
+    name = "obs-hygiene"
+    rationale = (
+        "dynamic span/metric names make the metric namespace unbounded "
+        "and fall out of dashboards; a span not used as a context "
+        "manager can skip its exit and corrupt the tracer stack"
+    )
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if _is_exempt(mod.module):
+            return
+        symbols = module_symbols(mod)
+        with_exprs: Set[int] = set()
+        for node in ast.walk(mod.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_exprs.add(id(item.context_expr))
+
+        def visit(node: ast.AST, fn: Optional[ast.AST]) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                enclosing = fn
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    enclosing = child
+                if isinstance(child, ast.Call):
+                    kind = _obs_call_name(symbols, child)
+                    if kind is not None:
+                        yield from self._check_call(
+                            mod, symbols, child, kind, fn, with_exprs
+                        )
+                yield from visit(child, enclosing)
+
+        yield from visit(mod.tree, None)
+
+    def _check_call(
+        self,
+        mod: ModuleInfo,
+        symbols: ModuleSymbols,
+        call: ast.Call,
+        kind: str,
+        enclosing_fn: Optional[ast.AST],
+        with_exprs: Set[int],
+    ) -> Iterator[Finding]:
+        if kind == "span" and id(call) not in with_exprs:
+            yield mod.finding(
+                self.code,
+                call,
+                "span() must be used as a context manager "
+                "('with span(...):') so its exit cannot be skipped",
+            )
+        name_arg = call.args[0] if call.args else None
+        if name_arg is None:
+            for kw in call.keywords:
+                if kw.arg == "name":
+                    name_arg = kw.value
+                    break
+        if name_arg is None:
+            return
+        problem = self._name_problem(symbols, name_arg, enclosing_fn)
+        if problem is not None:
+            yield mod.finding(
+                self.code,
+                name_arg,
+                f"{kind}() name {problem}; names must be literals "
+                f"matching the registered obs pattern "
+                f"'{OBS_NAME_PATTERN}'",
+            )
+
+    def _name_problem(
+        self,
+        symbols: ModuleSymbols,
+        expr: ast.expr,
+        enclosing_fn: Optional[ast.AST],
+    ) -> Optional[str]:
+        """Reason the name argument is unacceptable (None when fine)."""
+        if isinstance(expr, ast.Constant):
+            if not isinstance(expr.value, str):
+                return f"is not a string ({expr.value!r})"
+            if _NAME_RE.match(expr.value) is None:
+                return f"'{expr.value}' does not match the naming pattern"
+            return None
+        if isinstance(expr, ast.JoinedStr):
+            return (
+                "is an f-string (unbounded metric namespace); emit from a "
+                "module-level literal table instead"
+            )
+        if isinstance(expr, ast.Name):
+            # parameter with a conforming literal default (pmap's label)
+            if isinstance(
+                enclosing_fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                default = _param_default(enclosing_fn, expr.id)
+                if default is not None:
+                    if _conforming_literal(default):
+                        return None
+                    return (
+                        f"parameter '{expr.id}' has a non-conforming "
+                        "default"
+                    )
+                if expr.id in _param_names(enclosing_fn):
+                    return (
+                        f"parameter '{expr.id}' has no literal default; "
+                        "the name cannot be statically vetted"
+                    )
+            value = symbols.constants.get(expr.id)
+            if value is not None:
+                if _conforming_literal(value):
+                    return None
+                return f"module constant '{expr.id}' is not a conforming literal"
+            return f"'{expr.id}' cannot be statically resolved to a literal"
+        if isinstance(expr, ast.Subscript) and isinstance(expr.value, ast.Name):
+            table = symbols.constants.get(expr.value.id)
+            if table is not None:
+                values = _literal_values(table)
+                if values is not None and values and all(
+                    _conforming_literal(v) for v in values
+                ):
+                    return None
+                return (
+                    f"module table '{expr.value.id}' is not a literal "
+                    "dict/tuple of conforming names"
+                )
+            return f"'{expr.value.id}' is not a module-level literal table"
+        return "is dynamic"
+
+
+def _param_names(fn: ast.AST) -> Set[str]:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return set()
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _param_default(fn: ast.AST, name: str) -> Optional[ast.expr]:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    args = fn.args
+    pos = args.posonlyargs + args.args
+    offset = len(pos) - len(args.defaults)
+    for i, a in enumerate(pos):
+        if a.arg == name and i >= offset:
+            return args.defaults[i - offset]
+    for a, d in zip(args.kwonlyargs, args.kw_defaults):
+        if a.arg == name and d is not None:
+            return d
+    return None

@@ -1,0 +1,270 @@
+"""RL008 — shared-state writes reachable from parallel payloads.
+
+Under the spawn start method every worker gets a *fresh copy* of each
+module, so a write to module-level state from worker code is silently
+discarded when the worker exits — and under a hypothetical fork or
+threaded executor the very same write becomes a data race.  Either
+way the write breaks ``pmap``'s determinism contract ("same inputs,
+same outputs, any worker count"), which the portfolio racer and the
+incremental engine both build on.
+
+The rule computes the set of functions reachable from every resolved
+``pmap``/pool payload (conservative call graph + callback edges) and
+flags, inside that set:
+
+* ``global`` rebinding of a module-level name;
+* stores through a module-level binding (``CACHE[key] = v``,
+  ``CONFIG.field = v``, ``SHARED += [...]``), including bindings
+  imported from another module;
+* mutator method calls on module-level containers
+  (``CACHE.update(...)``, ``EVENTS.append(...)``);
+* attribute stores on classes (``Cls.attr = v`` — shared across every
+  instance in the process).
+
+Instance state (``self.attr = ...``), parameters, and local variables
+are worker-private and never flagged.  :data:`EXEMPT_MODULES` lists
+the spawn machinery itself (``repro.engine.parallel``): its pool
+registry is mutated only on the parent side, before and after the
+workers run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..callgraph import CallGraph, classify_payload
+from ..engine import ModuleInfo, Project
+from ..findings import Finding
+from ..project import FunctionInfo, ProjectContext, dotted_path
+from ..registry import Rule, register
+
+__all__ = ["SharedStateRule", "EXEMPT_MODULES", "MUTATOR_METHODS"]
+
+#: Modules whose module-level writes are parent-side by construction.
+#: ``repro.engine.parallel`` *is* the spawn machinery: its ``_POOLS``
+#: registry is touched only before workers start and after they join.
+EXEMPT_MODULES = ("repro.engine.parallel",)
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "discard",
+        "clear",
+        "insert",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _shared_base(
+    ctx: ProjectContext,
+    module: str,
+    fn: FunctionInfo,
+    local_names: Set[str],
+    expr: ast.expr,
+) -> Optional[str]:
+    """Describe the module-level binding ``expr`` refers to, if any."""
+    path = dotted_path(expr)
+    if path is None:
+        return None
+    parts = path.split(".")
+    head = parts[0]
+    if head in fn.all_params or head in local_names:
+        return None  # worker-private
+    symbols = ctx.symbols[module]
+    if len(parts) == 1:
+        if head in symbols.mutable_globals or head in symbols.constants:
+            return f"module-level '{head}'"
+        return None
+    # dotted: follow the head through imports/classes
+    resolved = ctx.resolve_name(module, head)
+    if resolved is None:
+        return None
+    kind, payload = resolved
+    if kind == "module":
+        target = ctx.symbols.get(str(payload))
+        name = parts[1]
+        if target is not None and (
+            name in target.mutable_globals or name in target.constants
+        ):
+            return f"'{name}' in module {payload}"
+        return None
+    if kind == "class":
+        _mod, cls_name = payload  # type: ignore[misc]
+        return f"class '{cls_name}'"
+    if kind == "constant":
+        return f"module-level '{head}'"
+    return None
+
+
+def _class_target(
+    ctx: ProjectContext, module: str, fn: FunctionInfo, expr: ast.expr
+) -> Optional[str]:
+    """Class name when ``expr`` names a scanned class (for attr stores)."""
+    path = dotted_path(expr)
+    if path is None or path.split(".")[0] in fn.all_params:
+        return None
+    resolved = ctx.resolve_name(module, path)
+    if resolved is not None and resolved[0] == "class":
+        _mod, name = resolved[1]  # type: ignore[misc]
+        return name
+    return None
+
+
+def _walk_own_body(fn: FunctionInfo) -> Iterator[ast.AST]:
+    """Nodes lexically in ``fn``, excluding nested function bodies."""
+    stack: List[ast.AST] = [fn.node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield child
+            stack.append(child)
+
+
+@register
+class SharedStateRule(Rule):
+    """No writes to shared module/class state in worker-reachable code."""
+
+    code = "RL008"
+    name = "shared-state-race"
+    rationale = (
+        "a module-level write inside a spawn worker is silently lost "
+        "(and a race under fork/threads); pmap's determinism contract "
+        "requires worker code to be write-free on shared state"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        ctx = ProjectContext.of(project)
+        graph = CallGraph.of(ctx)
+        roots = []
+        for site in graph.payload_sites:
+            _problems, site_roots = classify_payload(ctx, site)
+            roots.extend(fn.id for fn in site_roots)
+        if not roots:
+            return
+        by_name = project.by_name()
+        reachable = graph.reachable(roots)
+        for fid in sorted(reachable, key=lambda f: (f.module, f.qualname)):
+            if fid.module in EXEMPT_MODULES:
+                continue
+            fn = ctx.function(fid)
+            mod = by_name.get(fid.module)
+            if fn is None or mod is None:
+                continue
+            yield from self._check_function(ctx, mod, fn)
+
+    def _check_function(
+        self, ctx: ProjectContext, mod: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        local_names: Set[str] = set()
+        global_names: Set[str] = set()
+        # first sweep: collect local bindings and ``global`` declarations
+        for node in _walk_own_body(fn):
+            if isinstance(node, ast.Global):
+                global_names.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                local_names.add(node.id)
+        local_names -= global_names
+        where = f"'{fn.id.qualname}' is reachable from a pmap payload"
+        for node in _walk_own_body(fn):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    yield mod.finding(
+                        self.code,
+                        node,
+                        f"{where}; rebinding module-level '{name}' via "
+                        "'global' is lost in spawn workers",
+                    )
+                continue
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                yield from self._check_store(
+                    ctx, mod, fn, local_names, target
+                )
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                ):
+                    shared = _shared_base(
+                        ctx, mod.module, fn, local_names, func.value
+                    )
+                    if shared is not None:
+                        yield mod.finding(
+                            self.code,
+                            node,
+                            f"{where}; '.{func.attr}()' mutates {shared} — "
+                            "shared state must not be written from worker "
+                            "code",
+                        )
+
+    def _check_store(
+        self,
+        ctx: ProjectContext,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        local_names: Set[str],
+        target: ast.expr,
+    ) -> Iterator[Finding]:
+        where = f"'{fn.id.qualname}' is reachable from a pmap payload"
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_store(
+                    ctx, mod, fn, local_names, element
+                )
+            return
+        if isinstance(target, ast.Starred):
+            yield from self._check_store(
+                ctx, mod, fn, local_names, target.value
+            )
+            return
+        if isinstance(target, ast.Subscript):
+            shared = _shared_base(ctx, mod.module, fn, local_names, target.value)
+            if shared is not None:
+                yield mod.finding(
+                    self.code,
+                    target,
+                    f"{where}; subscript store into {shared} — shared "
+                    "state must not be written from worker code",
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            cls = _class_target(ctx, mod.module, fn, target.value)
+            if cls is not None:
+                yield mod.finding(
+                    self.code,
+                    target,
+                    f"{where}; attribute store on class '{cls}' is shared "
+                    "across every instance in the process",
+                )
+                return
+            shared = _shared_base(ctx, mod.module, fn, local_names, target.value)
+            if shared is not None:
+                yield mod.finding(
+                    self.code,
+                    target,
+                    f"{where}; attribute store on {shared} — shared state "
+                    "must not be written from worker code",
+                )

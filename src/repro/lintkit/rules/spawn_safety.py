@@ -1,0 +1,62 @@
+"""RL007 — spawn-safety of parallel payloads.
+
+``engine.pmap`` runs its callable in **spawn** workers: the callable is
+pickled by qualified name, imported fresh in the child, and applied
+there.  Anything that cannot round-trip that way — a lambda, a closure
+(nested function), a bound method of a locally-created object, a
+``functools.partial`` closing over an unpicklable argument — fails at
+runtime, and only on the parallel path (``workers=0`` hides it), which
+is exactly the class of bug a serial test suite never sees.
+
+This rule finds every expression that flows into ``pmap``'s ``fn``
+parameter (or a pool's ``submit``/``map``), *including through helper
+functions*: the payload-forwarding fixpoint in
+:mod:`repro.lintkit.callgraph` turns a parameter that is forwarded to
+``pmap`` into a payload sink of its own, so a lambda handed to a
+wrapper two calls away from the pool is still flagged at the call site
+that created it.  Unresolvable payloads (dynamic dispatch, foreign
+callables) are left alone — the rule only reports what it can prove.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..callgraph import CallGraph, classify_payload
+from ..engine import Project
+from ..findings import Finding
+from ..project import ProjectContext
+from ..registry import Rule, register
+
+__all__ = ["SpawnSafetyRule"]
+
+
+@register
+class SpawnSafetyRule(Rule):
+    """Callables shipped to spawn workers must be module-level functions."""
+
+    code = "RL007"
+    name = "spawn-safety"
+    rationale = (
+        "spawn pickles pmap payloads by qualified name; lambdas, "
+        "closures and locally-bound methods fail only on the parallel "
+        "path, where serial tests never look"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        ctx = ProjectContext.of(project)
+        by_name = project.by_name()
+        for site in CallGraph.of(ctx).payload_sites:
+            mod = by_name.get(site.module)
+            if mod is None:
+                continue
+            problems, _roots = classify_payload(ctx, site)
+            for problem in problems:
+                node = problem.node
+                if not hasattr(node, "lineno"):
+                    node = site.call
+                yield mod.finding(
+                    self.code,
+                    node,
+                    f"payload reaching {site.entry}(): {problem.reason}",
+                )

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 renderer (``--format sarif``).
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format CI platforms ingest for code-scanning
+annotations; emitting it lets the lint job upload one artifact that
+review UIs can render inline.  The document carries the full rule
+catalog (``tool.driver.rules``) so each result can point back to its
+rule by index, and every result gets a line-number-independent
+``partialFingerprints`` entry derived from the same (code, module,
+snippet) triple the baseline matches on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+from .registry import Rule
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA", "TOOL_NAME"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lintkit"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], *, rules: Sequence[Rule] = ()
+) -> str:
+    """Serialize ``findings`` as a SARIF 2.1.0 document (a JSON string).
+
+    ``rules`` populates the driver's rule catalog; codes that appear in
+    ``findings`` but not in ``rules`` still get a minimal catalog entry
+    so every result's ``ruleIndex`` resolves.
+    """
+    catalog: List[Dict[str, object]] = []
+    index: Dict[str, int] = {}
+    for rule in sorted(rules, key=lambda r: r.code):
+        if rule.code in index:
+            continue
+        index[rule.code] = len(catalog)
+        catalog.append(_rule_descriptor(rule))
+    for f in sorted(findings, key=Finding.sort_key):
+        if f.code not in index:
+            index[f.code] = len(catalog)
+            catalog.append(
+                {"id": f.code, "shortDescription": {"text": f.code}}
+            )
+
+    results: List[Dict[str, object]] = []
+    for f in sorted(findings, key=Finding.sort_key):
+        results.append(
+            {
+                "ruleId": f.code,
+                "ruleIndex": index[f.code],
+                "level": "warning",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": PurePath(f.path).as_posix()
+                            },
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "lintkitFingerprint/v1": f.fingerprint
+                },
+            }
+        )
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -32,6 +32,8 @@ from .export import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import (
     NULL_TRACER,
+    OBS_NAME_PATTERN,
+    OBS_NAME_RE,
     Span,
     Tracer,
     add_metric,
@@ -43,6 +45,8 @@ from .tracer import (
 )
 
 __all__ = [
+    "OBS_NAME_PATTERN",
+    "OBS_NAME_RE",
     "Span",
     "Tracer",
     "NULL_TRACER",

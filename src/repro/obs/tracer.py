@@ -27,6 +27,7 @@ and is importable from every other layer (lintkit rule RL004).
 from __future__ import annotations
 
 import contextlib
+import re
 from contextvars import ContextVar, Token
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -36,6 +37,8 @@ from typing import ContextManager, Dict, Iterator, List, Optional, Tuple, Type
 from .metrics import MetricsRegistry
 
 __all__ = [
+    "OBS_NAME_PATTERN",
+    "OBS_NAME_RE",
     "Span",
     "Tracer",
     "NULL_TRACER",
@@ -46,6 +49,16 @@ __all__ = [
     "annotate",
     "tracing_active",
 ]
+
+#: Registered naming convention for span and metric names: lowercase
+#: ``snake_case`` segments, optionally dotted (``assign``, ``dp.refreshes``,
+#: ``engine.pmap``).  Exporters group and prefix-filter on ``.`` — a name
+#: outside this grammar breaks dashboards silently, so lintkit rule RL009
+#: checks every ``span()``/``add_metric()`` literal against it.
+OBS_NAME_PATTERN = r"[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*"
+
+#: Compiled full-match form of :data:`OBS_NAME_PATTERN`.
+OBS_NAME_RE = re.compile(rf"^{OBS_NAME_PATTERN}$")
 
 
 @dataclass

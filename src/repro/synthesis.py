@@ -36,6 +36,7 @@ from .assign import (
     path_assign,
     tree_assign,
 )
+from .apiutil import deprecated_positionals
 from .errors import CyclicDependencyError, ReproError
 from .fu.table import TimeCostTable
 from .graph.classify import is_in_forest, is_out_forest, is_simple_path
@@ -129,10 +130,12 @@ class SynthesisResult:
             )
 
 
+@deprecated_positionals("algorithm", "scheduler", "workers", "strategy", keep=3)
 def synthesize(
     dfg: DFG,
     table: TimeCostTable,
     deadline: int,
+    *,
     algorithm: Optional[str] = None,
     scheduler: str = "min_resource",
     workers: int = 0,

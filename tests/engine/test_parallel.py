@@ -21,7 +21,7 @@ def _square(x: int) -> int:
 
 def _boom(x: int) -> int:
     if x == 3:
-        raise ValueError("item three is cursed")
+        raise ValueError("item three is cursed")  # lint: ignore[RL001]
     return x
 
 

@@ -1,0 +1,9 @@
+"""Stand-in for ``repro.engine.parallel`` in project-rule fixtures.
+
+Loaded as module ``repro.engine.parallel`` so the payload tracker's
+``pmap`` seeding finds a scanned definition to resolve against.
+"""
+
+
+def pmap(fn, items, workers=0, label="engine.pmap"):
+    return [fn(item) for item in items]

@@ -1,0 +1,42 @@
+"""RL007 fixture: payloads that cannot survive spawn pickling."""
+
+from ..engine.parallel import pmap
+
+_DOUBLE = lambda x: 2 * x  # noqa: E731
+
+
+class Runner:
+    def run(self, x):
+        return x
+
+
+def helper(fn, items):
+    return pmap(fn, items)
+
+
+def two_deep(fn, items):
+    return helper(fn, items)
+
+
+def bad_lambda(items):
+    return pmap(lambda x: x + 1, items)
+
+
+def bad_closure(items):
+    def inner(x):
+        return x
+
+    return pmap(inner, items)
+
+
+def bad_bound_method(items):
+    runner = Runner()
+    return pmap(runner.run, items)
+
+
+def bad_alias(items):
+    return pmap(_DOUBLE, items)
+
+
+def bad_forwarded(items):
+    return two_deep(lambda x: x - 1, items)

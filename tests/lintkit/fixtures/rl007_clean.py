@@ -1,0 +1,33 @@
+"""RL007 fixture: spawn-safe payloads (no findings expected)."""
+
+from functools import partial
+
+from ..engine.parallel import pmap
+
+
+def work(x):
+    return x + 1
+
+
+def scale(factor, x):
+    return factor * x
+
+
+def helper(fn, items):
+    return pmap(fn, items)
+
+
+def ok_direct(items):
+    return pmap(work, items)
+
+
+def ok_forwarded(items):
+    return helper(work, items)
+
+
+def ok_partial(items):
+    return pmap(partial(scale, 3), items)
+
+
+def ok_dynamic(make_fn, items):
+    return pmap(make_fn(), items)  # factory result: not provable, not flagged

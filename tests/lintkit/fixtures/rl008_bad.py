@@ -1,0 +1,32 @@
+"""RL008 fixture: shared-state writes inside worker-reachable code."""
+
+from ..engine.parallel import pmap
+
+CACHE = {}
+EVENTS = []
+
+
+class Config:
+    mode = "fast"
+
+
+def record(x):
+    CACHE[x] = x * 2
+    EVENTS.append(x)
+    Config.mode = "slow"
+    return x
+
+
+def helper(x):
+    global EVENTS
+    EVENTS = []
+    return x
+
+
+def work(x):
+    record(x)
+    return helper(x)
+
+
+def run(items):
+    return pmap(work, items)

@@ -1,0 +1,35 @@
+"""RL008 fixture: worker-private state only (no findings expected).
+
+``parent_side_reset`` writes shared state but is *not* reachable from
+any payload — the rule must leave it alone (reachability, not a
+whole-tree write ban).
+"""
+
+from ..engine.parallel import pmap
+
+LIMIT = 10
+CACHE = {}
+
+
+class Accumulator:
+    def __init__(self):
+        self.items = []
+
+    def add(self, x):
+        self.items.append(x)
+
+
+def work(x):
+    local = {}
+    local[x] = x
+    acc = Accumulator()
+    acc.add(x)
+    return min(x, LIMIT)
+
+
+def parent_side_reset():
+    CACHE.clear()
+
+
+def run(items):
+    return pmap(work, items)

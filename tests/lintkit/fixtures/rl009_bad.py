@@ -1,0 +1,18 @@
+"""RL009 fixture: obs-hygiene violations."""
+
+from ..obs import add_metric, span
+
+BAD_NAME = "Has Spaces"
+
+
+def run(x):
+    with span(f"run.{x}"):
+        pass
+    handle = span("leaked_span")
+    add_metric("CamelCase", 1)
+    add_metric(BAD_NAME, 1)
+    return handle
+
+
+def emit(name, value):
+    add_metric(name, value)

@@ -1,0 +1,15 @@
+"""RL009 fixture: statically-vetted obs names (no findings expected)."""
+
+from ..obs import add_metric, span
+
+PHASE = "assign"
+_METRICS = {"hits": "dp.cache_hits", "miss": "dp.cache_miss"}
+
+
+def run(x, label="engine.pmap"):
+    with span(PHASE):
+        add_metric(_METRICS["hits"], 1)
+        add_metric("dp.refreshes", x)
+    with span(label):
+        pass
+    return x

@@ -1,0 +1,5 @@
+"""RL010 fixture: root facade ``__init__`` (loaded as package ``repro``)."""
+
+from .impl import run_flow
+
+__all__ = ["run_flow"]

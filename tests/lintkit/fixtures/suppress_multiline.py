@@ -1,0 +1,16 @@
+"""Regression fixture: a directive on a statement's first line must
+cover findings anchored on *later* lines of the same statement."""
+
+
+def f(err):
+    return (  # lint: ignore[RL002]
+        err
+        == 0.0
+    )
+
+
+def g(err):
+    return (
+        err
+        == 0.0
+    )

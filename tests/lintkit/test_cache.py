@@ -1,0 +1,185 @@
+"""Result-cache correctness: reuse, invalidation, robustness, --changed."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.lintkit import (
+    LintCache,
+    discover,
+    lint_paths,
+    resolve_rules,
+    run_rules,
+)
+
+
+def _write_tree(tmp_path, body="def f(err):\n    return err == 0.0\n"):
+    pkg = tmp_path / "repro"
+    sub = pkg / "assign"
+    sub.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (sub / "__init__.py").write_text("")
+    (sub / "mod.py").write_text(body)
+    return pkg
+
+
+class TestCacheReuse:
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+
+        cache = LintCache.load(cache_dir)
+        cold = lint_paths([str(pkg)], use_baseline=False, cache=cache)
+        cache.save()
+        assert cache.hits == 0
+
+        warm_cache = LintCache.load(cache_dir)
+        warm = lint_paths(
+            [str(pkg)], use_baseline=False, cache=warm_cache
+        )
+        assert warm_cache.hits > 0
+        assert warm_cache.misses == 0
+        assert warm.findings == cold.findings
+        assert warm.suppressed_inline == cold.suppressed_inline
+
+    def test_warm_run_does_not_parse(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache = LintCache.load(cache_dir)
+        lint_paths([str(pkg)], use_baseline=False, cache=cache)
+        cache.save()
+
+        warm_cache = LintCache.load(cache_dir)
+        modules = discover([str(pkg)], lazy=True)
+        run_rules(modules, resolve_rules(), cache=warm_cache)
+        # per-file results came from the cache; only project-wide rules
+        # may touch ASTs, and on an unchanged tree they are cached too
+        assert all(m._tree is None for m in modules)
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache = LintCache.load(cache_dir)
+        lint_paths([str(pkg)], use_baseline=False, cache=cache)
+        cache.save()
+
+        (pkg / "assign" / "mod.py").write_text("x = 1\n")
+        warm_cache = LintCache.load(cache_dir)
+        report = lint_paths(
+            [str(pkg)], use_baseline=False, cache=warm_cache
+        )
+        assert report.findings == []
+        # the two untouched __init__.py hit; mod.py and the project
+        # pass (tree signature changed) miss
+        assert warm_cache.hits == 2
+        assert warm_cache.misses == 2
+
+    def test_rule_selection_changes_key(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache = LintCache.load(cache_dir)
+        lint_paths(
+            [str(pkg)], select=["RL002"], use_baseline=False, cache=cache
+        )
+        cache.save()
+        other = LintCache.load(cache_dir)
+        report = lint_paths(
+            [str(pkg)], select=["RL001"], use_baseline=False, cache=other
+        )
+        assert other.hits == 0
+        assert report.findings == []
+
+
+class TestCacheRobustness:
+    def test_corrupt_cache_file_degrades_to_cold(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "results.json").write_text("{not json")
+        cache = LintCache.load(cache_dir)
+        assert cache.get_file("deadbeef", "RL001") is None
+
+    def test_version_mismatch_degrades_to_cold(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "results.json").write_text(
+            json.dumps({"version": 999, "files": {"k": {}}})
+        )
+        cache = LintCache.load(cache_dir)
+        assert cache.get_file("k", "") is None
+
+    def test_save_prunes_untouched_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = LintCache.load(cache_dir)
+        cache.put_file("hash_a", "RL001", [], 0)
+        cache.save()
+
+        second = LintCache.load(cache_dir)
+        second.put_file("hash_b", "RL001", [], 0)
+        second.save()
+
+        third = LintCache.load(cache_dir)
+        assert third.get_file("hash_b", "RL001") is not None
+        assert third.get_file("hash_a", "RL001") is None
+
+    def test_cache_dir_self_ignores(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = LintCache.load(cache_dir)
+        cache.put_file("h", "c", [], 0)
+        cache.save()
+        assert (cache_dir / ".gitignore").read_text() == "*\n"
+
+
+class TestChangedRestriction:
+    def _git(self, *args, cwd):
+        subprocess.run(
+            ["git", *args],
+            cwd=str(cwd),
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@example.com",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@example.com",
+                "HOME": str(cwd),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+
+    @pytest.fixture
+    def git_tree(self, tmp_path):
+        pkg = _write_tree(tmp_path, body="x = 1\n")
+        self._git("init", "-b", "main", cwd=tmp_path)
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-m", "seed", cwd=tmp_path)
+        return tmp_path, pkg
+
+    def test_changed_paths_sees_new_edits(self, git_tree, monkeypatch):
+        from repro.lintkit import changed_paths
+
+        tmp_path, pkg = git_tree
+        monkeypatch.chdir(tmp_path)
+        self._git("checkout", "-b", "feature", cwd=tmp_path)
+        offender = pkg / "assign" / "mod.py"
+        offender.write_text("def f(err):\n    return err == 0.0\n")
+        changed = changed_paths(str(tmp_path))
+        assert str(offender.resolve()) in changed
+        assert len(changed) == 1
+
+    def test_per_file_paths_restricts_per_file_rules(self, git_tree):
+        tmp_path, pkg = git_tree
+        offender = pkg / "assign" / "mod.py"
+        offender.write_text("def f(err):\n    return err == 0.0\n")
+        untouched = pkg / "assign" / "other.py"
+        untouched.write_text("def g(err):\n    return err == 0.0\n")
+
+        full = lint_paths([str(pkg)], use_baseline=False)
+        assert len(full.findings) == 2
+
+        restricted = lint_paths(
+            [str(pkg)],
+            use_baseline=False,
+            per_file_paths={str(offender.resolve())},
+        )
+        assert [f.path for f in restricted.findings] == [str(offender)]

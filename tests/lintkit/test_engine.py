@@ -92,7 +92,18 @@ class TestDiscovery:
 class TestRuleSelection:
     def test_all_rules_registered(self):
         codes = [r.code for r in resolve_rules()]
-        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert codes == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+            "RL010",
+        ]
 
     def test_select_subset(self):
         codes = [r.code for r in resolve_rules(["RL002", "RL004"])]
@@ -100,7 +111,17 @@ class TestRuleSelection:
 
     def test_ignore_subset(self):
         codes = [r.code for r in resolve_rules(None, ["RL003"])]
-        assert codes == ["RL001", "RL002", "RL004", "RL005", "RL006"]
+        assert codes == [
+            "RL001",
+            "RL002",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+            "RL010",
+        ]
 
     def test_unknown_code_raises(self):
         with pytest.raises(LintError):
@@ -111,3 +132,56 @@ class TestRuleSelection:
     def test_select_is_case_insensitive(self):
         codes = [r.code for r in resolve_rules(["rl002"])]
         assert codes == ["RL002"]
+
+
+class TestMultiLineSuppression:
+    """Regression: a directive on a statement's first line covers
+    findings anchored at inner nodes on later lines (fixture:
+    ``suppress_multiline.py``)."""
+
+    def test_directive_covers_statement_span(self):
+        from .conftest import load_fixture
+
+        mod = load_fixture(
+            "suppress_multiline.py", module="repro.assign.fixture"
+        )
+        findings, suppressed = run_rules([mod], resolve_rules(["RL002"]))
+        # f() is suppressed despite the == being two lines below the
+        # directive; g() (no directive) still fires
+        assert suppressed == 1
+        assert len(findings) == 1
+        assert "def g" in mod.lines[findings[0].line - 1] or findings[0].line > 10
+
+    def test_inline_directive_mid_statement_also_counts(self):
+        src = (
+            "def f(err):\n"
+            "    return (\n"
+            "        err\n"
+            "        == 0.0  # lint: ignore[RL002]\n"
+            "    )\n"
+        )
+        mod = module_from_source(src, module="repro.assign.m", path="m.py")
+        findings, suppressed = run_rules([mod], resolve_rules(["RL002"]))
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestLazyDiscovery:
+    def test_lazy_modules_hash_without_parsing(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("x = 1\n")
+        (mod,) = discover([str(tmp_path)], lazy=True)
+        assert mod._tree is None
+        assert len(mod.content_hash) == 64
+        assert mod._tree is None  # hashing must not force a parse
+        mod.tree
+        assert mod._tree is not None
+
+    def test_exclude_skips_subtree(self, tmp_path):
+        keep = tmp_path / "keep.py"
+        keep.write_text("x = 1\n")
+        sub = tmp_path / "fixtures"
+        sub.mkdir()
+        (sub / "skip.py").write_text("y = 2\n")
+        mods = discover([str(tmp_path)], exclude=[str(sub)])
+        assert [m.module for m in mods] == ["keep"]

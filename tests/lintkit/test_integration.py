@@ -25,7 +25,7 @@ class TestShippedTreeIsClean:
     def test_every_rule_runs_on_the_real_tree(self, src_repro):
         """Selecting each rule individually still comes back clean."""
         for code in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                     "RL006"):
+                     "RL006", "RL007", "RL008", "RL009", "RL010"):
             report = lint_paths(
                 [str(src_repro)], select=[code], use_baseline=False
             )

@@ -204,3 +204,133 @@ class TestRL006SeededGenerator:
         findings = run_rule("RL006", [mod])
         assert len(findings) == 1
         assert "np.random.rand" in findings[0].message
+
+
+def _parallel_standin():
+    return load_fixture("engine_parallel.py", module="repro.engine.parallel")
+
+
+class TestRL007SpawnSafety:
+    def test_bad_fixture_triggers(self):
+        mods = [
+            _parallel_standin(),
+            load_fixture("rl007_bad.py", module="repro.assign.fixture"),
+        ]
+        findings = run_rule("RL007", mods)
+        assert len(findings) == 5
+        assert all(f.code == "RL007" for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "lambda" in messages
+        assert "nested function" in messages
+        assert "locally-created object" in messages
+        assert "module-level name bound to a lambda" in messages
+
+    def test_clean_fixture_passes(self):
+        mods = [
+            _parallel_standin(),
+            load_fixture("rl007_clean.py", module="repro.assign.fixture"),
+        ]
+        assert run_rule("RL007", mods) == []
+
+    def test_forwarded_lambda_flagged_at_origin(self):
+        """The two-calls-deep lambda is anchored in the fixture module."""
+        bad = load_fixture("rl007_bad.py", module="repro.assign.fixture")
+        findings = run_rule("RL007", [_parallel_standin(), bad])
+        lambda_lines = {
+            f.line for f in findings if "lambda" in f.message
+        }
+        # bad_forwarded's lambda line is distinct from bad_lambda's
+        assert len(lambda_lines) >= 2
+
+
+class TestRL008SharedStateRace:
+    def test_bad_fixture_triggers(self):
+        mods = [
+            _parallel_standin(),
+            load_fixture("rl008_bad.py", module="repro.assign.fixture"),
+        ]
+        findings = run_rule("RL008", mods)
+        assert len(findings) == 4
+        messages = " | ".join(f.message for f in findings)
+        assert "subscript store" in messages
+        assert ".append()" in messages
+        assert "class 'Config'" in messages
+        assert "'global'" in messages
+
+    def test_clean_fixture_passes(self):
+        """Writes outside the reachable set (parent_side_reset) pass."""
+        mods = [
+            _parallel_standin(),
+            load_fixture("rl008_clean.py", module="repro.assign.fixture"),
+        ]
+        assert run_rule("RL008", mods) == []
+
+    def test_spawn_machinery_is_exempt(self):
+        """repro.engine.parallel itself may touch its pool registry."""
+        from repro.lintkit import module_from_source
+
+        parallel = module_from_source(
+            "_POOLS = {}\n"
+            "def pmap(fn, items):\n"
+            "    _POOLS[id(fn)] = fn\n"
+            "    return [fn(x) for x in items]\n",
+            module="repro.engine.parallel",
+            path="parallel.py",
+        )
+        user = module_from_source(
+            "from .parallel import pmap\n"
+            "def work(x):\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    return pmap(work, items)\n",
+            module="repro.engine.user",
+            path="user.py",
+        )
+        assert run_rule("RL008", [parallel, user]) == []
+
+
+class TestRL009ObsHygiene:
+    def test_bad_fixture_triggers(self):
+        mod = load_fixture("rl009_bad.py", module="repro.assign.fixture")
+        findings = run_rule("RL009", [mod])
+        assert len(findings) == 5
+        messages = " | ".join(f.message for f in findings)
+        assert "f-string" in messages
+        assert "context manager" in messages
+        assert "does not match the naming pattern" in messages
+        assert "module constant" in messages
+        assert "no literal default" in messages
+
+    def test_clean_fixture_passes(self):
+        mod = load_fixture("rl009_clean.py", module="repro.assign.fixture")
+        assert run_rule("RL009", [mod]) == []
+
+    def test_obs_layer_itself_exempt(self):
+        mod = load_fixture("rl009_bad.py", module="repro.obs.fixture")
+        assert run_rule("RL009", [mod]) == []
+
+
+class TestRL010ApiContract:
+    def _mods(self, impl_fixture):
+        return [
+            load_fixture("rl010_init.py", module="repro", is_package=True),
+            load_fixture(impl_fixture, module="repro.impl"),
+        ]
+
+    def test_bad_fixture_triggers(self):
+        findings = run_rule("RL010", self._mods("rl010_bad_impl.py"))
+        assert len(findings) == 4
+        messages = " | ".join(f.message for f in findings)
+        assert "not keyword-only" in messages
+        assert "different order" in messages
+        assert "no longer exists" in messages
+        assert "positional parameter(s)" in messages
+
+    def test_clean_fixture_passes(self):
+        assert run_rule("RL010", self._mods("rl010_clean_impl.py")) == []
+
+    def test_facade_anchored_at_definition(self):
+        findings = run_rule("RL010", self._mods("rl010_bad_impl.py"))
+        facade = [f for f in findings if "facade" in f.message]
+        assert len(facade) == 1
+        assert facade[0].module == "repro.impl"

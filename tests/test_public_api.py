@@ -88,3 +88,70 @@ class TestTopLevel:
         from repro.cli import main
 
         assert callable(main)
+
+
+class TestFacadeKeywordOnly:
+    """Runtime twin of lintkit RL010: optional knobs are keyword-only.
+
+    A defaulted positional on a documented entry point lets a later
+    option-insert silently re-map existing positional call sites; the
+    static rule and this test pin the contract from both sides.
+    """
+
+    def test_root_facade_defaulted_params_are_keyword_only(self):
+        import inspect
+
+        import repro
+
+        offenders = {}
+        for name in repro.__all__:
+            obj = inspect.unwrap(getattr(repro, name))
+            if not inspect.isfunction(obj):
+                continue
+            sig = inspect.signature(obj)
+            bad = [
+                p.name
+                for p in sig.parameters.values()
+                if p.default is not inspect.Parameter.empty
+                and p.kind
+                in (
+                    inspect.Parameter.POSITIONAL_ONLY,
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                )
+            ]
+            if bad:
+                offenders[name] = bad
+        assert offenders == {}
+
+    def test_legacy_positionals_still_work_with_warning(self):
+        """The migration shims keep old positional call sites running."""
+        import warnings
+
+        from repro.assign.dfg_expand import dfg_expand
+        from repro.graph.dfg import DFG
+
+        dfg = DFG("legacy")
+        dfg.add_node("a", "mul")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            expanded = dfg_expand(dfg, 1000)  # legacy: node_limit positional
+        assert expanded is not None
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+
+class TestDpMetricsTable:
+    """The RL009 literal metric table stays in sync with DPStats."""
+
+    def test_keys_mirror_dpstats_counters(self):
+        from repro.assign.dfg_assign import _DP_METRICS
+        from repro.assign.incremental import DPStats
+
+        assert set(_DP_METRICS) == set(DPStats().as_dict())
+
+    def test_values_match_registered_obs_pattern(self):
+        from repro.assign.dfg_assign import _DP_METRICS
+        from repro.obs import OBS_NAME_RE
+
+        assert all(OBS_NAME_RE.fullmatch(v) for v in _DP_METRICS.values())
