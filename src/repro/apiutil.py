@@ -8,6 +8,12 @@ a runtime shim that still accepts the legacy positional style for one
 release, emitting a :class:`DeprecationWarning` naming the keywords to
 switch to.  See the migration note in ``docs/algorithms.md``.
 
+The v1 API freeze upgrades the shim's warnings to errors: with
+:data:`STRICT_API` true (set ``REPRO_STRICT_API=1``; the test suite and
+CI run this way), legacy positional calls raise ``TypeError`` exactly
+as the plain keyword-only def will once the shims are dropped.  The
+flag is read at call time, so tests can flip it with ``monkeypatch``.
+
 This module sits at the bottom layer (with ``errors`` and ``obs``) and
 imports nothing from the rest of the package.
 """
@@ -15,10 +21,23 @@ imports nothing from the rest of the package.
 from __future__ import annotations
 
 import functools
+import os
 import warnings
 from typing import Any, Callable, TypeVar, cast
 
-__all__ = ["deprecated_positionals"]
+__all__ = ["deprecated_positionals", "STRICT_API"]
+
+#: When true, the deprecated-positionals shims raise ``TypeError``
+#: instead of warning — the frozen v1 behaviour.  Initialised from the
+#: ``REPRO_STRICT_API`` environment variable ("1"/"true"/"yes", case
+#: insensitive); mutable at runtime (``repro.apiutil.STRICT_API = True``)
+#: because the wrappers re-read it on every call.
+STRICT_API: bool = os.environ.get("REPRO_STRICT_API", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -31,6 +50,9 @@ def deprecated_positionals(*names: str, keep: int = 2) -> Callable[[F], F]:
     beyond ``keep`` are mapped onto them with a ``DeprecationWarning``;
     more positionals than ``names`` or a positional duplicating an
     explicit keyword raise ``TypeError`` exactly like a plain def would.
+
+    Under :data:`STRICT_API` the legacy style raises ``TypeError``
+    immediately (the v1 freeze) instead of warning.
     """
 
     def decorate(func: F) -> F:
@@ -40,6 +62,14 @@ def deprecated_positionals(*names: str, keep: int = 2) -> Callable[[F], F]:
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             if len(args) > keep:
                 extras = args[keep:]
+                if STRICT_API:
+                    raise TypeError(  # lint: ignore[RL001]
+                        f"{qualname}() takes {keep} positional arguments but "
+                        f"{len(args)} were given ("
+                        f"{', '.join(repr(n) for n in names[:len(extras)])} "
+                        "are keyword-only; legacy positional calls are "
+                        "rejected under STRICT_API)"
+                    )
                 if len(extras) > len(names):
                     raise TypeError(  # lint: ignore[RL001]
                         f"{qualname}() takes {keep} positional arguments but "

@@ -16,7 +16,12 @@ whose answers must relate in a provable way:
   part's minimum completion time is the retimed cycle period, which
   ``min_cycle_period`` only ever lowers;
 * unfolding by factor 1 is the identity up to renaming, so the optimal
-  cost is preserved.
+  cost is preserved;
+* the canonical instance key (:func:`repro.io.instance_key`) is
+  invariant under relabelling and changes under any content
+  perturbation — the property the serve layer's content-addressed
+  result cache is built on.  :func:`relabel_instance` is the public
+  relabelling transform those definitions and tests share.
 
 Relations guard themselves with ``applies`` (exact relations only run
 where an optimal algorithm exists: forests, paths, or brute-forceable
@@ -42,6 +47,7 @@ from ..errors import CheckError, InfeasibleError
 from ..fu.table import TimeCostTable
 from ..graph.classify import is_in_forest, is_out_forest
 from ..graph.dfg import DFG, Node
+from ..io import instance_key
 from ..retiming.retime import apply_retiming, cycle_period, min_cycle_period
 from ..retiming.unfold import unfold, unfolded_name
 from .generators import Instance
@@ -50,6 +56,7 @@ __all__ = [
     "Relation",
     "relation_names",
     "get_relation",
+    "relabel_instance",
     "run_relations",
     "RELATION_CHAIN",
 ]
@@ -202,6 +209,31 @@ def _relabelled(dag: DFG, order: Sequence[int]) -> Tuple[DFG, Dict[Node, Node]]:
     return out, mapping
 
 
+def relabel_instance(
+    dfg: DFG, table: TimeCostTable, seed: int
+) -> Tuple[DFG, TimeCostTable, Dict[Node, Node]]:
+    """An isomorphic twin of ``(dfg, table)`` under a seeded renaming.
+
+    Node names become ``w0, w1, ...`` in a permuted insertion order
+    drawn from ``seed``; ops, edges, delays, and table rows carry over
+    through the returned ``{old: new}`` mapping.  This is *the*
+    relabelling transform: the ``relabel`` and ``canonical_key``
+    relations below use it, and so do the serve-layer cache tests —
+    whatever survives this transform defines "the same instance".
+    """
+    gen = np.random.default_rng(seed)
+    order = [int(i) for i in gen.permutation(len(dfg))]
+    twin, mapping = _relabelled(dfg, order)
+    rows = {
+        mapping[node]: (
+            [int(t) for t in table.times(node)],
+            [float(c) for c in table.costs(node)],
+        )
+        for node in dfg.nodes()
+    }
+    return twin, TimeCostTable.from_rows(rows), mapping
+
+
 @_register(
     "relabel",
     "renaming nodes (graph isomorphism) preserves the optimal cost",
@@ -209,17 +241,7 @@ def _relabelled(dag: DFG, order: Sequence[int]) -> Tuple[DFG, Dict[Node, Node]]:
 )
 def _relation_relabel(inst: Instance) -> List[str]:
     dag = inst.dag()
-    gen = np.random.default_rng(inst.seed)
-    order = [int(i) for i in gen.permutation(len(dag))]
-    twin, mapping = _relabelled(dag, order)
-    rows = {
-        mapping[node]: (
-            [int(t) for t in inst.table.times(node)],
-            [float(c) for c in inst.table.costs(node)],
-        )
-        for node in dag.nodes()
-    }
-    twin_table = TimeCostTable.from_rows(rows)
+    twin, twin_table, mapping = relabel_instance(dag, inst.table, inst.seed)
     base = _optimal_cost(dag, inst.table, inst.deadline)
     after = _optimal_cost(twin, twin_table, inst.deadline)
     if abs(after - base) > _RTOL * max(1.0, abs(base)):
@@ -307,6 +329,33 @@ def _relation_unfold_identity(inst: Instance) -> List[str]:
     return ["unfold by 1 preserves the optimal cost"]
 
 
+@_register(
+    "canonical_key",
+    "the canonical instance key is relabel-invariant and content-sensitive",
+)
+def _relation_canonical_key(inst: Instance) -> List[str]:
+    dfg = inst.dfg
+    base = instance_key(dfg, inst.table, inst.deadline)
+    twin, twin_table, _ = relabel_instance(dfg, inst.table, inst.seed)
+    after = instance_key(twin, twin_table, inst.deadline)
+    if after != base:
+        raise CheckError(
+            f"relabelling changed the canonical instance key: "
+            f"{base[:16]} -> {after[:16]}"
+        )
+    if instance_key(dfg, inst.table, inst.deadline + 1) == base:
+        raise CheckError("deadline perturbation left the instance key unchanged")
+    node = dfg.nodes()[0]
+    bumped = inst.table.with_row(
+        node,
+        [int(t) + 1 for t in inst.table.times(node)],
+        [float(c) for c in inst.table.costs(node)],
+    )
+    if instance_key(dfg, bumped, inst.deadline) == base:
+        raise CheckError("table perturbation left the instance key unchanged")
+    return ["canonical instance key relabel-invariant and content-sensitive"]
+
+
 #: Default relation chain, in registration order.
 RELATION_CHAIN: Tuple[str, ...] = (
     "cost_scaling",
@@ -315,6 +364,7 @@ RELATION_CHAIN: Tuple[str, ...] = (
     "transpose",
     "retiming",
     "unfold_identity",
+    "canonical_key",
 )
 
 

@@ -11,6 +11,8 @@ Subcommands::
     repro-hls portfolio elliptic -L 40  # metaheuristic race + gap report
     repro-hls lint src/repro            # static-analysis gate (lintkit)
     repro-hls fuzz --budget 200         # differential fuzzing (checkkit)
+    repro-hls serve --port 8571         # long-running HTTP/JSON service
+    repro-hls batch requests.json       # one-shot cached batch solve
 
 Every command accepts ``--seed`` for the randomized time/cost tables,
 defaulting to the seed of record used in EXPERIMENTS.md.
@@ -48,7 +50,7 @@ __all__ = ["main", "build_parser", "FORWARDED_COMMANDS"]
 #: subcommand must be listed here — pinned by an audit test in
 #: ``tests/test_cli.py`` so a new forwarding subcommand cannot
 #: reintroduce the leading-flag bug.
-FORWARDED_COMMANDS = ("lint", "fuzz")
+FORWARDED_COMMANDS = ("lint", "fuzz", "serve", "batch")
 
 
 def _forwarded_main(name: str) -> Callable[[List[str]], int]:
@@ -61,6 +63,14 @@ def _forwarded_main(name: str) -> Callable[[List[str]], int]:
         from .checkkit.cli import main as fuzz_main
 
         return fuzz_main
+    if name == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main
+    if name == "batch":
+        from .serve.cli import batch_main
+
+        return batch_main
     raise ReproError(f"no forwarded entry point for {name!r}")
 
 
@@ -111,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "--gantt",
                 action="store_true",
                 help="render the schedule as an ASCII Gantt chart",
+            )
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the versioned SynthesisResult JSON document "
+                "instead of the human-readable report",
             )
 
     p_sweep = sub.add_parser("sweep", help="full deadline sweep for one benchmark")
@@ -288,6 +304,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to repro.checkkit "
         "(--budget, --seed, --suite, --out, ...)",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running synthesis service with an HTTP/JSON front "
+        "(see `repro-hls serve --help`)",
+        add_help=False,
+    )
+    p_serve.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.serve "
+        "(--host, --port, --workers, --cache-dir, ...)",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="one-shot batch solve of a JSON request file "
+        "(see `repro-hls batch --help`)",
+        add_help=False,
+    )
+    p_batch.add_argument(
+        "batch_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.serve "
+        "(file, --out, --workers, --cache-dir, ...)",
+    )
     return parser
 
 
@@ -334,6 +376,9 @@ def _cmd_assign(args, both_phases: bool) -> int:
     result = synthesize(
         dfg, table, deadline, algorithm=args.algorithm, workers=args.workers
     )
+    if both_phases and getattr(args, "json", False):
+        print(result.to_json(indent=2))
+        return 0
     ar = result.assign_result
     print(f"benchmark   : {args.benchmark} ({len(dfg)} nodes)")
     print(f"deadline    : {deadline} (minimum {min_completion_time(dfg, table)})")

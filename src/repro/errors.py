@@ -32,6 +32,7 @@ __all__ = [
     "ObsError",
     "EngineError",
     "CheckError",
+    "ServeError",
 ]
 
 
@@ -116,4 +117,15 @@ class CheckError(ReproError):
     a ``CheckError`` always means *the library computed something
     wrong*, which is why the fuzz runner treats it as a bug to shrink
     rather than an input to reject.
+    """
+
+
+class ServeError(ReproError):
+    """A :mod:`repro.serve` request is malformed or unservable.
+
+    Covers batch files with unknown fields or benchmarks, incompatible
+    cached payload schema versions, and HTTP bodies that do not parse.
+    Instance-level infeasibility is *not* a ``ServeError`` — it stays
+    an :class:`InfeasibleError` captured in the response payload, since
+    it is a property of the instance, not of the service call.
     """

@@ -34,6 +34,7 @@ EXEMPT_MODULES: Tuple[str, ...] = (
     "repro.lintkit.__main__",
     "repro.checkkit.cli",
     "repro.checkkit.__main__",
+    "repro.serve.cli",
 )
 
 

@@ -2,8 +2,8 @@
 
 The package is a DAG of layers::
 
-    errors → graph → fu/engine → assign → sched/retiming
-           → sim/suite/synthesis → report/cli/verify/lintkit/checkkit
+    errors → graph → fu/engine → io/assign → sched/retiming
+           → sim/suite/synthesis → report/cli/verify/lintkit/checkkit/serve
            → __main__/root
 
 An import from a lower layer into a higher one ("upward") couples the
@@ -34,6 +34,7 @@ LAYERS: Dict[str, int] = {
     "graph": 1,
     "fu": 2,
     "engine": 2,
+    "io": 3,
     "assign": 3,
     "sched": 4,
     "retiming": 4,
@@ -45,6 +46,7 @@ LAYERS: Dict[str, int] = {
     "cli": 6,
     "lintkit": 6,
     "checkkit": 6,
+    "serve": 6,
     "__main__": 7,
     "<root>": 7,
 }

@@ -13,6 +13,13 @@ conforming literal (``pmap``'s ``label``), or a subscript into a
 module-level dict/tuple of conforming literals (the sanctioned way to
 emit a family of related metrics, cf. ``_DP_METRICS``).
 
+Dotted names are additionally *namespaced*: exporters group on the
+prefix before the first ``.``, so that prefix must be registered in
+:data:`repro.obs.OBS_NAMESPACES` (``dp``, ``engine``, ``serve``, ...).
+A dotted literal with an unregistered first segment is a finding —
+claiming a new namespace is an API decision made by extending the
+registry, not by emitting the name.
+
 Separately, ``span()`` returns a context manager whose ``__exit__``
 records the duration and pops the span stack; calling it anywhere but
 a ``with`` header means an exception path can skip the exit and leave
@@ -29,7 +36,7 @@ import ast
 import re
 from typing import Iterator, List, Optional, Set
 
-from ...obs.tracer import OBS_NAME_PATTERN
+from ...obs.tracer import OBS_NAME_PATTERN, OBS_NAMESPACES
 from ..engine import ModuleInfo
 from ..findings import Finding
 from ..project import ModuleSymbols, module_symbols
@@ -80,11 +87,25 @@ def _obs_call_name(symbols: ModuleSymbols, call: ast.Call) -> Optional[str]:
     return None
 
 
+def _literal_problem(value: str) -> Optional[str]:
+    """Why a literal name is unacceptable (None when it conforms)."""
+    if _NAME_RE.match(value) is None:
+        return f"'{value}' does not match the naming pattern"
+    if "." in value:
+        namespace = value.split(".", 1)[0]
+        if namespace not in OBS_NAMESPACES:
+            return (
+                f"'{value}' claims unregistered namespace '{namespace}' "
+                "(register it in repro.obs.OBS_NAMESPACES)"
+            )
+    return None
+
+
 def _conforming_literal(expr: ast.expr) -> bool:
     return (
         isinstance(expr, ast.Constant)
         and isinstance(expr.value, str)
-        and _NAME_RE.match(expr.value) is not None
+        and _literal_problem(expr.value) is None
     )
 
 
@@ -178,9 +199,7 @@ class ObsHygieneRule(Rule):
         if isinstance(expr, ast.Constant):
             if not isinstance(expr.value, str):
                 return f"is not a string ({expr.value!r})"
-            if _NAME_RE.match(expr.value) is None:
-                return f"'{expr.value}' does not match the naming pattern"
-            return None
+            return _literal_problem(expr.value)
         if isinstance(expr, ast.JoinedStr):
             return (
                 "is an f-string (unbounded metric namespace); emit from a "

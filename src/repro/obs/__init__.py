@@ -34,6 +34,7 @@ from .tracer import (
     NULL_TRACER,
     OBS_NAME_PATTERN,
     OBS_NAME_RE,
+    OBS_NAMESPACES,
     Span,
     Tracer,
     add_metric,
@@ -47,6 +48,7 @@ from .tracer import (
 __all__ = [
     "OBS_NAME_PATTERN",
     "OBS_NAME_RE",
+    "OBS_NAMESPACES",
     "Span",
     "Tracer",
     "NULL_TRACER",

@@ -39,6 +39,7 @@ from .metrics import MetricsRegistry
 __all__ = [
     "OBS_NAME_PATTERN",
     "OBS_NAME_RE",
+    "OBS_NAMESPACES",
     "Span",
     "Tracer",
     "NULL_TRACER",
@@ -59,6 +60,26 @@ OBS_NAME_PATTERN = r"[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*"
 
 #: Compiled full-match form of :data:`OBS_NAME_PATTERN`.
 OBS_NAME_RE = re.compile(rf"^{OBS_NAME_PATTERN}$")
+
+#: Registered first segments of *dotted* span/metric names.  Dashboards
+#: group on the prefix before the first ``.``, so that prefix is a
+#: namespace: adding one is an API decision, recorded here and enforced
+#: statically by lintkit rule RL009 (a dotted literal whose first
+#: segment is not in this set is a finding).  Undotted names (plain
+#: span labels like ``assign`` or ``synthesize``) are not namespaced
+#: and only need to match :data:`OBS_NAME_PATTERN`.
+OBS_NAMESPACES = frozenset(
+    {
+        "checkkit",  # fuzzing harness campaign counters
+        "downgrade",  # downgrade_assign move counters
+        "dp",  # incremental DP engine statistics
+        "engine",  # packed kernels and pmap fan-outs
+        "force_directed",  # force-directed scheduler placements
+        "portfolio",  # metaheuristic race telemetry
+        "retiming",  # retiming feasibility probes
+        "serve",  # batch/service request telemetry
+    }
+)
 
 
 @dataclass

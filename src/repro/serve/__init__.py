@@ -1,0 +1,56 @@
+"""Synthesis-as-a-service: batch solving behind a content-addressed cache.
+
+``repro.serve`` wraps the :func:`repro.synthesize` facade in the layer
+that turns a solver library into infrastructure: batches of
+(DFG, table, deadline) requests are deduplicated through a cache keyed
+on a **canonical, relabel-invariant instance hash**
+(:func:`repro.io.instance_key` over instance + solver knobs), and cache
+misses are sharded across the persistent :func:`repro.engine.pmap`
+pools under explicit per-request :class:`~repro.engine.Budget`\\ s
+(evaluation budgets by default, so responses are deterministic at any
+worker count).
+
+Three front doors, one engine:
+
+* programmatic — :class:`Client` / :func:`submit_batch` returning
+  futures over :class:`Response` objects;
+* long-running — ``repro-hls serve``, a stdlib HTTP/JSON front
+  (``/v1/health``, ``/v1/batch``, ``/v1/metrics``);
+* one-shot — ``repro-hls batch requests.json``.
+
+Every batch runs under the service's :class:`~repro.obs.Tracer`:
+``serve.*`` spans/metrics (a registered namespace in
+:data:`repro.obs.OBS_NAMESPACES`) plus the solver-side ``dp.*``
+counters merged back from the workers, so "the warm batch did zero
+solver work" is a measurable claim.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache
+from .http import ServeHTTPServer, make_server
+from .jobs import Request, Response, prepare, solve_canonical_job
+from .loader import request_from_dict, requests_from_doc, requests_from_file
+from .service import (
+    DEFAULT_BUDGET_EVALUATIONS,
+    Client,
+    SynthesisService,
+    submit_batch,
+)
+
+__all__ = [
+    "ResultCache",
+    "ServeHTTPServer",
+    "make_server",
+    "Request",
+    "Response",
+    "prepare",
+    "solve_canonical_job",
+    "request_from_dict",
+    "requests_from_doc",
+    "requests_from_file",
+    "DEFAULT_BUDGET_EVALUATIONS",
+    "Client",
+    "SynthesisService",
+    "submit_batch",
+]

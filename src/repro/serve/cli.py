@@ -1,0 +1,159 @@
+"""CLI entry points: ``repro-hls serve`` and ``repro-hls batch``.
+
+Both are forwarded commands (see ``repro.cli.FORWARDED_COMMANDS``):
+they own their whole argparse surface and the 0/1/2 exit-code
+contract used across the package's tools —
+
+* ``0`` — success (``batch``: every request produced a result);
+* ``1`` — completed with failing requests (``batch`` only);
+* ``2`` — usage error (bad flags, unreadable batch file, bad port).
+
+``serve`` runs the HTTP/JSON front forever::
+
+    repro-hls serve --port 8571 --workers 4 --cache-dir .serve_cache
+
+``batch`` is the one-shot mode: solve a request file, print the
+response document, exit::
+
+    repro-hls batch requests.json --workers 2 --out results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ServeError
+from ..synthesis import RESULT_SCHEMA_VERSION
+from .cache import ResultCache
+from .http import make_server
+from .loader import requests_from_file
+from .service import DEFAULT_BUDGET_EVALUATIONS, SynthesisService
+
+__all__ = ["serve_main", "batch_main"]
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="processes for sharding cache misses (0 = serial, -1 = all "
+        "cores; responses are identical at any count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent cache tier (default: memory only)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=DEFAULT_BUDGET_EVALUATIONS,
+        help="default per-request evaluation budget (applies when a "
+        "request specifies no budget of its own)",
+    )
+
+
+def _build_service(args: argparse.Namespace) -> SynthesisService:
+    cache = ResultCache(path=args.cache_dir)
+    return SynthesisService(
+        workers=args.workers,
+        cache=cache,
+        default_evaluations=args.budget,
+    )
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-hls serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hls serve",
+        description="long-running synthesis service with an HTTP/JSON front",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8571,
+        help="TCP port (0 picks an ephemeral port; default 8571)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    _add_service_args(parser)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    try:
+        service = _build_service(args)
+        server = make_server(args.host, args.port, service)
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server.verbose = args.verbose
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(workers={args.workers}, cache={args.cache_dir or 'memory'})",
+          flush=True)
+    print("endpoints: GET /v1/health, POST /v1/batch, GET /v1/metrics",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def batch_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-hls batch``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hls batch",
+        description="one-shot batch solve of a JSON request file",
+    )
+    parser.add_argument(
+        "file", help="batch request file (see docs/serving.md for the format)"
+    )
+    parser.add_argument(
+        "--out",
+        default="-",
+        help="output file for the response document (default: stdout)",
+    )
+    _add_service_args(parser)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    try:
+        requests = requests_from_file(args.file)
+        service = _build_service(args)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    responses = service.solve_batch(requests)
+    doc = {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "responses": [r.to_dict() for r in responses],
+        "batch": {
+            "requests": len(responses),
+            "cached": sum(1 for r in responses if r.cached),
+            "failed": sum(1 for r in responses if not r.ok),
+        },
+        "metrics": service.metrics(),
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(
+            f"wrote {len(responses)} responses to {args.out} "
+            f"({doc['batch']['cached']} from cache)",
+            file=sys.stderr,
+        )
+    return 0 if all(r.ok for r in responses) else 1

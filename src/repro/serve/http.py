@@ -1,0 +1,136 @@
+"""Minimal stdlib HTTP/JSON front for the synthesis service.
+
+Endpoints (all JSON):
+
+* ``GET /v1/health`` — liveness probe: service configuration and
+  cache size.
+* ``POST /v1/batch`` — body is a batch document (see
+  :mod:`repro.serve.loader`); the reply carries one response per
+  request plus batch-level cache statistics.
+* ``GET /v1/metrics`` — the service tracer's counter snapshot
+  (``serve.*``, merged ``dp.*``/``engine.*``).
+
+The server is the stdlib :class:`http.server.HTTPServer` —
+single-threaded by design: requests are batches, batches shard across
+the :func:`repro.engine.pmap` worker pools, and a single coordinator
+keeps the cache free of write races without locks.  Malformed bodies
+get a 400 with the :class:`~repro.errors.ServeError` message; solver
+infeasibility is *not* an HTTP error (it is a per-request error entry
+in a 200 reply).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ServeError
+from ..synthesis import RESULT_SCHEMA_VERSION
+from .loader import requests_from_doc
+from .service import SynthesisService
+
+__all__ = ["ServeHTTPServer", "make_server"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServeHTTPServer(HTTPServer):
+    """An :class:`HTTPServer` bound to one :class:`SynthesisService`."""
+
+    def __init__(self, address: Tuple[str, int], service: SynthesisService):
+        super().__init__(address, _Handler)
+        self.service = service
+        #: When true, per-request lines are written to stderr.
+        self.verbose = False
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServeHTTPServer  # narrowed for the route helpers
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, doc: Dict[str, Any]) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/v1/health":
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "schema_version": RESULT_SCHEMA_VERSION,
+                    "workers": service.workers,
+                    "cache_entries": len(service.cache),
+                },
+            )
+        elif self.path == "/v1/metrics":
+            self._reply(200, {"counters": service.metrics()})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/batch":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "invalid Content-Length")
+            return
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._error(400, f"body length {length} out of range")
+            return
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw)
+            requests = requests_from_doc(doc)
+        except json.JSONDecodeError as exc:
+            self._error(400, f"body is not valid JSON: {exc}")
+            return
+        except ServeError as exc:
+            self._error(400, str(exc))
+            return
+        responses = self.server.service.solve_batch(requests)
+        self._reply(
+            200,
+            {
+                "schema_version": RESULT_SCHEMA_VERSION,
+                "responses": [r.to_dict() for r in responses],
+                "batch": {
+                    "requests": len(responses),
+                    "cached": sum(1 for r in responses if r.cached),
+                    "failed": sum(1 for r in responses if not r.ok),
+                },
+            },
+        )
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[SynthesisService] = None,
+) -> ServeHTTPServer:
+    """Bind a serve HTTP server (``port=0`` picks an ephemeral port).
+
+    The caller drives it: ``server.serve_forever()`` for a long-running
+    process, ``server.handle_request()`` per request in tests.  The
+    bound port is ``server.server_address[1]``.
+    """
+    return ServeHTTPServer(
+        (host, port), service if service is not None else SynthesisService()
+    )

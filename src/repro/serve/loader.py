@@ -1,0 +1,143 @@
+"""Building :class:`~repro.serve.jobs.Request` objects from JSON docs.
+
+One request document is a JSON object naming its instance either by
+registered benchmark or inline::
+
+    {"benchmark": "elliptic", "seed": 2004, "deadline": 40}
+    {"instance": { ...repro.io v1 instance JSON... }, "deadline": 40}
+
+Optional knobs: ``algorithm``, ``scheduler``, ``strategy``,
+``budget_evaluations``, ``budget_wall_s``, ``label``, plus
+``num_types`` (benchmark form only; FU types of the seeded random
+table, default 3).  ``deadline`` may be omitted — inline instances may
+carry one, and otherwise it defaults to 1.3x the instance's minimum
+feasible completion time, mirroring the CLI.
+
+A batch document is ``{"requests": [<request doc>, ...]}`` (a bare
+list is also accepted).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..assign import min_completion_time
+from ..errors import ReproError, ServeError
+from ..fu.random_tables import random_table
+from ..io import instance_from_dict
+from .jobs import Request
+
+__all__ = ["request_from_dict", "requests_from_doc", "requests_from_file"]
+
+_KNOWN_FIELDS = frozenset(
+    {
+        "benchmark",
+        "seed",
+        "num_types",
+        "instance",
+        "deadline",
+        "algorithm",
+        "scheduler",
+        "strategy",
+        "budget_evaluations",
+        "budget_wall_s",
+        "label",
+    }
+)
+
+#: Default seed for benchmark-form tables (the seed of record used in
+#: EXPERIMENTS.md / the CLI).
+_DEFAULT_SEED = 2004
+
+
+def request_from_dict(doc: Dict[str, Any]) -> Request:
+    """Build one :class:`Request` from its JSON document form."""
+    if not isinstance(doc, dict):
+        raise ServeError(
+            f"request must be an object, got {type(doc).__name__}"
+        )
+    unknown = sorted(set(doc) - _KNOWN_FIELDS)
+    if unknown:
+        raise ServeError(
+            f"unknown request field(s) {unknown!r}; "
+            f"known: {sorted(_KNOWN_FIELDS)}"
+        )
+    has_bench = "benchmark" in doc
+    has_inline = "instance" in doc
+    if has_bench == has_inline:
+        raise ServeError(
+            "a request names its instance with exactly one of "
+            "'benchmark' or 'instance'"
+        )
+    deadline = doc.get("deadline")
+    if has_bench:
+        from ..suite.registry import get_benchmark
+
+        try:
+            dfg = get_benchmark(str(doc["benchmark"])).dag()
+        except ReproError as exc:
+            raise ServeError(str(exc)) from exc
+        table = random_table(
+            dfg,
+            num_types=int(doc.get("num_types", 3)),
+            seed=int(doc.get("seed", _DEFAULT_SEED)),
+        )
+    else:
+        if "num_types" in doc or "seed" in doc:
+            raise ServeError(
+                "'num_types'/'seed' apply to the benchmark form only "
+                "(inline instances carry their own rows)"
+            )
+        dfg, table, inline_deadline = instance_from_dict(doc["instance"])
+        dfg = dfg.dag()
+        if table is None:
+            raise ServeError(
+                "inline instance carries no table rows; the serve layer "
+                "needs the full (DFG, table) instance to address results "
+                "by content"
+            )
+        if deadline is None:
+            deadline = inline_deadline
+    if deadline is None:
+        deadline = int(1.3 * min_completion_time(dfg, table)) + 1
+    return Request(
+        dfg=dfg,
+        table=table,
+        deadline=int(deadline),
+        algorithm=doc.get("algorithm"),
+        scheduler=str(doc.get("scheduler", "min_resource")),
+        strategy=str(doc.get("strategy", "paper")),
+        budget_evaluations=doc.get("budget_evaluations"),
+        budget_wall_s=doc.get("budget_wall_s"),
+        label=str(doc.get("label", "")),
+    )
+
+
+def requests_from_doc(doc: Any) -> List[Request]:
+    """Parse a batch document (``{"requests": [...]}`` or a bare list)."""
+    if isinstance(doc, dict):
+        if "requests" not in doc:
+            raise ServeError("batch document has no 'requests' array")
+        entries = doc["requests"]
+    else:
+        entries = doc
+    if not isinstance(entries, list):
+        raise ServeError(
+            f"'requests' must be an array, got {type(entries).__name__}"
+        )
+    if not entries:
+        raise ServeError("batch document contains no requests")
+    return [request_from_dict(entry) for entry in entries]
+
+
+def requests_from_file(path: str) -> List[Request]:
+    """Load a batch request file (see module docstring for the format)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ServeError(f"cannot read batch file {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"batch file {path!r} is not valid JSON: {exc}") from exc
+    return requests_from_doc(doc)

@@ -1,8 +1,14 @@
 """Plain-text exchange format for DFGs and time/cost tables.
 
-Lets users run the toolchain on their own kernels without writing
-Python: a single file describes the graph and (optionally) the table,
-in a line-oriented format that diffs well and survives hand-editing::
+.. deprecated:: compatibility shim
+    The format implementation moved to :mod:`repro.io`
+    (:func:`repro.io.loads_text` / :func:`repro.io.dumps_text`), which
+    also provides the JSON instance schema and the canonical
+    (relabel-invariant) form used by the serve layer's result cache.
+    This module remains as thin wrappers so existing imports keep
+    working; new code should use :mod:`repro.io` directly.
+
+Format refresher::
 
     # comment
     dfg my_filter
@@ -21,104 +27,32 @@ agree on the number of FU types.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-from ..errors import GraphError, TableError
 from ..fu.table import TimeCostTable
 from ..graph.dfg import DFG
+from ..io import dumps_text, loads_text
 
 __all__ = ["loads", "dumps", "load", "dump"]
 
 
-def _strip(line: str) -> str:
-    return line.split("#", 1)[0].strip()
-
-
 def loads(text: str) -> Tuple[DFG, Optional[TimeCostTable]]:
     """Parse the exchange format from a string."""
-    dfg = DFG()
-    rows = {}
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = _strip(raw)
-        if not line:
-            continue
-        parts = line.split()
-        kind = parts[0]
-        try:
-            if kind == "dfg":
-                if len(parts) != 2:
-                    raise GraphError("expected: dfg <name>")
-                dfg.name = parts[1]
-            elif kind == "node":
-                if len(parts) not in (2, 3):
-                    raise GraphError("expected: node <id> [op]")
-                dfg.add_node(parts[1], op=parts[2] if len(parts) == 3 else "op")
-            elif kind == "edge":
-                if len(parts) not in (3, 4):
-                    raise GraphError("expected: edge <src> <dst> [delay]")
-                delay = int(parts[3]) if len(parts) == 4 else 0
-                dfg.add_edge(parts[1], parts[2], delay)
-            elif kind == "row":
-                if "times" not in parts or "costs" not in parts:
-                    raise TableError("expected: row <id> times ... costs ...")
-                node = parts[1]
-                ti = parts.index("times")
-                ci = parts.index("costs")
-                if not (1 < ti < ci):
-                    raise TableError("row sections out of order")
-                times = [int(x) for x in parts[ti + 1 : ci]]
-                costs = [float(x) for x in parts[ci + 1 :]]
-                if len(times) != len(costs) or not times:
-                    raise TableError(
-                        f"row needs equal non-empty times/costs, got "
-                        f"{len(times)}/{len(costs)}"
-                    )
-                rows[node] = (times, costs)
-            else:
-                raise GraphError(f"unknown directive {kind!r}")
-        except (GraphError, TableError, ValueError) as exc:
-            raise GraphError(f"line {lineno}: {exc}") from exc
-
-    table: Optional[TimeCostTable] = None
-    if rows:
-        widths = {len(t) for t, _ in rows.values()}
-        if len(widths) != 1:
-            raise GraphError(f"rows disagree on FU type count: {sorted(widths)}")
-        table = TimeCostTable.from_rows(rows)
-        missing = [n for n in dfg.nodes() if n not in table]
-        if missing:
-            raise GraphError(
-                f"table rows missing for nodes {missing[:5]!r}"
-            )
-        orphans = [n for n in rows if n not in dfg]
-        if orphans:
-            raise GraphError(f"rows for unknown nodes {orphans[:5]!r}")
-    return dfg, table
+    return loads_text(text)
 
 
 def dumps(dfg: DFG, table: Optional[TimeCostTable] = None) -> str:
     """Serialize a DFG (and optional table) to the exchange format."""
-    lines: List[str] = [f"dfg {dfg.name}"]
-    for n in dfg.nodes():
-        lines.append(f"node {n} {dfg.op(n)}")
-    for u, v, d in dfg.edges():
-        lines.append(f"edge {u} {v}" + (f" {d}" if d else ""))
-    if table is not None:
-        table.validate_for(dfg)
-        for n in dfg.nodes():
-            times = " ".join(str(int(t)) for t in table.times(n))
-            costs = " ".join(f"{c:g}" for c in table.costs(n))
-            lines.append(f"row {n} times {times} costs {costs}")
-    return "\n".join(lines) + "\n"
+    return dumps_text(dfg, table)
 
 
 def load(path: str) -> Tuple[DFG, Optional[TimeCostTable]]:
     """Read the exchange format from a file."""
     with open(path, "r", encoding="utf-8") as fh:
-        return loads(fh.read())
+        return loads_text(fh.read())
 
 
 def dump(path: str, dfg: DFG, table: Optional[TimeCostTable] = None) -> None:
     """Write the exchange format to a file."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(dumps(dfg, table))
+        fh.write(dumps_text(dfg, table))

@@ -20,9 +20,10 @@ Pass ``algorithm=`` to override (e.g. ``"greedy"`` for the baseline or
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from .assign import (
     AssignResult,
@@ -37,6 +38,7 @@ from .assign import (
     tree_assign,
 )
 from .apiutil import deprecated_positionals
+from .engine import Budget
 from .errors import CyclicDependencyError, ReproError
 from .fu.table import TimeCostTable
 from .graph.classify import is_in_forest, is_out_forest, is_simple_path
@@ -44,7 +46,20 @@ from .graph.dfg import DFG
 from .obs import MetricsRegistry, Span, current_tracer
 from .sched import Configuration, Schedule, lower_bound_configuration, min_resource_schedule
 
-__all__ = ["SynthesisResult", "synthesize", "ALGORITHMS", "auto_algorithm"]
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "SynthesisResult",
+    "synthesize",
+    "ALGORITHMS",
+    "auto_algorithm",
+]
+
+#: Version stamped into every serialized :class:`SynthesisResult` (and
+#: therefore into CLI ``--json`` output and serve responses).  Bump it
+#: whenever the emitted shape changes; consumers should reject versions
+#: they do not understand.  The shape is pinned in
+#: ``tests/test_public_api.py``.
+RESULT_SCHEMA_VERSION = 1
 
 def _portfolio_best(
     dfg: DFG, table: TimeCostTable, deadline: int
@@ -129,6 +144,41 @@ class SynthesisResult:
                 f"lower bound {self.lower_bound.counts}"
             )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict of the result (schema ``RESULT_SCHEMA_VERSION``).
+
+        The shape is the v1 wire format shared by ``repro-hls ...
+        --json`` and the serve layer's responses, pinned in
+        ``tests/test_public_api.py``.  Traces and metrics objects are
+        not embedded (export those via :mod:`repro.obs`); per-phase
+        wall times are.
+        """
+        ar = self.assign_result
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "cost": float(ar.cost),
+            "completion_time": int(ar.completion_time),
+            "deadline": int(ar.deadline),
+            "algorithm": ar.algorithm,
+            "optimal": ar.optimal,
+            "assignment": {str(n): int(t) for n, t in self.assignment.items()},
+            "configuration": [int(c) for c in self.configuration.counts],
+            "lower_bound": [int(c) for c in self.lower_bound.counts],
+            "schedule": {
+                str(n): {
+                    "start": int(op.start),
+                    "fu_type": int(op.fu_type),
+                    "fu_index": int(op.fu_index),
+                }
+                for n, op in self.schedule.ops.items()
+            },
+            "timings": {k: float(v) for k, v in self.timings.items()},
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize :meth:`to_dict` (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
 
 @deprecated_positionals("algorithm", "scheduler", "workers", "strategy", keep=3)
 def synthesize(
@@ -140,6 +190,7 @@ def synthesize(
     scheduler: str = "min_resource",
     workers: int = 0,
     strategy: str = "paper",
+    budget: Optional[Budget] = None,
 ) -> SynthesisResult:
     """Run the full two-phase flow on the DAG part of ``dfg``.
 
@@ -165,6 +216,15 @@ def synthesize(
     processes via :func:`repro.engine.pmap` (0 = serial, the default;
     results are identical at any worker count).  It only affects the
     ``"repeat"`` algorithm — the others have no per-node fan-out.
+
+    ``budget`` caps the anytime search when the portfolio runs
+    (``algorithm="portfolio"`` or ``strategy="portfolio"``): its
+    evaluation allowance (deterministic, the default kind — see
+    :class:`repro.engine.Budget`) and/or wall-clock allowance replace
+    the portfolio's built-in defaults.  The paper-path algorithms are
+    exact dynamic programs with no anytime knob, so ``budget`` is
+    ignored there; the serve layer attaches one per request regardless,
+    which then binds exactly when the portfolio is selected.
 
     Per-phase wall times are always recorded in the result's
     ``timings``; under an enabled ambient :class:`~repro.obs.Tracer`
@@ -217,6 +277,15 @@ def synthesize(
                 assign_result = dfg_assign_repeat(
                     dag, table, deadline, workers=workers
                 )
+            elif name == "portfolio" and (budget is not None or workers):
+                kwargs: Dict[str, Any] = {"workers": workers}
+                if budget is not None and budget.evaluations is not None:
+                    kwargs["evaluations"] = budget.evaluations
+                if budget is not None and budget.wall_s is not None:
+                    kwargs["wall_s"] = budget.wall_s
+                assign_result = portfolio_assign(
+                    dag, table, deadline, **kwargs
+                ).best
             else:
                 assign_result = algo(dag, table, deadline)
         timings["assign"] = perf_counter() - t0

@@ -54,13 +54,13 @@ class TestTreeFrontier:
 
     def test_strictly_decreasing_costs(self, setup):
         dfg, table = setup
-        frontier = tree_frontier(dfg, table, 80)
+        frontier = tree_frontier(dfg, table, max_deadline=80)
         costs = [c for _, c in frontier]
         assert all(a > b for a, b in zip(costs, costs[1:]))
 
     def test_points_match_tree_assign(self, setup):
         dfg, table = setup
-        frontier = tree_frontier(dfg, table, 60)
+        frontier = tree_frontier(dfg, table, max_deadline=60)
         for deadline, cost in frontier:
             assert tree_assign(dfg, table, deadline).cost == pytest.approx(cost)
 
@@ -75,7 +75,7 @@ class TestTreeFrontier:
     def test_infeasible_horizon(self, setup):
         dfg, table = setup
         with pytest.raises(InfeasibleError):
-            tree_frontier(dfg, table, 1)
+            tree_frontier(dfg, table, max_deadline=1)
 
     def test_rejects_general_dag(self):
         # Regression: used to raise InfeasibleError, conflating "not a
@@ -84,7 +84,7 @@ class TestTreeFrontier:
         dfg = get_benchmark("elliptic").dag()
         table = random_table(dfg, num_types=3, seed=0)
         with pytest.raises(NotATreeError, match="dfg_frontier"):
-            tree_frontier(dfg, table, 100)
+            tree_frontier(dfg, table, max_deadline=100)
 
     def test_empty_forest_is_the_zero_frontier(self):
         frontier = tree_frontier(DFG(name="empty"), TimeCostTable(2), max_deadline=7)
@@ -110,11 +110,19 @@ class TestTreeFrontier:
         for deadline, cost in frontier:
             assert as_dict[deadline] == pytest.approx(cost)
 
-    def test_positional_max_deadline_warns_but_works(self, setup):
+    def test_positional_max_deadline_warns_but_works(self, setup, monkeypatch):
+        import repro.apiutil
+
+        monkeypatch.setattr(repro.apiutil, "STRICT_API", False)
         dfg, table = setup
         with pytest.warns(DeprecationWarning, match="max_deadline"):
-            old_style = tree_frontier(dfg, table, 60)
+            old_style = tree_frontier(dfg, table, 60)  # legacy positional
         assert old_style == tree_frontier(dfg, table, max_deadline=60)
+
+    def test_positional_max_deadline_rejected_under_freeze(self, setup):
+        dfg, table = setup
+        with pytest.raises(TypeError, match="STRICT_API"):
+            tree_frontier(dfg, table, 60)  # legacy positional
 
 
 class TestDfgFrontier:
@@ -126,15 +134,15 @@ class TestDfgFrontier:
     def test_monotone(self, setup):
         dfg, table = setup
         floor = min_completion_time(dfg, table)
-        frontier = dfg_frontier(dfg, table, floor + 15)
+        frontier = dfg_frontier(dfg, table, max_deadline=floor + 15)
         costs = [c for _, c in frontier]
         assert all(a > b for a, b in zip(costs, costs[1:]))
 
     def test_exact_dominates_heuristic(self, setup):
         dfg, table = setup
         floor = min_completion_time(dfg, table)
-        heur = dict(dfg_frontier(dfg, table, floor + 10))
-        opt = dict(dfg_frontier(dfg, table, floor + 10, exact=True))
+        heur = dict(dfg_frontier(dfg, table, max_deadline=floor + 10))
+        opt = dict(dfg_frontier(dfg, table, max_deadline=floor + 10, exact=True))
         # compare the achievable cost at every deadline in both
         for deadline in range(floor, floor + 11):
             h = min(c for d, c in heur.items() if d <= deadline)
@@ -144,21 +152,21 @@ class TestDfgFrontier:
     def test_swept_matches_reference(self, setup):
         dfg, table = setup
         floor = min_completion_time(dfg, table)
-        ref = dfg_frontier(dfg, table, floor + 15, incremental=False)
-        assert dfg_frontier(dfg, table, floor + 15) == ref
+        ref = dfg_frontier(dfg, table, max_deadline=floor + 15, incremental=False)
+        assert dfg_frontier(dfg, table, max_deadline=floor + 15) == ref
 
     def test_below_floor_raises(self, setup):
         dfg, table = setup
         floor = min_completion_time(dfg, table)
         with pytest.raises(InfeasibleError):
-            dfg_frontier(dfg, table, floor - 1)
+            dfg_frontier(dfg, table, max_deadline=floor - 1)
 
     def test_tree_and_dfg_agree_on_forests(self):
         dfg = get_benchmark("diffeq").dag()  # an in-forest
         table = random_table(dfg, num_types=3, seed=2)
         floor = min_completion_time(dfg, table)
-        t = dict(tree_frontier(dfg, table, floor + 8))
-        d = dict(dfg_frontier(dfg, table, floor + 8))
+        t = dict(tree_frontier(dfg, table, max_deadline=floor + 8))
+        d = dict(dfg_frontier(dfg, table, max_deadline=floor + 8))
         for deadline in range(floor, floor + 9):
             tc = min(c for dl, c in t.items() if dl <= deadline)
             dc = min(c for dl, c in d.items() if dl <= deadline)

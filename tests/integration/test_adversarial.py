@@ -93,7 +93,7 @@ class TestDegenerateShapes:
         # deadline 3 lets every node take the cheap slow type
         result = dfg_assign_repeat(dfg, table, 3)
         assert result.cost == pytest.approx(12.0)
-        schedule = min_resource_schedule(dfg, table, result.assignment, 3)
+        schedule = min_resource_schedule(dfg, table, assignment=result.assignment, deadline=3)
         schedule.validate(dfg, table, result.assignment)
         # all 6 run concurrently -> six instances of the slow type
         assert schedule.configuration.counts[1] == 6

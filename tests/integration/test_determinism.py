@@ -65,14 +65,14 @@ class TestAssignmentDeterminism:
         tree = get_benchmark("volterra").dag()
         table = random_table(tree, num_types=3, seed=24)
         floor = min_completion_time(tree, table)
-        assert tree_frontier(tree, table, floor + 10) == tree_frontier(
-            tree, table, floor + 10
+        assert tree_frontier(tree, table, max_deadline=floor + 10) == tree_frontier(
+            tree, table, max_deadline=floor + 10
         )
         dag = get_benchmark("rls_laguerre").dag()
         dtable = random_table(dag, num_types=3, seed=24)
         dfloor = min_completion_time(dag, dtable)
-        assert dfg_frontier(dag, dtable, dfloor + 5) == dfg_frontier(
-            dag, dtable, dfloor + 5
+        assert dfg_frontier(dag, dtable, max_deadline=dfloor + 5) == dfg_frontier(
+            dag, dtable, max_deadline=dfloor + 5
         )
 
 

@@ -142,7 +142,7 @@ class TestSchedulingClaims:
         floor = min_completion_time(dfg, table)
         for deadline in (floor, floor + 4):
             assignment = dfg_assign_repeat(dfg, table, deadline).assignment
-            schedule = min_resource_schedule(dfg, table, assignment, deadline)
+            schedule = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
             schedule.validate(dfg, table, assignment)
             assert schedule.makespan(table) <= deadline
             lb = lower_bound_configuration(dfg, table, assignment, deadline)
@@ -155,8 +155,8 @@ class TestSchedulingClaims:
         table = random_table(dfg, num_types=3, seed=DEFAULT_SEED)
         floor = min_completion_time(dfg, table)
         assignment = tree_assign(dfg, table, floor).assignment
-        tight = min_resource_schedule(dfg, table, assignment, floor)
-        loose = min_resource_schedule(dfg, table, assignment, floor * 3)
+        tight = min_resource_schedule(dfg, table, assignment=assignment, deadline=floor)
+        loose = min_resource_schedule(dfg, table, assignment=assignment, deadline=floor * 3)
         assert (
             loose.configuration.total_units()
             < tight.configuration.total_units()
@@ -194,7 +194,7 @@ class TestMotivationalExample:
         table = paper_example_table()
         result = tree_assign(dfg, table, PAPER_EXAMPLE_DEADLINE)
         sched = min_resource_schedule(
-            dfg, table, result.assignment, PAPER_EXAMPLE_DEADLINE
+            dfg, table, assignment=result.assignment, deadline=PAPER_EXAMPLE_DEADLINE
         )
         # one FU per node would also be a legal configuration; Min_R uses
         # strictly fewer units than that trivial binding

@@ -11,6 +11,7 @@ def run(x):
     handle = span("leaked_span")
     add_metric("CamelCase", 1)
     add_metric(BAD_NAME, 1)
+    add_metric("rogue.counter", 1)
     return handle
 
 

@@ -293,13 +293,14 @@ class TestRL009ObsHygiene:
     def test_bad_fixture_triggers(self):
         mod = load_fixture("rl009_bad.py", module="repro.assign.fixture")
         findings = run_rule("RL009", [mod])
-        assert len(findings) == 5
+        assert len(findings) == 6
         messages = " | ".join(f.message for f in findings)
         assert "f-string" in messages
         assert "context manager" in messages
         assert "does not match the naming pattern" in messages
         assert "module constant" in messages
         assert "no literal default" in messages
+        assert "unregistered namespace 'rogue'" in messages
 
     def test_clean_fixture_passes(self):
         mod = load_fixture("rl009_clean.py", module="repro.assign.fixture")

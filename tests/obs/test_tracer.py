@@ -119,7 +119,7 @@ class TestDisabledPath:
         tracer = Tracer(enabled=False)
         with use_tracer(tracer):
             with span("ghost"):
-                add_metric("ghost.count")
+                add_metric("ghost.count")  # lint: ignore[RL009] -- deliberately unregistered: disabled tracer must drop it
                 annotate(ghost=True)
         assert tracer.roots == []
         assert len(tracer.metrics) == 0

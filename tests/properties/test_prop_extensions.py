@@ -88,7 +88,7 @@ def test_schedule_replay_matches_reference_simulation(data):
     dfg, table = data
     deadline = min_completion_time(dfg, table) + 2
     assignment = dfg_assign_repeat(dfg, table, deadline).assignment
-    schedule = min_resource_schedule(dfg, table, assignment, deadline)
+    schedule = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
     inputs = {n: [3.0, -1.0] for n in dfg.roots()}
     assert simulate_schedule(
         dfg, table, assignment, schedule, 2, inputs=inputs

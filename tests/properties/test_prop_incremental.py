@@ -38,8 +38,8 @@ def test_incremental_repeat_matches_reference(pair, slack):
 def test_swept_frontier_matches_reference(pair, span):
     dfg, table = pair
     floor = min_completion_time(dfg, table)
-    ref = dfg_frontier(dfg, table, floor + span, incremental=False)
-    assert dfg_frontier(dfg, table, floor + span) == ref
+    ref = dfg_frontier(dfg, table, max_deadline=floor + span, incremental=False)
+    assert dfg_frontier(dfg, table, max_deadline=floor + span) == ref
 
 
 @settings(max_examples=40, deadline=None)
@@ -84,5 +84,5 @@ def test_registry_equivalence(name, seed):
         )
         assert dict(inc.assignment.items()) == dict(ref.assignment.items())
         assert inc.cost == ref.cost
-    ref_frontier = dfg_frontier(dfg, table, floor + span, incremental=False)
-    assert dfg_frontier(dfg, table, floor + span) == ref_frontier
+    ref_frontier = dfg_frontier(dfg, table, max_deadline=floor + span, incremental=False)
+    assert dfg_frontier(dfg, table, max_deadline=floor + span) == ref_frontier

@@ -25,7 +25,7 @@ def setup(data, extra=2):
 @settings(**SETTINGS)
 def test_min_resource_schedule_always_valid(data):
     dfg, table, assignment, deadline = setup(data)
-    sched = min_resource_schedule(dfg, table, assignment, deadline)
+    sched = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
     sched.validate(dfg, table, assignment)
     assert sched.makespan(table) <= deadline
 
@@ -35,7 +35,7 @@ def test_min_resource_schedule_always_valid(data):
 def test_configuration_respects_lower_bound(data):
     dfg, table, assignment, deadline = setup(data)
     lb = lower_bound_configuration(dfg, table, assignment, deadline)
-    sched = min_resource_schedule(dfg, table, assignment, deadline)
+    sched = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
     assert lb.dominates(sched.configuration)
 
 
@@ -43,7 +43,7 @@ def test_configuration_respects_lower_bound(data):
 @settings(**SETTINGS)
 def test_usage_never_exceeds_configuration(data):
     dfg, table, assignment, deadline = setup(data)
-    sched = min_resource_schedule(dfg, table, assignment, deadline)
+    sched = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
     profile = sched.usage_profile(table)
     for j, usage in profile.items():
         assert max(usage, default=0) <= sched.configuration.counts[j]
@@ -85,7 +85,7 @@ def test_schedule_start_within_window(data):
     times = assignment.execution_times(dfg, table)
     asap = asap_starts(dfg, times)
     alap = alap_starts(dfg, times, deadline)
-    sched = min_resource_schedule(dfg, table, assignment, deadline)
+    sched = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
     for n in dfg.nodes():
         assert asap[n] <= sched.ops[n].start <= alap[n]
 
@@ -99,6 +99,6 @@ def test_list_schedule_on_achieved_configuration_is_valid(data):
     anomalies), which is exactly why Min_R_Scheduling drives placement
     by ALAP deadlines instead."""
     dfg, table, assignment, deadline = setup(data)
-    cfg = min_resource_schedule(dfg, table, assignment, deadline).configuration
-    sched = list_schedule(dfg, table, assignment, cfg)
+    cfg = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline).configuration
+    sched = list_schedule(dfg, table, assignment=assignment, configuration=cfg)
     sched.validate(dfg, table, assignment)

@@ -90,7 +90,7 @@ class TestModuloSchedule:
         table = random_table(dfg, num_types=2, seed=0)
         assignment = Assignment.cheapest(dfg, table)
         cfg = Configuration.of([2, 2])
-        static = list_schedule(dfg.dag(), table, assignment, cfg)
+        static = list_schedule(dfg.dag(), table, assignment=assignment, configuration=cfg)
         ms = modulo_schedule(dfg, table, assignment, cfg)
         assert ms.ii <= static.makespan(table)
 

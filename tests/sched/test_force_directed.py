@@ -78,7 +78,7 @@ class TestBalancing:
         deadline = min_completion_time(dfg, table) + 4
         assignment = dfg_assign_repeat(dfg, table, deadline).assignment
         fds = force_directed_schedule(dfg, table, assignment, deadline)
-        minr = min_resource_schedule(dfg, table, assignment, deadline)
+        minr = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
         fds.validate(dfg, table, assignment)
         assert (
             fds.configuration.total_units()

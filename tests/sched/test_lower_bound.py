@@ -95,7 +95,7 @@ class TestLowerBound:
             assignment = exact_assign(dfg, table, deadline).assignment
             lb = lower_bound_configuration(dfg, table, assignment, deadline)
             achieved = min_resource_schedule(
-                dfg, table, assignment, deadline
+                dfg, table, assignment=assignment, deadline=deadline
             ).configuration
             assert lb.dominates(achieved)
 

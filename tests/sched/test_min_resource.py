@@ -21,7 +21,7 @@ class TestMinResource:
         floor = min_completion_time(dfg, table)
         for deadline in (floor, floor + 3, floor + 10):
             assignment = dfg_assign_repeat(dfg, table, deadline).assignment
-            sched = min_resource_schedule(dfg, table, assignment, deadline)
+            sched = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
             sched.validate(dfg, table, assignment)
             assert sched.makespan(table) <= deadline
 
@@ -32,14 +32,14 @@ class TestMinResource:
         floor = min_completion_time(dfg, table)
         assignment = dfg_assign_repeat(dfg, table, floor + 2).assignment
         lb = lower_bound_configuration(dfg, table, assignment, floor + 2)
-        sched = min_resource_schedule(dfg, table, assignment, floor + 2)
+        sched = min_resource_schedule(dfg, table, assignment=assignment, deadline=floor + 2)
         assert lb.dominates(sched.configuration)
 
     def test_chain_uses_single_units(self, chain3):
         table = random_table(chain3, seed=0)
         assignment = Assignment.fastest(chain3, table)
         deadline = assignment.completion_time(chain3, table)
-        sched = min_resource_schedule(chain3, table, assignment, deadline)
+        sched = min_resource_schedule(chain3, table, assignment=assignment, deadline=deadline)
         assert all(c <= 1 for c in sched.configuration.counts)
 
     def test_relaxed_deadline_never_more_resource_than_tight(self):
@@ -48,9 +48,9 @@ class TestMinResource:
         table = random_table(dfg, num_types=3, seed=3)
         floor = min_completion_time(dfg, table)
         assignment = dfg_assign_repeat(dfg, table, floor).assignment
-        tight = min_resource_schedule(dfg, table, assignment, floor)
+        tight = min_resource_schedule(dfg, table, assignment=assignment, deadline=floor)
         loose = min_resource_schedule(
-            dfg, table, assignment, floor + 20
+            dfg, table, assignment=assignment, deadline=floor + 20
         )
         assert (
             loose.configuration.total_units()
@@ -63,7 +63,7 @@ class TestMinResource:
         deadline = assignment.completion_time(chain3, table) + 5
         big = Configuration.of([4, 4, 4])
         sched = min_resource_schedule(
-            chain3, table, assignment, deadline, initial=big
+            chain3, table, assignment=assignment, deadline=deadline, initial=big
         )
         # provided instances are kept (the algorithm only ever grows)
         assert sched.configuration.counts == (4, 4, 4)
@@ -75,8 +75,8 @@ class TestMinResource:
             min_resource_schedule(
                 chain3,
                 table,
-                assignment,
-                20,
+                assignment=assignment,
+                deadline=20,
                 initial=Configuration.of([1]),
             )
 
@@ -84,7 +84,7 @@ class TestMinResource:
         table = random_table(chain3, seed=2)
         assignment = Assignment.cheapest(chain3, table)
         with pytest.raises(ScheduleError):
-            min_resource_schedule(chain3, table, assignment, 1)
+            min_resource_schedule(chain3, table, assignment=assignment, deadline=1)
 
     def test_parallel_forced_growth(self):
         """Independent nodes at a tight deadline force one unit each."""
@@ -98,7 +98,7 @@ class TestMinResource:
         )
         assignment = Assignment.of({f"v{i}": 0 for i in range(4)})
         sched = min_resource_schedule(
-            dfg, table, assignment, 3, initial=Configuration.of([0])
+            dfg, table, assignment=assignment, deadline=3, initial=Configuration.of([0])
         )
         sched.validate(dfg, table, assignment)
         assert sched.configuration.counts[0] == 4
@@ -108,8 +108,8 @@ class TestMinResource:
         table = random_table(dfg, num_types=3, seed=5)
         floor = min_completion_time(dfg, table)
         assignment = dfg_assign_repeat(dfg, table, floor + 3).assignment
-        s1 = min_resource_schedule(dfg, table, assignment, floor + 3)
-        s2 = min_resource_schedule(dfg, table, assignment, floor + 3)
+        s1 = min_resource_schedule(dfg, table, assignment=assignment, deadline=floor + 3)
+        s2 = min_resource_schedule(dfg, table, assignment=assignment, deadline=floor + 3)
         assert s1.ops == s2.ops
 
 
@@ -120,9 +120,9 @@ class TestListSchedule:
         floor = min_completion_time(dfg, table)
         assignment = dfg_assign_repeat(dfg, table, floor + 4).assignment
         cfg = min_resource_schedule(
-            dfg, table, assignment, floor + 4
+            dfg, table, assignment=assignment, deadline=floor + 4
         ).configuration
-        sched = list_schedule(dfg, table, assignment, cfg)
+        sched = list_schedule(dfg, table, assignment=assignment, configuration=cfg)
         sched.validate(dfg, table, assignment)
 
     def test_single_unit_serializes(self, chain3):
@@ -130,7 +130,7 @@ class TestListSchedule:
         assignment = Assignment.uniform(chain3, 0)
         total = sum(assignment.execution_times(chain3, table).values())
         sched = list_schedule(
-            chain3, table, assignment, Configuration.of([1, 0, 0])
+            chain3, table, assignment=assignment, configuration=Configuration.of([1, 0, 0])
         )
         assert sched.makespan(table) == total
 
@@ -138,7 +138,7 @@ class TestListSchedule:
         table = random_table(chain3, seed=8)
         assignment = Assignment.uniform(chain3, 1)
         with pytest.raises(ScheduleError, match="no unit"):
-            list_schedule(chain3, table, assignment, Configuration.of([5, 0, 5]))
+            list_schedule(chain3, table, assignment=assignment, configuration=Configuration.of([5, 0, 5]))
 
     def test_more_units_never_slower(self):
         dfg = random_dag(12, edge_prob=0.35, seed=9)
@@ -146,7 +146,7 @@ class TestListSchedule:
         assignment = Assignment.uniform(dfg, 0)
         mk = [
             list_schedule(
-                dfg, table, assignment, Configuration.of([k])
+                dfg, table, assignment=assignment, configuration=Configuration.of([k])
             ).makespan(table)
             for k in (1, 2, 4, 8)
         ]

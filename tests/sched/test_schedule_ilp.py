@@ -58,7 +58,7 @@ class TestCheckSolution:
     def test_min_resource_schedule_is_feasible_point(self, instance):
         dfg, table, assignment, deadline = instance
         model = build_schedule_ilp(dfg, table, assignment, deadline)
-        schedule = min_resource_schedule(dfg, table, assignment, deadline)
+        schedule = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
         objective = check_schedule_solution(
             model, dfg, table, assignment, schedule
         )
@@ -81,8 +81,8 @@ class TestCheckSolution:
         schedule = min_resource_schedule(
             dfg,
             table,
-            assignment,
-            deadline,
+            assignment=assignment,
+            deadline=deadline,
             initial=Configuration.of([5] * table.num_types),
         )
         objective = check_schedule_solution(
@@ -96,6 +96,6 @@ class TestCheckSolution:
         deadline = min_completion_time(dfg, table) + 5
         assignment = dfg_assign_repeat(dfg, table, deadline).assignment
         model = build_schedule_ilp(dfg, table, assignment, deadline)
-        schedule = min_resource_schedule(dfg, table, assignment, deadline)
+        schedule = min_resource_schedule(dfg, table, assignment=assignment, deadline=deadline)
         check_schedule_solution(model, dfg, table, assignment, schedule)
         assert model.num_constraints() > 0

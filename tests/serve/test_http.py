@@ -1,0 +1,145 @@
+"""The stdlib HTTP/JSON front: endpoints, errors, cache behaviour.
+
+Each test drives a real socket server bound to an ephemeral port,
+serving from a background thread via ``handle_request`` — the same
+single-threaded coordinator the long-running CLI mode uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.io import instance_to_dict
+from repro.serve import SynthesisService, make_server
+
+from ..conftest import make_table
+
+
+@pytest.fixture
+def server():
+    srv = make_server("127.0.0.1", 0, SynthesisService())
+    try:
+        yield srv
+    finally:
+        srv.server_close()
+
+
+def _call(server, method, path, doc=None):
+    """One HTTP round-trip against ``server`` (handled in a thread)."""
+    host, port = server.server_address[:2]
+    worker = threading.Thread(target=server.handle_request)
+    worker.start()
+    body = None if doc is None else json.dumps(doc).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            status, payload = reply.status, json.load(reply)
+    except urllib.error.HTTPError as exc:
+        status, payload = exc.code, json.load(exc)
+    worker.join(timeout=30)
+    return status, payload
+
+
+def _batch_doc(dfg, table, deadline):
+    return {
+        "requests": [
+            {"instance": instance_to_dict(dfg, table), "deadline": deadline}
+        ]
+    }
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, doc = _call(server, "GET", "/v1/health")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["schema_version"] == 1
+        assert doc["cache_entries"] == 0
+
+    def test_batch_then_metrics_and_cache(self, server, chain3, chain3_table):
+        payload = _batch_doc(chain3, chain3_table, 12)
+
+        status, cold = _call(server, "POST", "/v1/batch", payload)
+        assert status == 200
+        assert cold["batch"] == {"requests": 1, "cached": 0, "failed": 0}
+        (response,) = cold["responses"]
+        assert response["result"]["schema_version"] == 1
+        assert set(response["result"]["assignment"]) == {"a", "b", "c"}
+
+        status, warm = _call(server, "POST", "/v1/batch", payload)
+        assert status == 200
+        assert warm["batch"]["cached"] == 1
+        assert warm["responses"][0]["result"] == response["result"]
+
+        status, metrics = _call(server, "GET", "/v1/metrics")
+        assert status == 200
+        assert metrics["counters"]["serve.solves"] == 1.0
+        assert metrics["counters"]["serve.cache.hits"] >= 1.0
+
+        status, health = _call(server, "GET", "/v1/health")
+        assert health["cache_entries"] == 1
+
+    def test_benchmark_form(self, server):
+        status, doc = _call(
+            server,
+            "POST",
+            "/v1/batch",
+            {"requests": [{"benchmark": "diffeq", "deadline": 12}]},
+        )
+        assert status == 200
+        assert doc["responses"][0]["error"] is None
+
+
+class TestErrors:
+    def test_unknown_path_404(self, server):
+        status, doc = _call(server, "GET", "/v1/nope")
+        assert status == 404 and "unknown path" in doc["error"]
+
+    def test_invalid_json_400(self, server):
+        host, port = server.server_address[:2]
+        worker = threading.Thread(target=server.handle_request)
+        worker.start()
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/batch", data=b"{nope", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        worker.join(timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_malformed_batch_400(self, server):
+        status, doc = _call(server, "POST", "/v1/batch", {"requests": []})
+        assert status == 400 and "no requests" in doc["error"]
+
+    def test_infeasible_request_is_not_an_http_error(
+        self, server, chain3, chain3_table
+    ):
+        status, doc = _call(
+            server, "POST", "/v1/batch", _batch_doc(chain3, chain3_table, 1)
+        )
+        assert status == 200
+        assert doc["batch"]["failed"] == 1
+        assert doc["responses"][0]["error"]["type"] == "InfeasibleError"
+
+
+class TestWideDag:
+    def test_labels_translate_through_http(self, server, wide_dag):
+        table = make_table(wide_dag, seed=2)
+        status, doc = _call(
+            server, "POST", "/v1/batch", _batch_doc(wide_dag, table, 16)
+        )
+        assert status == 200
+        (response,) = doc["responses"]
+        assert set(response["result"]["schedule"]) == {
+            str(n) for n in wide_dag.nodes()
+        }

@@ -1,0 +1,138 @@
+"""Request-document parsing: forms, defaults, and validation errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.assign import min_completion_time
+from repro.errors import ServeError
+from repro.io import instance_to_dict
+from repro.serve import request_from_dict, requests_from_doc, requests_from_file
+
+from ..conftest import make_table
+
+
+class TestBenchmarkForm:
+    def test_defaults(self):
+        request = request_from_dict({"benchmark": "diffeq", "deadline": 12})
+        assert len(request.dfg) > 0
+        assert request.deadline == 12
+        assert request.scheduler == "min_resource"
+        assert request.strategy == "paper"
+
+    def test_deadline_defaults_to_floor_slack(self):
+        request = request_from_dict({"benchmark": "diffeq"})
+        floor = min_completion_time(request.dfg, request.table)
+        assert request.deadline == int(1.3 * floor) + 1
+
+    def test_seed_and_num_types_respected(self):
+        a = request_from_dict({"benchmark": "diffeq", "seed": 1})
+        b = request_from_dict({"benchmark": "diffeq", "seed": 2})
+        node = next(iter(a.dfg.nodes()))
+        assert list(a.table.times(node)) != list(b.table.times(node)) or list(
+            a.table.costs(node)
+        ) != list(b.table.costs(node))
+        c = request_from_dict({"benchmark": "diffeq", "num_types": 4})
+        assert c.table.num_types == 4
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ServeError, match="nope"):
+            request_from_dict({"benchmark": "nope"})
+
+
+class TestInlineForm:
+    def test_inline_instance(self, chain3, chain3_table):
+        request = request_from_dict(
+            {"instance": instance_to_dict(chain3, chain3_table), "deadline": 12}
+        )
+        assert request.deadline == 12
+        assert set(map(str, request.dfg.nodes())) == {"a", "b", "c"}
+
+    def test_instance_deadline_used_when_not_overridden(
+        self, chain3, chain3_table
+    ):
+        doc = {"instance": instance_to_dict(chain3, chain3_table, 14)}
+        assert request_from_dict(doc).deadline == 14
+        doc["deadline"] = 15
+        assert request_from_dict(doc).deadline == 15
+
+    def test_inline_requires_rows(self, chain3):
+        with pytest.raises(ServeError, match="no table rows"):
+            request_from_dict(
+                {"instance": instance_to_dict(chain3), "deadline": 12}
+            )
+
+    def test_inline_rejects_table_seed_knobs(self, chain3, chain3_table):
+        with pytest.raises(ServeError, match="benchmark form only"):
+            request_from_dict(
+                {
+                    "instance": instance_to_dict(chain3, chain3_table),
+                    "deadline": 12,
+                    "seed": 7,
+                }
+            )
+
+
+class TestValidation:
+    def test_exactly_one_instance_source(self, chain3, chain3_table):
+        with pytest.raises(ServeError, match="exactly one"):
+            request_from_dict({"deadline": 12})
+        with pytest.raises(ServeError, match="exactly one"):
+            request_from_dict(
+                {
+                    "benchmark": "diffeq",
+                    "instance": instance_to_dict(chain3, chain3_table),
+                }
+            )
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServeError, match="unknown request field"):
+            request_from_dict({"benchmark": "diffeq", "dead_line": 12})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeError, match="must be an object"):
+            request_from_dict(["benchmark"])
+
+
+class TestBatchDocuments:
+    def test_wrapped_and_bare_lists(self):
+        entry = {"benchmark": "diffeq", "deadline": 12}
+        assert len(requests_from_doc({"requests": [entry, entry]})) == 2
+        assert len(requests_from_doc([entry])) == 1
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ServeError, match="no requests"):
+            requests_from_doc({"requests": []})
+        with pytest.raises(ServeError, match="no 'requests'"):
+            requests_from_doc({"jobs": []})
+
+    def test_file_loading(self, tmp_path):
+        good = tmp_path / "batch.json"
+        good.write_text(json.dumps([{"benchmark": "diffeq", "deadline": 12}]))
+        assert len(requests_from_file(str(good))) == 1
+
+        with pytest.raises(ServeError, match="cannot read"):
+            requests_from_file(str(tmp_path / "missing.json"))
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ServeError, match="not valid JSON"):
+            requests_from_file(str(bad))
+
+
+class TestKnobsPassThrough:
+    def test_budget_and_labels(self, chain3, chain3_table):
+        request = request_from_dict(
+            {
+                "instance": instance_to_dict(chain3, chain3_table),
+                "deadline": 12,
+                "strategy": "portfolio",
+                "budget_evaluations": 250,
+                "label": "probe",
+            }
+        )
+        assert request.strategy == "portfolio"
+        assert request.budget_evaluations == 250
+        assert request.label == "probe"

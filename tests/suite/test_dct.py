@@ -65,5 +65,5 @@ class TestSynthesis:
         table = random_table(dag, num_types=3, seed=24)
         deadline = min_completion_time(dag, table) + 4
         assignment = dfg_assign_repeat(dag, table, deadline).assignment
-        schedule = min_resource_schedule(dag, table, assignment, deadline)
+        schedule = min_resource_schedule(dag, table, assignment=assignment, deadline=deadline)
         schedule.validate(dag, table, assignment)

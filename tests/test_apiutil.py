@@ -1,10 +1,14 @@
-"""`deprecated_positionals`: mapping, errors, and warning attribution.
+"""`deprecated_positionals`: mapping, errors, warning attribution, freeze.
 
 The stacklevel regression matters most: the DeprecationWarning must
 point at the *caller's* line (stacklevel=2 from inside the wrapper),
 not at apiutil itself — otherwise every legacy call site in user code
 shows up as a warning in our library, which filters like
 ``-W error::DeprecationWarning:repro`` would then misclassify.
+
+The suite runs with ``STRICT_API`` on (see ``tests/conftest.py``), so
+the legacy-mapping tests here opt out explicitly — they are tests *of*
+the migration shim, not users of it.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import warnings
 
 import pytest
 
+import repro.apiutil as apiutil
 from repro.apiutil import deprecated_positionals
 
 
@@ -21,33 +26,39 @@ def _sample(alpha, beta, *, gamma=0, delta=1):
     return alpha, beta, gamma, delta
 
 
+@pytest.fixture
+def legacy_mode(monkeypatch):
+    """Disable the v1 freeze so the mapping path is reachable."""
+    monkeypatch.setattr(apiutil, "STRICT_API", False)
+
+
 def test_keyword_call_warns_nothing():
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         assert _sample(1, 2, gamma=3, delta=4) == (1, 2, 3, 4)
 
 
-def test_legacy_positionals_mapped_with_warning():
+def test_legacy_positionals_mapped_with_warning(legacy_mode):
     with pytest.warns(DeprecationWarning, match="'gamma', 'delta'"):
         assert _sample(1, 2, 3, 4) == (1, 2, 3, 4)
 
 
-def test_partial_legacy_positional():
+def test_partial_legacy_positional(legacy_mode):
     with pytest.warns(DeprecationWarning, match="'gamma'"):
         assert _sample(1, 2, 3, delta=9) == (1, 2, 3, 9)
 
 
-def test_too_many_positionals_is_typeerror():
+def test_too_many_positionals_is_typeerror(legacy_mode):
     with pytest.raises(TypeError, match="takes 2 positional"):
         _sample(1, 2, 3, 4, 5)
 
 
-def test_duplicate_keyword_is_typeerror():
+def test_duplicate_keyword_is_typeerror(legacy_mode):
     with pytest.raises(TypeError, match="multiple values for argument 'gamma'"):
         _sample(1, 2, 3, gamma=7)
 
 
-def test_warning_points_at_caller():
+def test_warning_points_at_caller(legacy_mode):
     """Regression: stacklevel must attribute the warning to this file.
 
     If the decorator ever drops back to the default stacklevel=1, the
@@ -58,3 +69,32 @@ def test_warning_points_at_caller():
         _sample(1, 2, 3)
     (record,) = [w for w in caught if w.category is DeprecationWarning]
     assert record.filename == __file__
+
+
+class TestStrictMode:
+    """The v1 freeze: legacy positionals become TypeErrors."""
+
+    def test_suite_runs_with_strict_api_on(self):
+        assert apiutil.STRICT_API is True
+
+    def test_legacy_positional_rejected(self):
+        with pytest.raises(TypeError, match="STRICT_API"):
+            _sample(1, 2, 3)
+
+    def test_error_names_the_callable_and_arity(self):
+        with pytest.raises(TypeError, match=r"_sample\(\) takes 2 positional"):
+            _sample(1, 2, 3, 4)
+
+    def test_keyword_calls_unaffected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _sample(5, 6, gamma=7) == (5, 6, 7, 1)
+
+    def test_flag_read_at_call_time(self, monkeypatch):
+        """Flipping the module flag flips behaviour without re-decorating."""
+        monkeypatch.setattr(apiutil, "STRICT_API", False)
+        with pytest.warns(DeprecationWarning):
+            _sample(1, 2, 3)
+        monkeypatch.setattr(apiutil, "STRICT_API", True)
+        with pytest.raises(TypeError, match="STRICT_API"):
+            _sample(1, 2, 3)

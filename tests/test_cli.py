@@ -217,6 +217,80 @@ class TestForwardingAudit:
         assert main(["lint", "--select", "RL001"]) == 0
         assert "finding" in capsys.readouterr().out
 
+    def test_serve_and_batch_flags_forward_even_when_first(self, capsys):
+        # same bpo-17050 regression, for the serving subcommands: a
+        # leading --help in the tail must reach the forwarded parser
+        # (exit 0 with its usage), not the top-level one (exit 2)
+        for name in ("serve", "batch"):
+            assert main([name, "--help"]) == 0
+            assert f"repro-hls {name}" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    """`repro-hls batch`: one-shot cached batch solving."""
+
+    @pytest.fixture
+    def request_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "requests": [
+                        {"benchmark": "diffeq", "deadline": 12},
+                        {"benchmark": "diffeq", "deadline": 12},
+                    ]
+                }
+            )
+        )
+        return str(path)
+
+    def test_batch_solves_and_reports_cache(self, capsys, request_file):
+        import json
+
+        assert main(["batch", request_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["batch"] == {"requests": 2, "cached": 0, "failed": 0}
+        assert doc["responses"][0]["key"] == doc["responses"][1]["key"]
+        assert doc["metrics"]["serve.solves"] == 1.0
+
+    def test_batch_warm_cache_dir(self, capsys, tmp_path, request_file):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", request_file, "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", request_file, "--cache-dir", cache]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["batch"]["cached"] == 2
+        assert doc["metrics"].get("serve.solves", 0.0) == 0.0
+
+    def test_batch_out_file(self, tmp_path, request_file):
+        out = tmp_path / "results.json"
+        assert main(["batch", request_file, "--out", str(out)]) == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert len(doc["responses"]) == 2
+
+    def test_batch_missing_file_exits_two(self, capsys):
+        assert main(["batch", "no-such-file.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_batch_failing_request_exits_one(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps([{"benchmark": "diffeq", "deadline": 1}])
+        )
+        assert main(["batch", str(path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["batch"]["failed"] == 1
+        assert doc["responses"][0]["error"]["type"] == "InfeasibleError"
+
 
 class TestPortfolioSubcommand:
     """Pinned exit codes and output for `repro-hls portfolio`."""

@@ -24,6 +24,9 @@ PUBLIC_MODULES = [
     "repro.verify",
     "repro.errors",
     "repro.cli",
+    "repro.apiutil",
+    "repro.io",
+    "repro.serve",
 ]
 
 
@@ -123,13 +126,16 @@ class TestFacadeKeywordOnly:
                 offenders[name] = bad
         assert offenders == {}
 
-    def test_legacy_positionals_still_work_with_warning(self):
-        """The migration shims keep old positional call sites running."""
+    def test_legacy_positionals_still_work_with_warning(self, monkeypatch):
+        """The migration shims keep old positional call sites running
+        (outside the v1 freeze, which the suite otherwise runs under)."""
         import warnings
 
+        import repro.apiutil
         from repro.assign.dfg_expand import dfg_expand
         from repro.graph.dfg import DFG
 
+        monkeypatch.setattr(repro.apiutil, "STRICT_API", False)
         dfg = DFG("legacy")
         dfg.add_node("a", "mul")
         with warnings.catch_warnings(record=True) as caught:
@@ -139,6 +145,75 @@ class TestFacadeKeywordOnly:
         assert any(
             issubclass(w.category, DeprecationWarning) for w in caught
         )
+
+    def test_strict_api_rejects_legacy_positionals(self):
+        """Under the v1 freeze the same call is a hard TypeError."""
+        from repro.assign.dfg_expand import dfg_expand
+        from repro.graph.dfg import DFG
+
+        dfg = DFG("legacy")
+        dfg.add_node("a", "mul")
+        with pytest.raises(TypeError, match="STRICT_API"):
+            dfg_expand(dfg, 1000)
+
+
+class TestResultSchema:
+    """The versioned SynthesisResult JSON document is a pinned surface.
+
+    Downstream consumers (the serve cache, the ``synth --json`` CLI,
+    external tooling) key on ``schema_version``; any shape change must
+    bump it and update this pin.
+    """
+
+    @pytest.fixture(scope="class")
+    def result_doc(self):
+        import json
+
+        from repro.fu.random_tables import random_table
+        from repro.suite.registry import get_benchmark
+        from repro.synthesis import synthesize
+
+        dfg = get_benchmark("biquad2").dag()
+        table = random_table(dfg, num_types=3, seed=2004)
+        result = synthesize(dfg, table, 60)
+        return json.loads(result.to_json())
+
+    def test_schema_version_pinned(self, result_doc):
+        from repro.synthesis import RESULT_SCHEMA_VERSION
+
+        assert RESULT_SCHEMA_VERSION == 1
+        assert result_doc["schema_version"] == 1
+
+    def test_top_level_shape(self, result_doc):
+        assert set(result_doc) == {
+            "schema_version",
+            "cost",
+            "completion_time",
+            "deadline",
+            "algorithm",
+            "optimal",
+            "assignment",
+            "configuration",
+            "lower_bound",
+            "schedule",
+            "timings",
+        }
+
+    def test_value_types(self, result_doc):
+        assert isinstance(result_doc["cost"], float)
+        assert isinstance(result_doc["completion_time"], int)
+        assert result_doc["optimal"] is None or isinstance(
+            result_doc["optimal"], bool
+        )  # tri-state: None = optimality unknown
+        assert all(
+            isinstance(v, int) for v in result_doc["assignment"].values()
+        )
+        assert all(isinstance(c, int) for c in result_doc["configuration"])
+        for op in result_doc["schedule"].values():
+            assert set(op) == {"start", "fu_type", "fu_index"}
+
+    def test_schedule_keys_match_assignment(self, result_doc):
+        assert set(result_doc["schedule"]) == set(result_doc["assignment"])
 
 
 class TestDpMetricsTable:
