@@ -1,17 +1,26 @@
-"""Packed DP kernels + parallel engine bench (tentpole).
+"""Packed DP kernels + batched multi-instance + parallel engine bench.
 
-Three claims, all checked here:
+Five claims, all checked here:
 
 * **Identical results** — the packed engine (``kernel="packed"``, the
   default) reproduces the python reference (``kernel="python"``)
   bit-for-bit on every suite graph, across `tree_frontier`,
-  `dfg_frontier`, and `DFG_Assign_Repeat`; and `pmap` fan-outs return
-  the same results at every worker count.
+  `dfg_frontier` (including ``batch=True``), and `DFG_Assign_Repeat`;
+  and `pmap` fan-outs return the same results at every worker count.
 * **Kernel speed** — the packed engine is ≥ 2× faster than the python
   incremental engine on the largest suite frontier sweeps (serial).
+* **Batched speed** — the batched multi-instance engine solves the
+  largest frontier sweep ≥ 3× faster than one per-instance
+  `DFG_Assign_Repeat` call per deadline (serial, interleaved
+  best-of-2 to shrug off shared-box timing noise).
+* **Arena payload** — binding job tables through the shared-memory
+  arena cuts the bytes pickled across the `pmap` boundary by ≥ 10×
+  (measured via the ``engine.pmap.payload_bytes`` counter; gated only
+  where POSIX shared memory exists).
 * **Parallel speed** — the `make_all`-style artifact fan-out at
-  ``--workers 4`` is ≥ 2× faster than serial, when ≥ 4 cores exist
-  (skipped otherwise; worker *equivalence* is always checked).
+  ``--workers 4`` is ≥ 2× faster than serial, and the batched sweep's
+  pin fan-out ≥ 1.5×, when ≥ 4 cores exist (skipped with a notice
+  otherwise; worker *equivalence* is always checked).
 
 Runs under pytest (``pytest benchmarks/bench_engine.py``) or
 standalone (``python benchmarks/bench_engine.py [--quick] [--workers N]``);
@@ -35,16 +44,19 @@ sys.path.insert(0, str(_HERE))
 from conftest import write_bench_json  # noqa: E402
 
 from repro.assign import (
+    BatchJob,
     DPStats,
     dfg_assign_repeat,
+    dfg_assign_repeat_batch,
     dfg_frontier,
     min_completion_time,
 )
 from repro.assign.dfg_assign import choose_expansion
 from repro.assign.frontier import tree_frontier
-from repro.engine import pmap, resolve_workers
+from repro.engine import pmap, resolve_workers, shm_available
 from repro.fu.random_tables import random_table
 from repro.graph.classify import is_in_forest, is_out_forest
+from repro.obs import Tracer, use_tracer
 from repro.report.experiments import DEFAULT_SEED
 from repro.report.robustness import robustness_study
 from repro.suite.registry import benchmark_names, get_benchmark
@@ -58,6 +70,18 @@ MIN_KERNEL_SPEEDUP = 2.0
 #: Parallel speedup promised by the workers=4 artifact fan-out — gated
 #: only on machines that actually have >= 4 cores.
 MIN_PARALLEL_SPEEDUP = 2.0
+
+#: Speedup the batched multi-instance engine promises over one
+#: per-instance DFG_Assign_Repeat call per deadline (serial).
+MIN_BATCHED_SPEEDUP = 3.0
+
+#: Factor by which the shared-memory arena must shrink the pickled
+#: pmap payload vs shipping the bound tables by value.
+MIN_ARENA_PAYLOAD_RATIO = 10.0
+
+#: Speedup the batched sweep's pin fan-out promises at 4 workers —
+#: gated only on machines that actually have >= 4 cores.
+MIN_BATCHED_PARALLEL_SPEEDUP = 1.5
 
 
 def _quick() -> bool:
@@ -101,6 +125,10 @@ def check_equivalence(quick: bool, workers: int) -> List[str]:
                 dfg, table, max_deadline=max_deadline, kernel="python"
             )
             assert packed == python, f"{name}: tree_frontier kernels diverged"
+            batched = tree_frontier(
+                dfg, table, max_deadline=max_deadline, batch=True
+            )
+            assert packed == batched, f"{name}: tree_frontier batch diverged"
         packed = dfg_frontier(dfg, table, max_deadline=max_deadline)
         python = dfg_frontier(
             dfg, table, max_deadline=max_deadline, kernel="python"
@@ -108,8 +136,10 @@ def check_equivalence(quick: bool, workers: int) -> List[str]:
         fanned = dfg_frontier(
             dfg, table, max_deadline=max_deadline, workers=workers
         )
+        batched = dfg_frontier(dfg, table, max_deadline=max_deadline, batch=True)
         assert packed == python, f"{name}: dfg_frontier kernels diverged"
         assert packed == fanned, f"{name}: dfg_frontier workers diverged"
+        assert packed == batched, f"{name}: dfg_frontier batch diverged"
         rp = dfg_assign_repeat(dfg, table, max_deadline)
         rq = dfg_assign_repeat(dfg, table, max_deadline, kernel="python")
         rw = dfg_assign_repeat(dfg, table, max_deadline, workers=workers)
@@ -119,8 +149,8 @@ def check_equivalence(quick: bool, workers: int) -> List[str]:
             )
             assert rp.cost == other.cost, f"{name}: {what} cost diverged"
         lines.append(
-            f"{name:>14}: packed == python == workers={workers} over "
-            f"deadlines {floor}..{max_deadline} ({len(packed)} knees)"
+            f"{name:>14}: packed == python == batched == workers={workers} "
+            f"over deadlines {floor}..{max_deadline} ({len(packed)} knees)"
         )
     return lines
 
@@ -137,7 +167,8 @@ def measure_kernel_speedups(quick: bool) -> Tuple[List[str], Dict[str, float]]:
     those runs are reported for context, not gated.  The sweep span is
     larger than the equivalence sweeps' on purpose: the packed engine's
     advantage is per-refresh bookkeeping, so longer sweeps measure it
-    away from the shared one-time DP fill.
+    away from the shared one-time DP fill.  Both engines are timed
+    interleaved, best of 2, so shared-box noise hits both sides alike.
     """
     names = largest_dags(2 if quick else 3)
     budget = 12_000 if quick else 24_000
@@ -147,16 +178,21 @@ def measure_kernel_speedups(quick: bool) -> Tuple[List[str], Dict[str, float]]:
         expansion = choose_expansion(dfg)
         span = max(12, budget // max(len(expansion), 1))
         max_deadline = floor + min(span, 2 * floor)
-        t0 = time.perf_counter()
-        python = dfg_frontier(
-            dfg, table, max_deadline=max_deadline, kernel="python"
-        )
-        py_s = time.perf_counter() - t0
+        py_s = pk_s = float("inf")
         stats = DPStats()
-        t0 = time.perf_counter()
-        packed = dfg_frontier(dfg, table, max_deadline=max_deadline, stats=stats)
-        pk_s = time.perf_counter() - t0
-        assert packed == python, f"{name}: kernels diverged under timing"
+        for _ in range(2):
+            t0 = time.perf_counter()
+            python = dfg_frontier(
+                dfg, table, max_deadline=max_deadline, kernel="python"
+            )
+            py_s = min(py_s, time.perf_counter() - t0)
+            stats = DPStats()
+            t0 = time.perf_counter()
+            packed = dfg_frontier(
+                dfg, table, max_deadline=max_deadline, stats=stats
+            )
+            pk_s = min(pk_s, time.perf_counter() - t0)
+            assert packed == python, f"{name}: kernels diverged under timing"
         speedups[name] = py_s / pk_s
         lines.append(
             f"{name:>14}: tree={len(expansion):<4} "
@@ -166,6 +202,107 @@ def measure_kernel_speedups(quick: bool) -> Tuple[List[str], Dict[str, float]]:
             f"hit-rate={stats.hit_rate:.1%}"
         )
     return lines, speedups
+
+
+# ----------------------------------------------------------------------
+# batched speed: one multi-instance engine vs a solve per deadline
+# ----------------------------------------------------------------------
+def measure_batched(quick: bool) -> Tuple[List[str], float]:
+    """Batched sweep vs one per-instance `DFG_Assign_Repeat` per deadline.
+
+    The baseline is the pre-batching way to sweep a frontier: a fresh
+    scalar solve for every deadline (each rebuilding its own engine).
+    Both sides are timed interleaved, best of 2 — on shared/1-core
+    boxes a single round can swing tens of percent either way, and
+    alternating the contenders exposes both to the same noise.  Costs
+    are cross-checked per deadline before the ratio is trusted.
+    """
+    name = largest_dags(1)[0]
+    dfg, table, floor = _setup(name)
+    expansion = choose_expansion(dfg)
+    budget = 12_000 if quick else 24_000
+    span = max(12, budget // max(len(expansion), 1))
+    max_deadline = floor + min(span, 2 * floor)
+    deadlines = list(range(floor, max_deadline + 1))
+
+    base_s = batched_s = float("inf")
+    base = {}
+    frontier = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        base = {d: dfg_assign_repeat(dfg, table, d) for d in deadlines}
+        base_s = min(base_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        frontier = dfg_frontier(dfg, table, max_deadline=max_deadline, batch=True)
+        batched_s = min(batched_s, time.perf_counter() - t0)
+    for point in frontier:
+        assert point.cost == base[point.deadline].cost, (
+            f"{name}: batched cost diverged at deadline {point.deadline}"
+        )
+    speedup = base_s / batched_s
+    lines = [
+        f"{name:>14}: tree={len(expansion):<4} "
+        f"deadlines={len(deadlines):<3} "
+        f"per-instance={base_s:7.3f}s batched={batched_s:7.3f}s "
+        f"speedup={speedup:5.1f}x (gate >= {MIN_BATCHED_SPEEDUP}x)"
+    ]
+    return lines, speedup
+
+
+# ----------------------------------------------------------------------
+# arena payload: bytes across the pmap boundary, by-value vs by-ref
+# ----------------------------------------------------------------------
+def measure_arena(quick: bool) -> Tuple[List[str], float]:
+    """Pickled pmap payload with the shared-memory arena on vs off.
+
+    Same batched fan-out twice at ``workers=2``; the only difference is
+    whether bound tables cross the process boundary by value or as
+    :class:`~repro.engine.ArenaRef` descriptors.  The ratio comes from
+    the ``engine.pmap.payload_bytes`` counter, not timing, so it is
+    exact and machine-independent; results must match either way.
+    """
+    del quick  # the job set is small either way; payloads, not wall time
+    jobs = []
+    for name in largest_dags(2):
+        dfg, table, floor = _setup(name)
+        jobs.extend(BatchJob(dfg, table, floor + i) for i in range(4))
+    payload_bytes: Dict[bool, float] = {}
+    outcomes = {}
+    for arena in (False, True):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            outcomes[arena] = dfg_assign_repeat_batch(jobs, workers=2, arena=arena)
+        counter = tracer.metrics.counters.get("engine.pmap.payload_bytes")
+        payload_bytes[arena] = counter.value if counter is not None else 0.0
+    for by_value, by_ref in zip(outcomes[False], outcomes[True]):
+        assert (by_value.error is None) == (by_ref.error is None), (
+            "arena changed a job's feasibility"
+        )
+        if by_value.result is not None and by_ref.result is not None:
+            assert by_value.result.cost == by_ref.result.cost and dict(
+                by_value.result.assignment.items()
+            ) == dict(by_ref.result.assignment.items()), (
+                "arena changed a job's solution"
+            )
+    assert payload_bytes[False] > 0, "by-value fan-out shipped no payload?"
+    ratio = (
+        payload_bytes[False] / payload_bytes[True]
+        if payload_bytes[True]
+        else float("inf")
+    )
+    gated = shm_available()
+    lines = [
+        f"pmap payload: {len(jobs)} jobs  "
+        f"by-value={payload_bytes[False] / 1e6:7.2f}MB "
+        f"arena={payload_bytes[True] / 1e6:7.2f}MB "
+        f"ratio={ratio:6.1f}x "
+        + (
+            f"(gate >= {MIN_ARENA_PAYLOAD_RATIO}x)"
+            if gated
+            else "(gate skipped: no POSIX shared memory)"
+        )
+    ]
+    return lines, ratio
 
 
 # ----------------------------------------------------------------------
@@ -198,8 +335,45 @@ def measure_parallel(
 
 
 def _gate_parallel(workers: int) -> bool:
-    """The >= 2x parallel gate only binds with enough real cores."""
+    """The multicore gates only bind with enough real cores."""
     return workers >= 4 and (os.cpu_count() or 1) >= 4
+
+
+def measure_batched_parallel(
+    quick: bool, workers: int
+) -> Tuple[List[str], float]:
+    """Batched sweep serial vs its ``workers`` pin fan-out.
+
+    Equivalence always; the >= 1.5x gate binds only under
+    :func:`_gate_parallel` (>= 4 workers on >= 4 real cores) — on
+    smaller boxes the line records the measurement with a skip notice
+    instead of failing CI on hardware it cannot control.
+    """
+    name = largest_dags(1)[0]
+    dfg, table, floor = _setup(name)
+    span = 12 if quick else 24
+    max_deadline = floor + min(span, 2 * floor)
+    t0 = time.perf_counter()
+    serial = dfg_frontier(dfg, table, max_deadline=max_deadline, batch=True)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fanned = dfg_frontier(
+        dfg, table, max_deadline=max_deadline, batch=True, workers=workers
+    )
+    par_s = time.perf_counter() - t0
+    assert serial == fanned, f"{name}: batched workers={workers} diverged"
+    ratio = serial_s / par_s
+    gate = (
+        f"(gate >= {MIN_BATCHED_PARALLEL_SPEEDUP}x)"
+        if _gate_parallel(workers)
+        else f"(gate skipped: workers={workers}, cores={os.cpu_count()})"
+    )
+    lines = [
+        f"batched fan-out: {name} deadlines={max_deadline - floor + 1}  "
+        f"serial={serial_s:6.2f}s workers={workers}: {par_s:6.2f}s "
+        f"speedup={ratio:4.1f}x {gate}"
+    ]
+    return lines, ratio
 
 
 def _save(lines: List[str]) -> None:
@@ -212,12 +386,20 @@ def _run(quick: bool, workers: int) -> List[str]:
     t_all = time.perf_counter()
     eq_lines = check_equivalence(quick, workers=resolved)
     sp_lines, speedups = measure_kernel_speedups(quick)
+    bt_lines, batched_speedup = measure_batched(quick)
+    ar_lines, arena_ratio = measure_arena(quick)
+    bp_lines, batched_parallel = measure_batched_parallel(quick, workers=resolved)
     par_lines, par = measure_parallel(quick, workers=resolved)
     lines = (
         [f"mode: {'quick' if quick else 'full'}  workers: {resolved}"]
         + ["", "== kernel speedup (packed vs python, serial) =="]
         + sp_lines
+        + ["", "== batched speedup (multi-instance vs per-instance, serial) =="]
+        + bt_lines
+        + ["", "== arena payload (pmap pickle bytes, by-value vs by-ref) =="]
+        + ar_lines
         + ["", "== parallel fan-out =="]
+        + bp_lines
         + par_lines
         + ["", "== equivalence =="]
         + eq_lines
@@ -232,6 +414,9 @@ def _run(quick: bool, workers: int) -> List[str]:
             "workers": resolved,
             "cores": os.cpu_count(),
             "kernel_speedups": {k: round(v, 2) for k, v in speedups.items()},
+            "batched_speedup": round(batched_speedup, 2),
+            "arena_payload_ratio": round(arena_ratio, 1),
+            "batched_parallel_speedup": round(batched_parallel, 2),
             "parallel_speedup": round(par["parallel"], 2),
             "parallel_gated": _gate_parallel(resolved),
         },
@@ -241,10 +426,24 @@ def _run(quick: bool, workers: int) -> List[str]:
         f"{gated_name}: packed kernels only {speedups[gated_name]:.1f}x "
         f"faster on the largest sweep (expected >= {MIN_KERNEL_SPEEDUP}x)"
     )
+    assert batched_speedup >= MIN_BATCHED_SPEEDUP, (
+        f"batched engine only {batched_speedup:.1f}x faster than "
+        f"per-instance solves (expected >= {MIN_BATCHED_SPEEDUP}x)"
+    )
+    if shm_available():
+        assert arena_ratio >= MIN_ARENA_PAYLOAD_RATIO, (
+            f"arena only cut pmap payload {arena_ratio:.1f}x "
+            f"(expected >= {MIN_ARENA_PAYLOAD_RATIO}x)"
+        )
     if _gate_parallel(resolved):
         assert par["parallel"] >= MIN_PARALLEL_SPEEDUP, (
             f"workers={resolved} fan-out only {par['parallel']:.1f}x faster "
             f"(expected >= {MIN_PARALLEL_SPEEDUP}x)"
+        )
+        assert batched_parallel >= MIN_BATCHED_PARALLEL_SPEEDUP, (
+            f"batched workers={resolved} fan-out only "
+            f"{batched_parallel:.1f}x faster "
+            f"(expected >= {MIN_BATCHED_PARALLEL_SPEEDUP}x)"
         )
     return lines
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+HISTORY_DIR = RESULTS_DIR / "history"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
@@ -50,17 +51,30 @@ def write_bench_json(
     speedup: Optional[float] = None,
     config: Optional[Dict[str, Any]] = None,
 ) -> pathlib.Path:
-    """Emit ``BENCH_<name>.json`` at the repo root and return its path."""
+    """Emit ``BENCH_<name>.json`` at the repo root and return its path.
+
+    The same payload is also appended as an immutable file under
+    ``benchmarks/results/history/`` (one file per run, named by bench,
+    UTC timestamp, and short SHA) so ``repro-hls bench --history``
+    can diff runs across commits; CI uploads the directory as an
+    artifact.
+    """
     path = REPO_ROOT / f"BENCH_{name}.json"
+    now = datetime.now(timezone.utc)
     payload = {
         "bench": name,
         "wall_s": wall_s,
         "speedup": speedup,
         "config": config or {},
         "git_sha": _git_sha(),
-        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "timestamp": now.isoformat(),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path.write_text(text)
+    HISTORY_DIR.mkdir(parents=True, exist_ok=True)
+    stamp = now.strftime("%Y%m%dT%H%M%S%fZ")
+    sha = payload["git_sha"][:12]
+    (HISTORY_DIR / f"{name}-{stamp}-{sha}.json").write_text(text)
     return path
 
 

@@ -13,10 +13,21 @@ Public surface:
   flagged ``optimal=False``);
 * :func:`portfolio_assign` — the metaheuristic portfolio (GA / SA /
   hybrid / HEFT-rank / anytime exact) raced under one budget;
+* :func:`dfg_assign_repeat_batch`, :func:`dfg_frontier_batch`,
+  :func:`tree_frontier_batch` — batched multi-instance drivers over
+  :class:`~repro.engine.batch.BatchedTreeDP`, bit-identical per lane
+  to the scalar paths;
 * :mod:`~repro.assign.knapsack` — the NP-completeness reduction.
 """
 
 from .assignment import Assignment, min_completion_time
+from .batch import (
+    BatchJob,
+    RepeatOutcome,
+    dfg_assign_repeat_batch,
+    dfg_frontier_batch,
+    tree_frontier_batch,
+)
 from .dfg_assign import (
     choose_expansion,
     dfg_assign_once,
@@ -54,8 +65,13 @@ from .series_parallel import (
 from .tree_assign import tree_assign, tree_cost_curve, tree_dp
 
 __all__ = [
+    "BatchJob",
     "DPStats",
     "IncrementalTreeDP",
+    "RepeatOutcome",
+    "dfg_assign_repeat_batch",
+    "dfg_frontier_batch",
+    "tree_frontier_batch",
     "tree_dp",
     "marginal_cost_of_time",
     "MarginalCost",

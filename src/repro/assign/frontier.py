@@ -33,8 +33,7 @@ ambient :mod:`repro.obs` tracer when one is enabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import List, Optional
 
 import numpy as np
 
@@ -54,67 +53,26 @@ from .dfg_assign import (
 )
 from .exact import exact_assign
 from .incremental import DPStats, make_tree_engine
+from .knees import KNEE_RTOL, FrontierPoint, _knee_points, frontier_knees
 from .tree_assign import tree_dp
 
-__all__ = ["FrontierPoint", "tree_frontier", "dfg_frontier", "frontier_knees"]
-
-#: Relative improvement below which two costs count as the same knee.
-#: Relative (not absolute): frontiers over large cost scales — energy
-#: tables in the thousands and beyond — would otherwise record spurious
-#: knees from float round-off, while an absolute epsilon larger than the
-#: cost quantum would miss real ones on tiny scales.  The ``max(1, |c|)``
-#: floor keeps near-zero costs on an absolute footing.
-KNEE_RTOL = 1e-9
-
-
-@dataclass(frozen=True)
-class FrontierPoint:
-    """One knee of a cost/latency frontier.
-
-    ``assignment`` is the witnessing assignment achieving ``cost``
-    within ``deadline`` (``None`` for curve-only frontiers that never
-    materialized one).  Iterating yields ``(deadline, cost)`` so the
-    tuple-era idioms — ``dict(frontier)``, ``for d, c in frontier``,
-    comparison against ``(d, c)`` via ``tuple(point)`` — stay valid.
-    """
-
-    deadline: int
-    cost: float
-    assignment: Optional[Assignment] = None
-
-    def __iter__(self) -> Iterator[Union[int, float]]:
-        yield self.deadline
-        yield self.cost
-
-
-def frontier_knees(points: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
-    """Collapse a (deadline, cost) series to its strictly-improving knees.
-
-    "Strictly improving" is judged to relative tolerance
-    :data:`KNEE_RTOL`, so the scale of the cost axis does not change
-    which knees are recorded.
-    """
-    knees: List[Tuple[int, float]] = []
-    for deadline, cost in points:
-        if not knees:
-            knees.append((deadline, cost))
-            continue
-        prev = knees[-1][1]
-        if cost < prev - KNEE_RTOL * max(1.0, abs(prev)):
-            knees.append((deadline, cost))
-    return knees
-
-
-def _knee_points(raw: List[FrontierPoint]) -> List[FrontierPoint]:
-    """Keep the :class:`FrontierPoint` at each strictly-improving knee."""
-    knees = frontier_knees([(p.deadline, p.cost) for p in raw])
-    keep = {deadline for deadline, _ in knees}
-    return [p for p in raw if p.deadline in keep]
+__all__ = [
+    "FrontierPoint",
+    "KNEE_RTOL",
+    "tree_frontier",
+    "dfg_frontier",
+    "frontier_knees",
+]
 
 
 @deprecated_positionals("max_deadline")
 def tree_frontier(
-    tree: DFG, table: TimeCostTable, *, max_deadline: int, kernel: str = "packed"
+    tree: DFG,
+    table: TimeCostTable,
+    *,
+    max_deadline: int,
+    kernel: str = "packed",
+    batch: bool = False,
 ) -> List[FrontierPoint]:
     """Exact Pareto frontier of a tree/forest up to ``max_deadline``.
 
@@ -126,6 +84,12 @@ def tree_frontier(
     :func:`dfg_frontier` there) and :class:`InfeasibleError` when even
     ``max_deadline`` is infeasible.
 
+    ``batch=True`` routes through the batched multi-instance engine
+    (:func:`repro.assign.batch.tree_frontier_batch` with this one job)
+    — identical knees and witnesses; useful mainly as a parity check,
+    since batching pays off when *many* forests share one refresh.  The
+    ``kernel="python"`` reference always runs scalar.
+
     ``max_deadline`` is keyword-only; the positional form is deprecated
     (see ``docs/algorithms.md``).
     """
@@ -133,6 +97,10 @@ def tree_frontier(
         raise NotATreeError(
             f"{tree.name!r} is not a tree/forest; use dfg_frontier"
         )
+    if batch and kernel == "packed":
+        from .batch import tree_frontier_batch
+
+        return tree_frontier_batch([(tree, table, max_deadline)])[0]
     with current_tracer().span(
         "tree_frontier", graph=tree.name, nodes=len(tree), max_deadline=max_deadline
     ):
@@ -167,6 +135,7 @@ def dfg_frontier(
     stats: Optional[DPStats] = None,
     kernel: str = "packed",
     workers: int = 0,
+    batch: bool = False,
 ) -> List[FrontierPoint]:
     """Pareto frontier of a general DAG up to ``max_deadline``.
 
@@ -188,9 +157,23 @@ def dfg_frontier(
     count.  ``stats`` optionally collects engine counters, which are
     also published as ``dp.*`` metrics to the ambient tracer.
 
+    ``batch=True`` routes the heuristic sweep through
+    :func:`~repro.assign.batch.dfg_frontier_batch` — every deadline
+    becomes one lane of a :class:`~repro.engine.batch.BatchedTreeDP`
+    and the whole sweep runs in a few numpy passes (``workers`` then
+    fans whole lanes out, not pin evaluations).  Knees, costs, witness
+    assignments and engine counters are identical either way;
+    ``exact=True`` ignores ``batch``.
+
     Everything after ``table`` is keyword-only; the positional form is
     deprecated (see ``docs/algorithms.md``).
     """
+    if batch and not exact:
+        from .batch import dfg_frontier_batch
+
+        return dfg_frontier_batch(
+            dfg, table, max_deadline=max_deadline, workers=workers, stats=stats
+        )
     floor = min_completion_time(dfg, table)
     if max_deadline < floor:
         raise InfeasibleError(

@@ -13,6 +13,7 @@ Subcommands::
     repro-hls fuzz --budget 200         # differential fuzzing (checkkit)
     repro-hls serve --port 8571         # long-running HTTP/JSON service
     repro-hls batch requests.json       # one-shot cached batch solve
+    repro-hls bench --history DIR       # perf-regression diff of bench runs
 
 Every command accepts ``--seed`` for the randomized time/cost tables,
 defaulting to the seed of record used in EXPERIMENTS.md.
@@ -50,7 +51,7 @@ __all__ = ["main", "build_parser", "FORWARDED_COMMANDS"]
 #: subcommand must be listed here — pinned by an audit test in
 #: ``tests/test_cli.py`` so a new forwarding subcommand cannot
 #: reintroduce the leading-flag bug.
-FORWARDED_COMMANDS = ("lint", "fuzz", "serve", "batch")
+FORWARDED_COMMANDS = ("lint", "fuzz", "serve", "batch", "bench")
 
 
 def _forwarded_main(name: str) -> Callable[[List[str]], int]:
@@ -71,6 +72,10 @@ def _forwarded_main(name: str) -> Callable[[List[str]], int]:
         from .serve.cli import batch_main
 
         return batch_main
+    if name == "bench":
+        from .report.bench_compare import main as bench_main
+
+        return bench_main
     raise ReproError(f"no forwarded entry point for {name!r}")
 
 
@@ -133,14 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("benchmark")
     p_sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p_sweep.add_argument("--count", type=int, default=6)
+    p_sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="solve the Once/Repeat columns through the batched engine "
+        "(identical rows, fewer solver passes)",
+    )
 
     for name in ("table1", "table2"):
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
         p.add_argument("--seed", type=int, default=DEFAULT_SEED)
         p.add_argument("--count", type=int, default=6)
+        p.add_argument(
+            "--batch",
+            action="store_true",
+            help="solve the Once/Repeat columns through the batched engine "
+            "(identical rows, fewer solver passes)",
+        )
 
     p_head = sub.add_parser("headline", help="average reductions vs greedy")
     p_head.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_head.add_argument(
+        "--batch",
+        action="store_true",
+        help="solve all sweeps through the batched engine "
+        "(identical summary, fewer solver passes)",
+    )
 
     p_pareto = sub.add_parser(
         "pareto", help="cost/latency Pareto frontier of a benchmark"
@@ -152,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="largest deadline to explore (default: 3x the minimum)",
+    )
+    p_pareto.add_argument(
+        "--batch",
+        action="store_true",
+        help="solve the whole sweep through the batched multi-instance "
+        "engine (identical frontier, one vectorized pass)",
+    )
+    p_pareto.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="processes for the batched sweep's pin fan-out "
+        "(0 = serial, -1 = all cores; results are identical)",
     )
 
     p_prof = sub.add_parser("profile", help="structural fingerprint of a benchmark")
@@ -330,6 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to repro.serve "
         "(file, --out, --workers, --cache-dir, ...)",
     )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="diff BENCH_*.json perf artifacts across runs/commits "
+        "(see `repro-hls bench --help`)",
+        add_help=False,
+    )
+    p_bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.report.bench_compare "
+        "(--compare A B, --history DIR, --wall-tolerance, ...)",
+    )
     return parser
 
 
@@ -419,8 +468,16 @@ def _cmd_pareto(args) -> int:
         frontier = tree_frontier(dfg, table, max_deadline=horizon)
         kind = "exact (tree DP)"
     else:
-        frontier = dfg_frontier(dfg, table, max_deadline=horizon)
+        frontier = dfg_frontier(
+            dfg,
+            table,
+            max_deadline=horizon,
+            batch=args.batch,
+            workers=args.workers,
+        )
         kind = "heuristic (DFG_Assign_Repeat)"
+        if args.batch:
+            kind += ", batched"
     print(f"{args.benchmark}: {kind} cost/latency frontier, "
           f"deadlines {floor}..{horizon}")
     for deadline, cost in frontier:
@@ -577,7 +634,9 @@ def _cmd_portfolio(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    rows = run_benchmark_rows(args.benchmark, seed=args.seed, count=args.count)
+    rows = run_benchmark_rows(
+        args.benchmark, seed=args.seed, count=args.count, batch=args.batch
+    )
     print(render_rows(rows, title=f"{args.benchmark} (seed {args.seed})"))
     return 0
 
@@ -605,15 +664,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "table1":
-            print(render_rows(run_table1(seed=args.seed, count=args.count),
-                              title=f"Table 1 (seed {args.seed})"))
+            print(render_rows(
+                run_table1(seed=args.seed, count=args.count, batch=args.batch),
+                title=f"Table 1 (seed {args.seed})"))
             return 0
         if args.command == "table2":
-            print(render_rows(run_table2(seed=args.seed, count=args.count),
-                              title=f"Table 2 (seed {args.seed})"))
+            print(render_rows(
+                run_table2(seed=args.seed, count=args.count, batch=args.batch),
+                title=f"Table 2 (seed {args.seed})"))
             return 0
         if args.command == "headline":
-            summary = headline_summary(seed=args.seed)
+            summary = headline_summary(seed=args.seed, batch=args.batch)
             print(f"average reduction vs greedy (seed {args.seed}):")
             print(f"  DFG_Assign_Once  : {format_percent(summary['once'])}")
             print(f"  DFG_Assign_Repeat: {format_percent(summary['repeat'])}")

@@ -20,7 +20,18 @@ layers.  It has two halves:
   process map with a serial fallback at ``workers=0`` whose results
   are independent of the worker count; :mod:`~repro.engine.budget`
   adds :class:`Budget`, the pre-split evaluation/wall-clock allowance
-  that anytime solvers consult when raced through ``pmap``.
+  that anytime solvers consult when raced through ``pmap``;
+  :mod:`~repro.engine.arena` adds :class:`TableArena`, the
+  shared-memory block that ships large read-only arrays to workers as
+  tiny :class:`ArenaRef` descriptors instead of pickled copies (with a
+  degrade-to-pickle fallback when shm is unavailable).
+
+A third half joined in between: **batched kernels** —
+:mod:`~repro.engine.batch` stacks many packed forests into
+group-blocked tensors (:class:`BatchedForest`) and solves every
+(instance, deadline) lane of a :class:`BatchedTreeDP` in a handful of
+numpy passes (:func:`batched_sweep`), bit-identical per lane to
+:class:`PackedTreeDP` driven through the same sequence.
 
 Layering: the engine sits beside ``fu`` (layer 2) — it may import
 ``errors``/``obs``/``apiutil``/``graph``/``fu`` and nothing above; the
@@ -28,6 +39,8 @@ Layering: the engine sits beside ``fu`` (layer 2) — it may import
 RL004).  See ``docs/performance.md``.
 """
 
+from .arena import ArenaRef, TableArena, resolve_ref, shm_available
+from .batch import BatchedForest, BatchedTreeDP, ForestShape, batched_sweep
 from .budget import Budget
 from .kernels import (
     NO_CHOICE,
@@ -40,15 +53,24 @@ from .kernels import (
     zero_curve,
 )
 from .pack import PackedForest, RowBinding
-from .parallel import pmap, resolve_workers
+from .parallel import pmap, resolve_workers, shutdown_pools
 from .stats import DPStats
 
 __all__ = [
+    "ArenaRef",
+    "BatchedForest",
+    "BatchedTreeDP",
     "Budget",
     "DPStats",
+    "ForestShape",
     "PackedForest",
     "PackedTreeDP",
     "RowBinding",
+    "TableArena",
+    "batched_sweep",
+    "resolve_ref",
+    "shm_available",
+    "shutdown_pools",
     "NO_CHOICE",
     "zero_curve",
     "infeasible_curve",

@@ -1,0 +1,257 @@
+"""Shared-memory arena: zero-copy array payloads for ``pmap`` workers.
+
+``pmap`` pickles every chunk it ships to a worker; for the batched DP
+that payload is dominated by large read-only numpy arrays (stacked CSR
+forests, bound time/cost tensors) that every chunk repeats.  A
+:class:`TableArena` places those arrays once in a single
+``multiprocessing.shared_memory`` block and hands out tiny picklable
+:class:`ArenaRef` descriptors instead — workers map the block and
+reconstruct zero-copy views, cutting the pickled payload by orders of
+magnitude (gated ≥10x in ``benchmarks/bench_engine.py`` via the
+``engine.pmap.payload_bytes`` counter).
+
+Lifecycle: the parent calls :meth:`TableArena.create` before the
+``pmap`` fan-out and :meth:`TableArena.close` (close + unlink) after it
+returns; workers attach lazily per block name, cache the mapping for
+the life of the process, and close attachments at interpreter exit.
+When shared memory is unavailable — platform without ``/dev/shm``,
+creation failure, or the ``REPRO_DISABLE_SHM`` environment override —
+:meth:`create` returns ``None`` and callers fall back to pickling the
+arrays directly; results are identical either way
+(``tests/engine/test_arena.py`` pins the equivalence).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import EngineError
+from ..obs import add_metric
+
+__all__ = [
+    "ArenaRef",
+    "TableArena",
+    "detach_all",
+    "payload_refs",
+    "resolve_arrays",
+    "resolve_payload",
+    "resolve_ref",
+    "shm_available",
+]
+
+#: Block offsets are padded to this alignment so every view is aligned
+#: for its dtype regardless of what precedes it.
+_ALIGN = 64
+
+
+def shm_available() -> bool:
+    """Whether shared-memory arenas can be used in this process."""
+    if os.environ.get("REPRO_DISABLE_SHM"):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib always has it on CPython
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Picklable descriptor of one array inside a shared block.
+
+    ``resolve_ref`` turns it back into a read-only zero-copy view in
+    any process that can attach ``shm_name``.
+    """
+
+    shm_name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+class TableArena:
+    """One shared-memory block holding a named set of read-only arrays.
+
+    Construct via :meth:`create` (never directly); duplicate arrays —
+    the same object bound under several names, as stacked batches
+    routinely do — are stored once and share an offset.
+    """
+
+    def __init__(self, shm: object, refs: Dict[str, ArenaRef]) -> None:
+        self._shm = shm
+        self._refs = refs
+        self._closed = False
+
+    @classmethod
+    def create(
+        cls, arrays: Mapping[str, np.ndarray]
+    ) -> Optional["TableArena"]:
+        """Copy ``arrays`` into a fresh shared block; ``None`` = degrade.
+
+        Publishes ``engine.arena.blocks`` / ``engine.arena.bytes`` to
+        the ambient tracer on success so benchmarks can verify the
+        arena actually engaged.
+        """
+        if not shm_available():
+            return None
+        from multiprocessing import shared_memory
+
+        unique: Dict[int, Tuple[np.ndarray, int]] = {}
+        total = 0
+        for arr in arrays.values():
+            if id(arr) in unique:
+                continue
+            contig = np.ascontiguousarray(arr)
+            unique[id(arr)] = (contig, total)
+            total += (contig.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        except OSError:
+            return None
+        refs: Dict[str, ArenaRef] = {}
+        for name, arr in arrays.items():
+            contig, offset = unique[id(arr)]
+            if contig.nbytes:
+                dst = np.ndarray(
+                    contig.shape,
+                    dtype=contig.dtype,
+                    buffer=shm.buf,
+                    offset=offset,
+                )
+                dst[...] = contig
+            refs[name] = ArenaRef(
+                shm_name=shm.name,
+                dtype=contig.dtype.str,
+                shape=tuple(contig.shape),
+                offset=offset,
+            )
+        add_metric("engine.arena.blocks", 1.0)
+        add_metric("engine.arena.bytes", float(total))
+        return cls(shm, refs)
+
+    @property
+    def refs(self) -> Dict[str, ArenaRef]:
+        """Name → :class:`ArenaRef` map (ship this, not the arrays)."""
+        return dict(self._refs)
+
+    @property
+    def name(self) -> str:
+        return self._refs[next(iter(self._refs))].shm_name if self._refs else ""
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent; parent-side)."""
+        if self._closed:
+            return
+        self._closed = True
+        shm = self._shm
+        close = getattr(shm, "close", None)
+        unlink = getattr(shm, "unlink", None)
+        if close is not None:
+            close()
+        if unlink is not None:
+            try:
+                unlink()
+            except FileNotFoundError:  # another owner already unlinked
+                pass
+
+    def __enter__(self) -> "TableArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Worker-side attachment cache: block name → SharedMemory object.
+#: Attachments stay mapped for the life of the worker (pools are
+#: persistent, successive batches reuse names only across blocks) and
+#: are closed at interpreter exit.
+_ATTACHED: Dict[str, object] = {}
+
+
+def _close_attached() -> None:
+    while _ATTACHED:
+        _, shm = _ATTACHED.popitem()
+        close = getattr(shm, "close", None)
+        if close is not None:
+            close()
+
+
+atexit.register(_close_attached)
+
+
+def resolve_ref(ref: ArenaRef) -> np.ndarray:
+    """A read-only zero-copy view of the array ``ref`` describes.
+
+    Valid in any process while the owning arena is alive; raises
+    :class:`~repro.errors.EngineError` when the block cannot be
+    attached (owner already closed it).
+    """
+    from multiprocessing import shared_memory
+
+    shm = _ATTACHED.get(ref.shm_name)
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=ref.shm_name)
+        except FileNotFoundError as exc:
+            raise EngineError(
+                f"shared-memory block {ref.shm_name!r} is gone; "
+                "the owning arena was closed before workers resolved it"
+            ) from exc
+        # lint: ignore[RL008] — per-process attachment cache: each pmap
+        # worker writes only its own process's dict, never shared state
+        _ATTACHED[ref.shm_name] = shm
+    view: np.ndarray = np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=shm.buf,  # type: ignore[attr-defined]
+        offset=ref.offset,
+    )
+    view.flags.writeable = False
+    return view
+
+
+def resolve_arrays(refs: Mapping[str, ArenaRef]) -> Dict[str, np.ndarray]:
+    """Resolve a whole ref map (worker-side convenience)."""
+    return {name: resolve_ref(ref) for name, ref in refs.items()}
+
+
+def detach_all() -> None:
+    """Close every cached worker-side attachment (tests; idempotent)."""
+    _close_attached()
+
+
+def payload_refs(
+    arena: Optional["TableArena"], arrays: Mapping[str, np.ndarray]
+) -> Tuple[Dict[str, ArenaRef], Dict[str, np.ndarray]]:
+    """Split a payload into (refs, fallback-arrays) given an arena.
+
+    With an arena every array travels as a ref and the fallback map is
+    empty; with ``arena=None`` (shm unavailable/disabled) the refs map
+    is empty and the arrays pickle as-is.  Workers rebuild the same
+    name → array view either way via :func:`resolve_payload`.
+    """
+    if arena is None:
+        return {}, dict(arrays)
+    refs = arena.refs
+    return {name: refs[name] for name in arrays}, {}
+
+
+def resolve_payload(
+    refs: Mapping[str, ArenaRef], arrays: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Worker-side inverse of :func:`payload_refs`."""
+    out = dict(arrays)
+    out.update(resolve_arrays(refs))
+    return out

@@ -18,7 +18,13 @@ first use is pickling only; :func:`shutdown_pools` tears them down
 
 Obs integration: every call opens an ``engine.pmap`` span (callers
 override the label) and publishes ``engine.pmap.items`` /
-``engine.pmap.chunks`` counters to the ambient tracer.
+``engine.pmap.chunks`` counters to the ambient tracer; when tracing is
+enabled, ``engine.pmap.payload_bytes`` additionally records the exact
+pickled size of every dispatched chunk — the counter the shared-memory
+arena's ≥10x payload-reduction gate reads (see
+:mod:`repro.engine.arena`).  Payloads are measured only under an
+enabled tracer because the extra ``pickle.dumps`` is pure overhead
+otherwise.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from __future__ import annotations
 import atexit
 import math
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from typing import Any, Callable, Dict, Iterable, List, Tuple, TypeVar
@@ -112,9 +119,15 @@ def pmap(
         size = chunk_size or max(1, math.ceil(len(seq) / (4 * n_workers)))
         chunks = [seq[i : i + size] for i in range(0, len(seq), size)]
         add_metric("engine.pmap.chunks", float(len(chunks)))
+        payloads = [(fn, chunk) for chunk in chunks]
+        if tracer.enabled:
+            add_metric(
+                "engine.pmap.payload_bytes",
+                float(sum(len(pickle.dumps(p)) for p in payloads)),
+            )
         pool = _pool(n_workers)
         try:
-            nested = list(pool.map(_run_chunk, [(fn, chunk) for chunk in chunks]))
+            nested = list(pool.map(_run_chunk, payloads))
         except BaseException:
             # A broken pool stays broken; drop it so the next call
             # starts fresh, then let the original error surface.

@@ -1,0 +1,262 @@
+"""Benchmark regression diffing: ``repro-hls bench``.
+
+Every bench run drops a machine-readable ``BENCH_<name>.json`` at the
+repo root *and* an immutable copy under
+``benchmarks/results/history/`` (see ``benchmarks/conftest.py``), each
+carrying the bench name, wall seconds, headline speedup, config, git
+SHA, and timestamp.  This module turns those artifacts into a
+regression gate:
+
+* ``repro-hls bench --compare old.json new.json`` diffs two runs of
+  the same bench;
+* ``repro-hls bench --history benchmarks/results/history`` groups the
+  directory by bench name, orders each group by timestamp, and diffs
+  the two most recent runs (typically: previous commit vs this one).
+
+A **regression** is a wall-time increase beyond ``--wall-tolerance``
+(default 25% — bench wall times are noisy) or a headline-speedup drop
+beyond ``--speedup-tolerance`` (default 10%).  Exit codes follow the
+package-wide forwarded-CLI contract: 0 = no regressions, 1 =
+regressions found, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+
+__all__ = [
+    "BenchDelta",
+    "compare_benches",
+    "compare_history",
+    "load_bench",
+    "load_history",
+    "main",
+]
+
+#: Wall-time increase tolerated before flagging (fraction of the base).
+DEFAULT_WALL_TOLERANCE = 0.25
+
+#: Speedup decrease tolerated before flagging (fraction of the base).
+DEFAULT_SPEEDUP_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """The diff of one metric between two runs of one bench."""
+
+    bench: str
+    metric: str  # "wall_s" or "speedup"
+    base: float
+    current: float
+    change: float  # signed fraction: (current - base) / base
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.bench:<12} {self.metric:<8} "
+            f"{self.base:10.3f} -> {self.current:10.3f}  "
+            f"({self.change:+.1%})  {arrow}"
+        )
+
+
+def load_bench(path: pathlib.Path) -> Dict[str, Any]:
+    """One ``BENCH_*.json`` payload, validated just enough to diff."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read bench file {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "bench" not in payload:
+        raise ReproError(
+            f"{path} is not a BENCH_*.json payload (missing 'bench' key)"
+        )
+    return payload
+
+
+def _metric(payload: Dict[str, Any], key: str) -> Optional[float]:
+    value = payload.get(key)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def compare_benches(
+    base: Dict[str, Any],
+    current: Dict[str, Any],
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    speedup_tolerance: float = DEFAULT_SPEEDUP_TOLERANCE,
+) -> List[BenchDelta]:
+    """Deltas for every metric both runs carry.
+
+    Wall time regresses *upward* past ``wall_tolerance``; speedup
+    regresses *downward* past ``speedup_tolerance``.  Metrics absent
+    (``null``) on either side are skipped — a bench that never measured
+    a speedup cannot regress on it.
+    """
+    if base["bench"] != current["bench"]:
+        raise ReproError(
+            f"cannot compare different benches: "
+            f"{base['bench']!r} vs {current['bench']!r}"
+        )
+    deltas: List[BenchDelta] = []
+    for metric, tolerance, worse_when_higher in (
+        ("wall_s", wall_tolerance, True),
+        ("speedup", speedup_tolerance, False),
+    ):
+        b, c = _metric(base, metric), _metric(current, metric)
+        if b is None or c is None or b <= 0:
+            continue
+        change = (c - b) / b
+        regressed = change > tolerance if worse_when_higher else change < -tolerance
+        deltas.append(
+            BenchDelta(
+                bench=str(base["bench"]),
+                metric=metric,
+                base=b,
+                current=c,
+                change=change,
+                regressed=regressed,
+            )
+        )
+    return deltas
+
+
+def load_history(directory: pathlib.Path) -> Dict[str, List[Dict[str, Any]]]:
+    """All history payloads, grouped by bench name, oldest first.
+
+    Ordering uses the recorded ISO timestamp (lexicographically
+    sortable), not file mtimes, so copied/checked-out artifacts still
+    diff correctly.
+    """
+    if not directory.is_dir():
+        raise ReproError(f"history directory {directory} does not exist")
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for path in sorted(directory.glob("*.json")):
+        payload = load_bench(path)
+        groups.setdefault(str(payload["bench"]), []).append(payload)
+    for runs in groups.values():
+        runs.sort(key=lambda p: str(p.get("timestamp", "")))
+    return groups
+
+
+def compare_history(
+    directory: pathlib.Path,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    speedup_tolerance: float = DEFAULT_SPEEDUP_TOLERANCE,
+) -> Dict[str, List[BenchDelta]]:
+    """Latest-vs-previous deltas per bench with >= 2 recorded runs."""
+    out: Dict[str, List[BenchDelta]] = {}
+    for bench, runs in sorted(load_history(directory).items()):
+        if len(runs) < 2:
+            continue
+        out[bench] = compare_benches(
+            runs[-2],
+            runs[-1],
+            wall_tolerance=wall_tolerance,
+            speedup_tolerance=speedup_tolerance,
+        )
+    return out
+
+
+def _sha(payload: Dict[str, Any]) -> str:
+    return str(payload.get("git_sha", "unknown"))[:12]
+
+
+def _report(header: str, deltas: Sequence[BenchDelta]) -> int:
+    print(header)
+    if not deltas:
+        print("  (no comparable metrics)")
+        return 0
+    for delta in deltas:
+        print(f"  {delta.describe()}")
+    return sum(1 for d in deltas if d.regressed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-hls bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hls bench",
+        description="diff BENCH_*.json artifacts across runs/commits "
+        "and flag perf regressions",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASE", "CURRENT"),
+        help="two BENCH_*.json files of the same bench to diff",
+    )
+    mode.add_argument(
+        "--history",
+        metavar="DIR",
+        help="history directory (benchmarks/results/history): diff the "
+        "two most recent runs of every bench recorded there",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=DEFAULT_WALL_TOLERANCE,
+        help="tolerated fractional wall-time increase "
+        f"(default {DEFAULT_WALL_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=DEFAULT_SPEEDUP_TOLERANCE,
+        help="tolerated fractional speedup decrease "
+        f"(default {DEFAULT_SPEEDUP_TOLERANCE})",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    try:
+        if args.compare is not None:
+            base = load_bench(pathlib.Path(args.compare[0]))
+            current = load_bench(pathlib.Path(args.compare[1]))
+            deltas = compare_benches(
+                base,
+                current,
+                wall_tolerance=args.wall_tolerance,
+                speedup_tolerance=args.speedup_tolerance,
+            )
+            regressions = _report(
+                f"{base['bench']}: {_sha(base)} -> {_sha(current)}", deltas
+            )
+        else:
+            groups = load_history(pathlib.Path(args.history))
+            pairs = {b: runs for b, runs in sorted(groups.items()) if len(runs) >= 2}
+            if not pairs:
+                print(
+                    f"no bench has >= 2 recorded runs under {args.history}; "
+                    "nothing to diff"
+                )
+                return 0
+            regressions = 0
+            for bench, runs in pairs.items():
+                deltas = compare_benches(
+                    runs[-2],
+                    runs[-1],
+                    wall_tolerance=args.wall_tolerance,
+                    speedup_tolerance=args.speedup_tolerance,
+                )
+                regressions += _report(
+                    f"{bench}: {_sha(runs[-2])} -> {_sha(runs[-1])}", deltas
+                )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if regressions:
+        print(f"{regressions} regression(s) found", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0

@@ -29,7 +29,13 @@ from __future__ import annotations
 
 from .cache import ResultCache
 from .http import ServeHTTPServer, make_server
-from .jobs import Request, Response, prepare, solve_canonical_job
+from .jobs import (
+    Request,
+    Response,
+    prepare,
+    solve_canonical_batch,
+    solve_canonical_job,
+)
 from .loader import request_from_dict, requests_from_doc, requests_from_file
 from .service import (
     DEFAULT_BUDGET_EVALUATIONS,
@@ -45,6 +51,7 @@ __all__ = [
     "Request",
     "Response",
     "prepare",
+    "solve_canonical_batch",
     "solve_canonical_job",
     "request_from_dict",
     "requests_from_doc",

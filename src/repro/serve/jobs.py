@@ -26,12 +26,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..engine import Budget
-from ..errors import ReproError, ServeError
+from ..errors import CyclicDependencyError, ReproError, ServeError
 from ..fu.table import TimeCostTable
 from ..graph.dfg import DFG, Node
 from ..io import canonical_instance_dict, canonical_order
-from ..obs import Tracer, use_tracer
-from ..synthesis import RESULT_SCHEMA_VERSION, synthesize
+from ..obs import Tracer, add_metric, use_tracer
+from ..synthesis import RESULT_SCHEMA_VERSION, auto_algorithm, synthesize
 
 __all__ = [
     "Request",
@@ -39,6 +39,7 @@ __all__ = [
     "PreparedJob",
     "prepare",
     "solve_canonical_job",
+    "solve_canonical_batch",
     "relabel_payload",
 ]
 
@@ -210,6 +211,141 @@ def solve_canonical_job(job_json: str) -> str:
         for name, counter in sorted(tracer.metrics.counters.items())
     }
     return json.dumps(payload, sort_keys=True)
+
+
+def _table_from_canonical(doc: Dict[str, Any]) -> TimeCostTable:
+    """Just the table of a canonical instance (canonical-index keys)."""
+    return TimeCostTable.from_rows(
+        {
+            str(i): (entry["times"], entry["costs"])
+            for i, entry in enumerate(doc["nodes"])
+        }
+    )
+
+
+def _structure_key(instance: Dict[str, Any]) -> str:
+    """Everything about an instance except times/costs/deadline.
+
+    Jobs sharing this key describe the same labeled graph, so they can
+    share one :class:`~repro.graph.dfg.DFG` object — which is how
+    :func:`repro.assign.dfg_assign_repeat_batch` recognizes lanes of a
+    common structure and stacks them into one engine group.
+    """
+    return json.dumps(
+        {
+            "ops": [entry["op"] for entry in instance["nodes"]],
+            "edges": instance["edges"],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def solve_canonical_batch(
+    job_jsons: Sequence[str], *, workers: int = 0, arena: bool = True
+) -> List[str]:
+    """Solve many canonical jobs, batching the phase-1 DP across them.
+
+    Jobs whose phase 1 resolves to `DFG_Assign_Repeat` (the general-DAG
+    default) are grouped by graph structure and solved in **one**
+    :func:`repro.assign.dfg_assign_repeat_batch` call — a deadline
+    sweep or a burst of same-shape requests becomes a single batched
+    engine run, optionally fanned out over ``workers`` processes with
+    the shared-memory table arena.  Phase 2 (lower bound + schedule)
+    then runs per job via ``synthesize(assign_result=...)``.
+
+    Every returned payload's ``result``/``error`` parts are
+    byte-identical to :func:`solve_canonical_job` on the same job —
+    phase-1 outcomes are bit-identical lane by lane, including the
+    ``dp.*`` integer counters — so cache entries are interchangeable
+    between the two paths.  Jobs that are not batchable (trees, paths,
+    explicit non-default algorithms, portfolio strategy, cyclic zero-
+    delay parts) fall back to :func:`solve_canonical_job` one by one.
+    """
+    from ..assign.batch import BatchJob, dfg_assign_repeat_batch
+    from ..assign.dfg_assign import _emit_dp_metrics
+
+    docs = [json.loads(text) for text in job_jsons]
+    #: structure key -> shared (dfg, dag) pair, or None when the
+    #: zero-delay part is cyclic (scalar path reproduces the error).
+    structures: Dict[str, Optional[tuple]] = {}
+    batch_items: List[tuple] = []  # (job index, dfg, table, deadline)
+    for idx, doc in enumerate(docs):
+        knobs = doc["knobs"]
+        if knobs.get("algorithm") not in (None, "repeat"):
+            continue
+        if knobs.get("strategy", "paper") != "paper":
+            continue
+        key = _structure_key(doc["instance"])
+        if key not in structures:
+            dfg, _, _ = _instance_from_canonical(doc["instance"])
+            try:
+                structures[key] = (dfg, dfg.dag())
+            except CyclicDependencyError:
+                structures[key] = None
+        entry = structures[key]
+        if entry is None:
+            continue
+        dfg, dag = entry
+        if knobs.get("algorithm") is None and auto_algorithm(dag) != "repeat":
+            continue
+        table = _table_from_canonical(doc["instance"])
+        batch_items.append(
+            (idx, dfg, dag, table, int(doc["instance"]["deadline"]))
+        )
+
+    out: List[Optional[str]] = [None] * len(docs)
+    if batch_items:
+        add_metric("serve.batched", float(len(batch_items)))
+        outcomes = dfg_assign_repeat_batch(
+            [BatchJob(dag, tbl, dl) for _, _, dag, tbl, dl in batch_items],
+            workers=workers,
+            arena=arena,
+        )
+        for (idx, dfg, _, table, deadline), outcome in zip(
+            batch_items, outcomes
+        ):
+            knobs = docs[idx]["knobs"]
+            tracer = Tracer()
+            payload: Dict[str, Any]
+            with use_tracer(tracer):
+                if outcome.error is not None:
+                    payload = {
+                        "error": {
+                            "type": type(outcome.error).__name__,
+                            "message": str(outcome.error),
+                        }
+                    }
+                else:
+                    assert outcome.result is not None
+                    _emit_dp_metrics({}, outcome.stats)
+                    try:
+                        result = synthesize(
+                            dfg,
+                            table,
+                            deadline,
+                            scheduler=knobs.get("scheduler", "min_resource"),
+                            assign_result=outcome.result,
+                        )
+                        doc_out = result.to_dict()
+                        doc_out["timings"] = {}
+                        payload = {"result": doc_out}
+                    except ReproError as exc:
+                        payload = {
+                            "error": {
+                                "type": type(exc).__name__,
+                                "message": str(exc),
+                            }
+                        }
+            payload["counters"] = {
+                name: counter.value
+                for name, counter in sorted(tracer.metrics.counters.items())
+            }
+            out[idx] = json.dumps(payload, sort_keys=True)
+    for idx, text in enumerate(job_jsons):
+        if out[idx] is None:
+            out[idx] = solve_canonical_job(text)
+    return [text for text in out if text is not None]
 
 
 def relabel_payload(

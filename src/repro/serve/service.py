@@ -35,7 +35,7 @@ import json
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..engine import pmap
+from ..engine import pmap, shutdown_pools
 from ..obs import Tracer, use_tracer
 from .cache import ResultCache
 from .jobs import (
@@ -44,6 +44,7 @@ from .jobs import (
     Response,
     prepare,
     relabel_payload,
+    solve_canonical_batch,
     solve_canonical_job,
 )
 
@@ -78,6 +79,13 @@ class SynthesisService:
     tracer:
         Telemetry sink (default: a private enabled
         :class:`~repro.obs.Tracer`).
+    batch:
+        When ``True`` (default), cache misses whose phase 1 resolves to
+        `DFG_Assign_Repeat` are grouped by graph structure and solved
+        in one :func:`~repro.serve.jobs.solve_canonical_batch` call —
+        one batched engine run instead of a solve per job.  Responses
+        and cache entries are byte-identical either way; ``False``
+        restores the historical per-job ``pmap`` sharding.
     """
 
     def __init__(
@@ -87,11 +95,13 @@ class SynthesisService:
         cache: Optional[ResultCache] = None,
         default_evaluations: int = DEFAULT_BUDGET_EVALUATIONS,
         tracer: Optional[Tracer] = None,
+        batch: bool = True,
     ):
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.default_evaluations = default_evaluations
         self.tracer = tracer if tracer is not None else Tracer()
+        self.batch = batch
 
     # ------------------------------------------------------------------
     def solve_batch(self, requests: Sequence[Request]) -> List[Response]:
@@ -134,12 +144,21 @@ class SynthesisService:
 
         if misses:
             tracer.add_metric("serve.solves", float(len(misses)))
-            raw = pmap(
-                solve_canonical_job,
-                [job.job_json for job in misses],
-                workers=self.workers,
-                label="serve.solve",
-            )
+            if self.batch:
+                with tracer.span(
+                    "serve.solve", items=len(misses), workers=self.workers
+                ):
+                    raw = solve_canonical_batch(
+                        [job.job_json for job in misses],
+                        workers=self.workers,
+                    )
+            else:
+                raw = pmap(
+                    solve_canonical_job,
+                    [job.job_json for job in misses],
+                    workers=self.workers,
+                    label="serve.solve",
+                )
             for job, text in zip(misses, raw):
                 payload = json.loads(text)
                 self._merge_counters(payload.pop("counters", {}))
@@ -179,6 +198,25 @@ class SynthesisService:
             name: counter.value
             for name, counter in sorted(self.tracer.metrics.counters.items())
         }
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent).
+
+        Shuts down the persistent :func:`~repro.engine.pmap` worker
+        pools this service dispatched through.  The pools are a
+        process-wide cache shared with any other ``pmap`` caller — the
+        next parallel call simply starts fresh ones — so closing a
+        service never leaks worker processes into test suites or
+        long-lived hosts (also covered by ``atexit``, but an explicit
+        close releases them immediately).
+        """
+        shutdown_pools()
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 class Client:

@@ -191,6 +191,7 @@ def synthesize(
     workers: int = 0,
     strategy: str = "paper",
     budget: Optional[Budget] = None,
+    assign_result: Optional[AssignResult] = None,
 ) -> SynthesisResult:
     """Run the full two-phase flow on the DAG part of ``dfg``.
 
@@ -226,6 +227,14 @@ def synthesize(
     ignored there; the serve layer attaches one per request regardless,
     which then binds exactly when the portfolio is selected.
 
+    ``assign_result`` injects a precomputed phase-1 outcome: phase 1 is
+    skipped entirely (``algorithm``/``strategy``/``budget`` are ignored)
+    and phase 2 schedules the given assignment.  This is how the
+    batched serve path reuses assignments solved in bulk by
+    :func:`repro.assign.dfg_assign_repeat_batch` — the result is
+    identical to a full run because the phase-1 outputs are
+    bit-identical.  The injected result's ``deadline`` must match.
+
     Per-phase wall times are always recorded in the result's
     ``timings``; under an enabled ambient :class:`~repro.obs.Tracer`
     the result additionally carries the run's root span (``trace``) and
@@ -253,13 +262,23 @@ def synthesize(
                 f"algorithm={algorithm!r}; pass one or the other"
             )
         algorithm = "portfolio"
-    name = algorithm or auto_algorithm(dag)
-    try:
-        algo = ALGORITHMS[name]
-    except KeyError:
+    if assign_result is not None and assign_result.deadline != deadline:
         raise ReproError(
-            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
-        ) from None
+            f"assign_result was solved for deadline "
+            f"{assign_result.deadline}, not {deadline}"
+        )
+    name = (
+        assign_result.algorithm
+        if assign_result is not None
+        else algorithm or auto_algorithm(dag)
+    )
+    if assign_result is None:
+        try:
+            algo = ALGORITHMS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+            ) from None
 
     tracer = current_tracer()
     timings: Dict[str, float] = {}
@@ -273,7 +292,9 @@ def synthesize(
     ) as root:
         t0 = perf_counter()
         with tracer.span("assign", algorithm=name, nodes=len(dag)):
-            if name == "repeat" and workers:
+            if assign_result is not None:
+                pass  # phase 1 injected by the caller
+            elif name == "repeat" and workers:
                 assign_result = dfg_assign_repeat(
                     dag, table, deadline, workers=workers
                 )

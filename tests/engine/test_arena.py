@@ -1,0 +1,168 @@
+"""TableArena: shared-memory round-trips, dedupe, degrade, lifecycle.
+
+The arena's contract is that workers rebuild *exactly* the arrays the
+parent staged — zero-copy views when shared memory engages, pickled
+values when it degrades — and that the degrade path is indistinguishable
+to callers.  Everything here runs in-process: ``resolve_ref`` is the
+same code a pmap worker executes, minus the process boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.arena import (
+    ArenaRef,
+    TableArena,
+    detach_all,
+    payload_refs,
+    resolve_arrays,
+    resolve_payload,
+    resolve_ref,
+    shm_available,
+)
+from repro.errors import EngineError
+from repro.obs import Tracer, use_tracer
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _arrays():
+    return {
+        "times": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "costs": np.linspace(0.0, 1.0, 6).reshape(2, 3),
+        "empty": np.empty((0, 5), dtype=np.float64),
+        "byte": np.array([7], dtype=np.int8),  # exercises alignment padding
+    }
+
+
+def test_roundtrip_values_dtypes_shapes():
+    arrays = _arrays()
+    arena = TableArena.create(arrays)
+    assert arena is not None
+    try:
+        resolved = resolve_arrays(arena.refs)
+        assert resolved.keys() == arrays.keys()
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(resolved[name], arr)
+            assert resolved[name].dtype == arr.dtype
+            assert resolved[name].shape == arr.shape
+            assert not resolved[name].flags.writeable
+    finally:
+        detach_all()
+        arena.close()
+
+
+def test_duplicate_arrays_share_one_offset():
+    shared = np.ones((64, 64))
+    arena = TableArena.create({"a": shared, "b": shared, "c": np.zeros(2)})
+    assert arena is not None
+    try:
+        refs = arena.refs
+        assert refs["a"].offset == refs["b"].offset
+        assert refs["c"].offset != refs["a"].offset
+    finally:
+        arena.close()
+
+
+def test_views_are_zero_copy():
+    arena = TableArena.create({"x": np.arange(8, dtype=np.int64)})
+    assert arena is not None
+    try:
+        first = resolve_ref(arena.refs["x"])
+        second = resolve_ref(arena.refs["x"])
+        assert np.shares_memory(first, second)
+    finally:
+        detach_all()
+        arena.close()
+
+
+def test_resolve_after_close_raises():
+    arena = TableArena.create({"x": np.arange(4)})
+    assert arena is not None
+    ref = arena.refs["x"]
+    detach_all()  # drop any cached attachment so the lookup is fresh
+    arena.close()
+    with pytest.raises(EngineError, match="is gone"):
+        resolve_ref(ref)
+
+
+def test_close_is_idempotent():
+    arena = TableArena.create({"x": np.arange(4)})
+    assert arena is not None
+    arena.close()
+    arena.close()
+
+
+def test_context_manager_closes():
+    with TableArena.create({"x": np.arange(4)}) as arena:
+        ref = arena.refs["x"]
+        np.testing.assert_array_equal(resolve_ref(ref), np.arange(4))
+    detach_all()
+    with pytest.raises(EngineError, match="is gone"):
+        resolve_ref(ref)
+
+
+def test_degrade_on_disable_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+    assert not shm_available()
+    assert TableArena.create({"x": np.arange(4)}) is None
+
+
+def test_payload_refs_roundtrip_with_and_without_arena():
+    arrays = _arrays()
+    # degrade path: everything pickles by value
+    refs, fallback = payload_refs(None, arrays)
+    assert refs == {} and fallback.keys() == arrays.keys()
+    resolved = resolve_payload(refs, fallback)
+    for name, arr in arrays.items():
+        np.testing.assert_array_equal(resolved[name], arr)
+
+    arena = TableArena.create(arrays)
+    assert arena is not None
+    try:
+        refs, fallback = payload_refs(arena, arrays)
+        assert fallback == {} and refs.keys() == arrays.keys()
+        resolved = resolve_payload(refs, fallback)
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(resolved[name], arr)
+    finally:
+        detach_all()
+        arena.close()
+
+
+def test_payload_refs_subsets_to_requested_names():
+    # Regression: an arena pooled over *many* lanes must ship only the
+    # requested subset's refs, not its whole catalogue.
+    arrays = _arrays()
+    arena = TableArena.create(arrays)
+    assert arena is not None
+    try:
+        subset = {"times": arrays["times"]}
+        refs, fallback = payload_refs(arena, subset)
+        assert set(refs) == {"times"} and fallback == {}
+    finally:
+        detach_all()
+        arena.close()
+
+
+def test_create_emits_arena_metrics():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        arena = TableArena.create({"x": np.arange(16, dtype=np.int64)})
+    assert arena is not None
+    try:
+        counters = tracer.metrics.counters
+        assert counters["engine.arena.blocks"].value == 1.0
+        assert counters["engine.arena.bytes"].value >= 16 * 8
+    finally:
+        arena.close()
+
+
+def test_arena_ref_nbytes():
+    ref = ArenaRef(shm_name="n", dtype="<f8", shape=(3, 4), offset=0)
+    assert ref.nbytes == 3 * 4 * 8
+    assert ArenaRef(shm_name="n", dtype="<i8", shape=(), offset=0).nbytes == 8
